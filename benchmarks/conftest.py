@@ -1,0 +1,70 @@
+"""Benchmark harness plumbing.
+
+Every benchmark module regenerates one paper table/figure through the
+experiment harness, timed by pytest-benchmark, and asserts the paper's
+qualitative claims hold. Rendered tables are written to
+``benchmarks/reports/`` so `EXPERIMENTS.md` can be rebuilt from a bench
+run (``vcrepro report`` does the same without pytest).
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments.base import ExperimentConfig
+from repro.experiments.runner import run_experiment
+
+REPORT_DIR = pathlib.Path(__file__).parent / "reports"
+
+
+@pytest.fixture(scope="session")
+def report_dir() -> pathlib.Path:
+    REPORT_DIR.mkdir(exist_ok=True)
+    return REPORT_DIR
+
+
+@pytest.fixture(scope="session")
+def config() -> ExperimentConfig:
+    return ExperimentConfig()
+
+
+@pytest.fixture
+def record(benchmark, config, report_dir):
+    """Fixture: run one experiment under the benchmark timer, persist
+    its rendered tables, and assert the paper's claims."""
+
+    def _record(experiment_id):
+        return run_and_record(experiment_id, benchmark, config, report_dir)
+
+    return _record
+
+
+def run_and_record(experiment_id, benchmark, config, report_dir):
+    """Run one experiment under the benchmark timer and persist it.
+
+    The benchmark measures a full regeneration of the table/figure
+    (single round — these are simulations, not microbenchmarks).
+    """
+    result = benchmark.pedantic(
+        run_experiment,
+        args=(experiment_id, config),
+        rounds=1,
+        iterations=1,
+    )
+    (report_dir / f"{experiment_id}.txt").write_text(
+        result.to_text() + "\n", encoding="utf-8"
+    )
+    (report_dir / f"{experiment_id}.md").write_text(
+        result.to_markdown() + "\n", encoding="utf-8"
+    )
+    failed = [text for text, holds in result.claims.items() if not holds]
+    assert not failed, (
+        f"{experiment_id}: paper claims not reproduced: {failed}"
+    )
+    return result

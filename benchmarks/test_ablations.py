@@ -1,0 +1,13 @@
+"""Benchmark: the ablation study (internal validity).
+
+Disables each modelled cost-model mechanism in turn (congestion knee,
+residual memory, round overheads, thrash/overload policy) and checks
+that the corresponding paper effect disappears — evidence the
+reproduction produces the paper's shapes for the right reasons.
+
+See ``benchmarks/reports/ablations.txt`` for the rendered table.
+"""
+
+
+def test_ablations(record):
+    record("ablations")

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate the paper's Figure 10.
+
+Whole-graph access mode vs default partitioning on the Figure 5c settings, including the final aggregation cost.
+
+Asserts every qualitative claim of the paper holds in the reproduction;
+see ``benchmarks/reports/fig10.txt`` for the rendered table.
+"""
+
+def test_fig10(record):
+    record("fig10")

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate the paper's Figure 11, measured.
+
+Figure 11 is the paper's correlation diagram; this benchmark measures
+the sign of every arrow (workload -> congestion -> memory/disk; machine
+count and batch count as relief factors; memory size pushing the bound
+state away) on controlled sweeps.
+
+See ``benchmarks/reports/fig11.txt`` for the rendered table.
+"""
+
+
+def test_fig11(record):
+    record("fig11")

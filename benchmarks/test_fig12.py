@@ -1,0 +1,10 @@
+"""Benchmark: regenerate the paper's Figure 12.
+
+The Section 5 auto-tuner: trained memory models plan decreasing batch schedules that never lose to Full-Parallelism.
+
+Asserts every qualitative claim of the paper holds in the reproduction;
+see ``benchmarks/reports/fig12.txt`` for the rendered table.
+"""
+
+def test_fig12(record):
+    record("fig12")

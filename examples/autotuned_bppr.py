@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Auto-tuning case study: the Section 5 cost-based batch planner.
+
+Scenario: you operate a 4-machine cluster and receive BPPR jobs of
+varying workloads. Running everything Full-Parallelism overloads the
+cluster on heavy jobs; hand-tuning batch counts per workload does not
+scale. The paper's answer (Section 5):
+
+1. run a *light* training ladder (workloads 2, 4, 8, ...) once;
+2. fit the exponential memory models M*(W) = a1*W^b1 + c1 and
+   Mr(W) = a2*W^b2 + c2 with Levenberg-Marquardt;
+3. for each job, compute a batch schedule W1 >= W2 >= ... that keeps
+   every machine under p% of physical memory (Equations 1-6) —
+   later batches shrink because residual memory accumulates.
+
+Run:  python examples/autotuned_bppr.py
+"""
+
+from repro import bppr_task, galaxy8, load_dataset
+from repro.tuning.autotuner import AutoTuner
+
+WORKLOADS = (2560, 3584, 4608, 5632, 6656)
+
+
+def main() -> None:
+    graph = load_dataset("dblp")
+    cluster = galaxy8().with_machines(4)
+    print(f"cluster: {cluster.describe()}")
+    print(f"dataset: {graph}\n")
+
+    tuner = AutoTuner.for_engine(
+        "pregel+", cluster, lambda w: bppr_task(graph, w), seed=7
+    )
+
+    # --- the one-off training phase -----------------------------------
+    model = tuner.train(max(WORKLOADS))
+    print("trained memory models (Levenberg-Marquardt fits):")
+    print(
+        f"  peak     M*(W) = {model.peak.a:.3g} * W^{model.peak.b:.3f} "
+        f"+ {model.peak.c:.3g}   (rmse {model.peak.rmse:.3g})"
+    )
+    print(
+        f"  residual Mr(W) = {model.residual.a:.3g} * "
+        f"W^{model.residual.b:.3f} + {model.residual.c:.3g}\n"
+    )
+
+    # --- plan and execute each job -------------------------------------
+    print(
+        f"{'workload':>9} {'full-parallelism':>17} {'optimized':>10}  schedule"
+    )
+    for workload in WORKLOADS:
+        report = tuner.run(workload)
+        schedule = ", ".join(f"{w:.0f}" for w in report.schedule)
+        print(
+            f"{workload:>9} {report.full_parallelism.time_label():>17} "
+            f"{report.optimized.time_label():>10}  [{schedule}]"
+        )
+
+    print(
+        "\nThe planned schedules decrease monotonically — later batches "
+        "carry less\nbecause the residual memory of earlier batches is "
+        "still resident\n(the paper's example for W=5120 was "
+        "[2747, 1388, 644, 266, 75])."
+    )
+
+
+if __name__ == "__main__":
+    main()

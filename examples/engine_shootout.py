@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Engine shootout: one tradeoff does not fit all (Section 4).
+
+Runs the same BPPR job family across all seven of the paper's VC-system
+modes (plus the whole-graph mode of Section 4.9) and reports each
+engine's optimal batch count — demonstrating the paper's core insight
+that the best round-congestion tradeoff depends on the system's
+implementation: mirroring, out-of-core spill, JVM memory bloat,
+combining, and synchronisation all move the optimum.
+
+Run:  python examples/engine_shootout.py
+"""
+
+from repro import ENGINE_NAMES, MultiProcessingJob, bppr_task, galaxy8, load_dataset
+
+#: Workloads roughly equalising pressure per engine (the paper's
+#: Figure 3d uses exactly this kind of per-system workload choice).
+WORKLOADS = {
+    "pregel+": 10240,
+    "pregel+(mirror)": 160,
+    "giraph": 2048,
+    "giraph(async)": 1024,
+    "giraph(split)": 8192,
+    "graphd": 2048,
+    "graphlab": 20480,
+    "graphlab(async)": 512,
+    "pregel+(wholegraph)": 10240,
+}
+
+BATCHES = (1, 2, 4, 8, 16)
+
+
+def main() -> None:
+    graph = load_dataset("dblp")
+    cluster = galaxy8()
+    print(f"dataset: {graph}")
+    print(f"cluster: {cluster.describe()}\n")
+
+    header = f"{'engine':<22}{'W':>7}  " + "".join(
+        f"{f'b={b}':>10}" for b in BATCHES
+    ) + f"{'best':>7}"
+    print(header)
+    print("-" * len(header))
+
+    for engine_name in ENGINE_NAMES:
+        workload = WORKLOADS[engine_name]
+        job = MultiProcessingJob(engine_name, cluster)
+        cells = []
+        best = None
+        for batches in BATCHES:
+            metrics = job.run(bppr_task(graph, workload), num_batches=batches)
+            cells.append(metrics.time_label())
+            if not metrics.overloaded and (
+                best is None or metrics.seconds < best.seconds
+            ):
+                best = metrics
+        best_label = str(best.num_batches) if best else "none"
+        print(
+            f"{engine_name:<22}{workload:>7}  "
+            + "".join(f"{cell:>10}" for cell in cells)
+            + f"{best_label:>7}"
+        )
+
+    print(
+        "\nObservations to look for (matching the paper's findings):\n"
+        " * Pregel+ overloads at Full-Parallelism on its heavy workload\n"
+        "   but not at 2+ batches — high parallelism can be fragile.\n"
+        " * GraphD never overloads on memory (it spills), but small batch\n"
+        "   counts saturate its disk instead.\n"
+        " * Giraph needs more batches than Pregel+ at the same workload —\n"
+        "   JVM object overhead shrinks the usable message headroom.\n"
+        " * The whole-graph mode has no network traffic at all; its cost\n"
+        "   is compute plus the final aggregation step.\n"
+        " * giraph(split) caps per-superstep traffic inside the engine, so\n"
+        "   Full-Parallelism becomes its best setting: superstep splitting\n"
+        "   substitutes for workload batching.\n"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""repro — multi-task processing in vertex-centric graph systems.
+
+A faithful, simulation-backed reproduction of *"Multi-Task Processing in
+Vertex-Centric Graph Systems: Evaluations and Insights"* (EDBT 2023):
+the round-congestion tradeoff, seven VC-system modes, the BPPR / MSSP /
+BKHS benchmark tasks, every figure and table of the evaluation, and the
+cost-based batch-tuning framework of Section 5.
+
+Quickstart::
+
+    from repro import bppr_task, galaxy8, load_dataset, MultiProcessingJob
+
+    graph = load_dataset("dblp")
+    job = MultiProcessingJob("pregel+", galaxy8())
+    for k in (1, 2, 4, 8):
+        metrics = job.run(bppr_task(graph, workload=10240), num_batches=k)
+        print(k, metrics.time_label())
+"""
+
+from repro.batching import (
+    MultiProcessingJob,
+    equal_batches,
+    explicit_batches,
+    full_parallelism,
+    run_job,
+    two_batches_delta,
+)
+from repro.cluster import ClusterSpec, custom_cluster, docker32, galaxy8, galaxy27
+from repro.engines import (
+    ENGINE_NAMES,
+    LocalPregelEngine,
+    SimulatedEngine,
+    VertexProgram,
+    create_engine,
+)
+from repro.errors import ReproError
+from repro.graph import Graph, from_edge_list, from_edges, load_dataset
+from repro.sim.metrics import BatchMetrics, JobMetrics, RoundMetrics
+from repro.sim.monetary import credit_cost
+from repro.tasks import (
+    TaskSpec,
+    bkhs_task,
+    bppr_task,
+    make_task,
+    mssp_task,
+    pagerank_task,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    # graph
+    "Graph",
+    "from_edges",
+    "from_edge_list",
+    "load_dataset",
+    # clusters
+    "ClusterSpec",
+    "galaxy8",
+    "galaxy27",
+    "docker32",
+    "custom_cluster",
+    # engines
+    "SimulatedEngine",
+    "create_engine",
+    "ENGINE_NAMES",
+    "LocalPregelEngine",
+    "VertexProgram",
+    # tasks
+    "TaskSpec",
+    "make_task",
+    "bppr_task",
+    "mssp_task",
+    "bkhs_task",
+    "pagerank_task",
+    # batching
+    "MultiProcessingJob",
+    "run_job",
+    "equal_batches",
+    "full_parallelism",
+    "two_batches_delta",
+    "explicit_batches",
+    # metrics
+    "JobMetrics",
+    "BatchMetrics",
+    "RoundMetrics",
+    "credit_cost",
+]

@@ -1,0 +1,13 @@
+"""Analysis utilities: algorithm-class audits and tradeoff inspection.
+
+* :mod:`repro.analysis.ppa` — audit a task execution against Yan et
+  al.'s (Balanced) Practical Pregel Algorithm conditions (Section 2.4).
+* :mod:`repro.analysis.tradeoff` — classify each batch-count setting's
+  binding regime (memory/disk/congestion/sync) and locate the optimum,
+  the programmatic form of Figure 11 and the Section 4.10 guidelines.
+"""
+
+from repro.analysis.ppa import BPPAAudit, audit_bppa
+from repro.analysis.tradeoff import TradeoffCurve, classify_regime
+
+__all__ = ["BPPAAudit", "audit_bppa", "TradeoffCurve", "classify_regime"]

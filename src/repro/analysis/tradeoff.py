@@ -1,0 +1,150 @@
+"""Round-congestion tradeoff analysis: regime classification per run.
+
+Figure 11 frames tuning as recognising which *state* the system is in:
+memory-bound (peak near/over usable memory), disk-bound (out-of-core
+saturation), congested (network knee), or sync-bound (barriers and
+startup dominate). :func:`classify_regime` reads one run's metrics and
+names the binding constraint; :class:`TradeoffCurve` applies it across a
+batch sweep and locates the optimum — the programmatic version of the
+paper's practitioner guidelines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.cluster.machine import MachineSpec
+from repro.sim.metrics import JobMetrics
+
+#: Peak-memory fraction of usable capacity above which a run counts as
+#: memory-bound (the paper tunes towards "close to the usable capacity").
+MEMORY_BOUND_FRACTION = 0.9
+
+#: Disk demand ratio above which a run counts as disk-bound.
+DISK_BOUND_UTILIZATION = 1.0
+
+#: Share of total time in barriers/startup above which a run counts as
+#: sync-bound.
+SYNC_BOUND_SHARE = 0.25
+
+#: Share of total time attributable to congestion penalties/thrash above
+#: which a run counts as congested.
+CONGESTED_SHARE = 0.25
+
+
+def classify_regime(metrics: JobMetrics, machine: MachineSpec) -> str:
+    """Name the binding constraint of one run.
+
+    Returns one of ``"memory-bound"``, ``"disk-bound"``, ``"congested"``,
+    ``"sync-bound"`` or ``"balanced"``. Overloaded runs report the state
+    that killed them (memory or disk); otherwise the dominant penalty
+    share decides.
+    """
+    if metrics.max_disk_utilization >= DISK_BOUND_UTILIZATION:
+        return "disk-bound"
+    if metrics.peak_memory_bytes >= (
+        MEMORY_BOUND_FRACTION * machine.usable_memory_bytes
+    ):
+        return "memory-bound"
+    if metrics.overloaded:
+        # Overloaded without a memory/disk signature: the congestion
+        # penalties pushed the run past the cutoff.
+        return "congested"
+
+    breakdown = metrics.time_breakdown()
+    total = max(metrics.seconds, 1e-9)
+    saturated_rounds = any(
+        r.network_saturated for b in metrics.batches for r in b.rounds
+    )
+    congestion_share = breakdown["thrash"] / total
+    if saturated_rounds and (
+        metrics.network_overuse_seconds / total > CONGESTED_SHARE
+        or congestion_share > CONGESTED_SHARE
+    ):
+        return "congested"
+    sync_share = (breakdown["barrier"] + breakdown["startup"]) / total
+    if sync_share > SYNC_BOUND_SHARE:
+        return "sync-bound"
+    return "balanced"
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """One batch-count setting on the tradeoff curve."""
+
+    batches: int
+    seconds: float
+    overloaded: bool
+    regime: str
+    messages_per_round: float
+    peak_memory_bytes: float
+
+
+@dataclass(frozen=True)
+class TradeoffCurve:
+    """A classified batch sweep with its optimum."""
+
+    points: List[TradeoffPoint]
+
+    @classmethod
+    def from_runs(
+        cls, runs: Sequence[JobMetrics], machine: MachineSpec
+    ) -> "TradeoffCurve":
+        points = [
+            TradeoffPoint(
+                batches=m.num_batches,
+                seconds=m.seconds,
+                overloaded=m.overloaded,
+                regime=classify_regime(m, machine),
+                messages_per_round=m.messages_per_round,
+                peak_memory_bytes=m.peak_memory_bytes,
+            )
+            for m in sorted(runs, key=lambda m: m.num_batches)
+        ]
+        return cls(points=points)
+
+    @property
+    def optimum(self) -> Optional[TradeoffPoint]:
+        finite = [p for p in self.points if not p.overloaded]
+        if not finite:
+            return None
+        return min(finite, key=lambda p: p.seconds)
+
+    def regimes(self) -> List[str]:
+        """Regime label per batch count, in batch order."""
+        return [p.regime for p in self.points]
+
+    def advice(self) -> str:
+        """One-sentence tuning advice in the spirit of Section 4.10."""
+        best = self.optimum
+        if best is None:
+            return (
+                "every setting overloads: reduce the workload (binary-"
+                "search it with repro.tuning.gauge) or add machines"
+            )
+        low_end = self.points[0]
+        high_end = self.points[-1]
+        if best.batches == low_end.batches and low_end.regime == "balanced":
+            return "Full-Parallelism is safe here; fewer rounds win"
+        if low_end.regime in ("memory-bound", "disk-bound", "congested"):
+            return (
+                f"small batch counts are {low_end.regime}; "
+                f"{best.batches} batches relieve the pressure before "
+                f"synchronisation costs take over (~{high_end.batches} "
+                "batches)"
+            )
+        return f"optimum at {best.batches} batches"
+
+    def to_rows(self) -> List[dict]:
+        """Row dicts for tabular rendering (CLI / reports)."""
+        return [
+            {
+                "batches": p.batches,
+                "time": f"{p.seconds:.0f}s" if not p.overloaded else "Overload",
+                "regime": p.regime,
+                "msgs/round": f"{p.messages_per_round:,.0f}",
+                "peak MB": f"{p.peak_memory_bytes / 2**20:.1f}",
+            }
+            for p in self.points
+        ]

@@ -1,0 +1,30 @@
+"""Batching: workload-splitting schemes and the multi-processing executor.
+
+The round-congestion tradeoff is exercised by splitting a workload ``W``
+into batches processed sequentially (Figure 1). Schemes:
+
+* :func:`equal_batches` — the paper's *k-batch* mechanism (1-batch =
+  Full-Parallelism).
+* :func:`two_batches_delta` — the unequal two-batch splits of Figure 9.
+* :func:`explicit_batches` — arbitrary schedules, e.g. the tuning
+  framework's decreasing ``[2747, 1388, 644, 266, 75]``.
+"""
+
+from repro.batching.executor import MultiProcessingJob, run_job
+from repro.batching.schemes import (
+    equal_batches,
+    explicit_batches,
+    full_parallelism,
+    geometric_batches,
+    two_batches_delta,
+)
+
+__all__ = [
+    "equal_batches",
+    "full_parallelism",
+    "two_batches_delta",
+    "geometric_batches",
+    "explicit_batches",
+    "MultiProcessingJob",
+    "run_job",
+]

@@ -1,0 +1,118 @@
+"""The multi-processing job executor.
+
+Convenience layer gluing task, engine, cluster and batching scheme
+together — the entry point most examples and experiments use:
+
+    job = MultiProcessingJob(engine="pregel+", cluster=galaxy8())
+    metrics = job.run(bppr_task(graph, 10240), num_batches=4)
+
+Batches run sequentially through the engine; results roll up into
+:class:`~repro.sim.metrics.JobMetrics`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+from repro.batching.schemes import (
+    doubling_batch_counts,
+    equal_batches,
+    explicit_batches,
+)
+from repro.cluster.cluster import ClusterSpec
+from repro.engines.base import SimulatedEngine
+from repro.engines.registry import create_engine
+from repro.errors import BatchingError
+from repro.rng import SeedLike
+from repro.sim.metrics import JobMetrics
+from repro.tasks.base import TaskSpec
+
+
+class MultiProcessingJob:
+    """A (engine, cluster) pair ready to run batched jobs."""
+
+    def __init__(
+        self,
+        engine: Union[str, SimulatedEngine],
+        cluster: Optional[ClusterSpec] = None,
+    ) -> None:
+        if isinstance(engine, SimulatedEngine):
+            self.engine = engine
+        else:
+            if cluster is None:
+                raise BatchingError(
+                    "cluster is required when engine is given by name"
+                )
+            self.engine = create_engine(engine, cluster)
+
+    @property
+    def cluster(self) -> ClusterSpec:
+        return self.engine.cluster
+
+    def run(
+        self,
+        task: TaskSpec,
+        num_batches: Optional[int] = None,
+        batch_sizes: Optional[Sequence[float]] = None,
+        seed: SeedLike = None,
+    ) -> JobMetrics:
+        """Run ``task`` with either ``num_batches`` equal batches or an
+        explicit ``batch_sizes`` schedule (exactly one must be given)."""
+        if (num_batches is None) == (batch_sizes is None):
+            raise BatchingError(
+                "specify exactly one of num_batches or batch_sizes"
+            )
+        if num_batches is not None:
+            sizes = equal_batches(task.workload, num_batches)
+        else:
+            sizes = explicit_batches(batch_sizes)
+            total = sum(sizes)
+            if abs(total - task.workload) > 1e-6 * max(task.workload, 1.0):
+                raise BatchingError(
+                    f"schedule sums to {total:g}, task workload is "
+                    f"{task.workload:g}"
+                )
+        return self.engine.run_job(task, sizes, seed=seed)
+
+    def sweep_batches(
+        self,
+        task: TaskSpec,
+        batch_counts: Optional[Sequence[int]] = None,
+        seed: SeedLike = None,
+    ) -> List[JobMetrics]:
+        """Run the task at each batch count (default: the paper's
+        doubling axis {1, 2, 4, 8, 16}) and return one metrics object
+        per setting."""
+        counts = (
+            list(batch_counts)
+            if batch_counts is not None
+            else doubling_batch_counts(task.workload)
+        )
+        return [
+            self.run(task, num_batches=count, seed=seed) for count in counts
+        ]
+
+    def best_batch_count(
+        self,
+        task: TaskSpec,
+        batch_counts: Optional[Sequence[int]] = None,
+        seed: SeedLike = None,
+    ) -> int:
+        """Batch count with the lowest simulated time on the sweep axis."""
+        runs = self.sweep_batches(task, batch_counts=batch_counts, seed=seed)
+        best = min(runs, key=lambda m: (m.overloaded, m.seconds))
+        return best.num_batches
+
+
+def run_job(
+    engine: Union[str, SimulatedEngine],
+    cluster: Optional[ClusterSpec],
+    task: TaskSpec,
+    num_batches: Optional[int] = None,
+    batch_sizes: Optional[Sequence[float]] = None,
+    seed: SeedLike = None,
+) -> JobMetrics:
+    """One-shot convenience wrapper around :class:`MultiProcessingJob`."""
+    return MultiProcessingJob(engine, cluster).run(
+        task, num_batches=num_batches, batch_sizes=batch_sizes, seed=seed
+    )

@@ -1,0 +1,112 @@
+"""Workload-splitting schemes (Section 4's batching mechanisms).
+
+All schemes return a list of positive batch workloads summing to ``W``.
+Integer workloads stay integral (the paper's workloads are walk counts
+and source counts); remainders are spread over the leading batches.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.errors import BatchingError
+
+
+def _validate_workload(workload: float) -> None:
+    if workload <= 0:
+        raise BatchingError("workload must be positive")
+
+
+def equal_batches(workload: float, num_batches: int) -> List[float]:
+    """The paper's *k-batch* mechanism: ``k`` equal batches.
+
+    With an integer workload the split stays integral: the first
+    ``W mod k`` batches get one extra unit. ``num_batches`` may not
+    exceed the workload (a batch must hold at least one unit task).
+    """
+    _validate_workload(workload)
+    if num_batches <= 0:
+        raise BatchingError("num_batches must be positive")
+    if num_batches > workload:
+        raise BatchingError(
+            f"cannot split workload {workload:g} into {num_batches} "
+            "non-empty batches"
+        )
+    if float(workload).is_integer():
+        base, remainder = divmod(int(workload), num_batches)
+        return [
+            float(base + (1 if i < remainder else 0))
+            for i in range(num_batches)
+        ]
+    share = workload / num_batches
+    return [share] * num_batches
+
+
+def full_parallelism(workload: float) -> List[float]:
+    """The 1-batch mechanism: all unit tasks processed concurrently."""
+    _validate_workload(workload)
+    return [float(workload)]
+
+
+def two_batches_delta(workload: float, delta: float) -> List[float]:
+    """Figure 9's unequal split: ``W1 - W2 = delta`` with ``W1 + W2 = W``.
+
+    ``delta`` may be negative (second batch heavier); both batches must
+    stay positive.
+    """
+    _validate_workload(workload)
+    first = (workload + delta) / 2.0
+    second = workload - first
+    if first <= 0 or second <= 0:
+        raise BatchingError(
+            f"delta {delta:g} leaves a non-positive batch for W={workload:g}"
+        )
+    return [first, second]
+
+
+def explicit_batches(sizes: Sequence[float]) -> List[float]:
+    """Validate an explicit schedule (e.g. from the tuning planner)."""
+    if not sizes:
+        raise BatchingError("schedule must contain at least one batch")
+    result = [float(s) for s in sizes]
+    if any(s <= 0 for s in result):
+        raise BatchingError("every batch workload must be positive")
+    return result
+
+
+def geometric_batches(
+    workload: float, num_batches: int, ratio: float = 0.5
+) -> List[float]:
+    """Geometrically decreasing schedule: each batch carries ``ratio``
+    times the previous one's workload, normalised to sum to ``W``.
+
+    A hand-tunable approximation of the planner's decreasing schedules
+    (Section 5's Optimized output shrinks batch-over-batch because
+    residual memory accumulates); useful as a baseline against the
+    trained planner.
+    """
+    _validate_workload(workload)
+    if num_batches <= 0:
+        raise BatchingError("num_batches must be positive")
+    if not 0.0 < ratio <= 1.0:
+        raise BatchingError("ratio must lie in (0, 1]")
+    raw = [ratio**i for i in range(num_batches)]
+    total = sum(raw)
+    sizes = [workload * r / total for r in raw]
+    if sizes[-1] < 1e-12:
+        raise BatchingError(
+            "ratio too aggressive: trailing batches vanish numerically"
+        )
+    return sizes
+
+
+def doubling_batch_counts(workload: float, limit: int = 16) -> List[int]:
+    """The paper's doubling batch axis {1, 2, 4, 8, 16}, truncated so no
+    batch would be empty for the given workload."""
+    _validate_workload(workload)
+    counts: List[int] = []
+    k = 1
+    while k <= limit and k <= workload:
+        counts.append(k)
+        k *= 2
+    return counts

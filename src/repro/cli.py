@@ -1,0 +1,249 @@
+"""Command-line interface: ``python -m repro`` / ``vcrepro``.
+
+Subcommands
+-----------
+``list``
+    List datasets, engines, clusters and experiments.
+``run``
+    Run one multi-processing job and print its metrics.
+``sweep``
+    Sweep batch counts for one setting (a mini Figure 3 panel).
+``experiment``
+    Regenerate one paper table/figure (or ``all``).
+``tune``
+    Train the Section 5 auto-tuner and run a workload.
+``report``
+    Run every experiment and write EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.batching.executor import MultiProcessingJob
+from repro.cluster.cluster import PRESETS, cluster_by_name
+from repro.engines.registry import ENGINE_NAMES
+from repro.errors import ReproError
+from repro.experiments.base import ExperimentConfig
+from repro.experiments.runner import EXPERIMENTS, run_experiment
+from repro.graph.datasets import DEFAULT_SCALE, PAPER_DATASETS, load_dataset
+from repro.rng import DEFAULT_SEED
+from repro.tasks.base import make_task
+from repro.tuning.autotuner import AutoTuner
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale",
+        type=int,
+        default=DEFAULT_SCALE,
+        help="simulation scale: dataset nodes and cluster capacities are "
+        f"divided by this factor (default {DEFAULT_SCALE})",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=DEFAULT_SEED, help="master RNG seed"
+    )
+
+
+def _add_setting(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dataset", default="dblp", help="paper dataset name")
+    parser.add_argument(
+        "--task",
+        default="bppr",
+        choices=["bppr", "bppr-query", "mssp", "bkhs", "pagerank"],
+    )
+    parser.add_argument("--workload", type=float, default=1024.0)
+    parser.add_argument("--engine", default="pregel+", help="VC-system mode")
+    parser.add_argument(
+        "--cluster", default="galaxy-8", help="galaxy-8 | galaxy-27 | docker-32"
+    )
+    parser.add_argument(
+        "--machines",
+        type=int,
+        default=None,
+        help="override the preset's machine count",
+    )
+
+
+def _build_setting(args):
+    cluster = cluster_by_name(args.cluster, scale=args.scale)
+    if args.machines:
+        cluster = cluster.with_machines(args.machines)
+    graph = load_dataset(args.dataset, scale=args.scale)
+    task = make_task(args.task, graph, args.workload)
+    return cluster, graph, task
+
+
+def cmd_list(args) -> int:
+    """``vcrepro list``: show datasets, engines, clusters, experiments."""
+    print("datasets: ", ", ".join(sorted(PAPER_DATASETS)))
+    print("engines:  ", ", ".join(ENGINE_NAMES))
+    print("clusters: ", ", ".join(sorted(PRESETS)))
+    print("experiments:", ", ".join(EXPERIMENTS))
+    return 0
+
+
+def cmd_run(args) -> int:
+    """``vcrepro run``: execute one job and print (or JSON-dump) metrics."""
+    cluster, _graph, task = _build_setting(args)
+    job = MultiProcessingJob(args.engine, cluster)
+    metrics = job.run(task, num_batches=args.batches, seed=args.seed)
+    if args.json:
+        import json
+
+        print(json.dumps(metrics.to_dict(include_rounds=args.rounds),
+                         indent=2))
+        return 0
+    print(metrics.summary())
+    for batch in metrics.batches:
+        print(
+            f"  batch {batch.batch_index}: W={batch.workload:g} "
+            f"rounds={batch.num_rounds} time={batch.seconds:.1f}s "
+            f"overloaded={batch.overloaded}"
+        )
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    """``vcrepro sweep``: batch-count sweep with regime classification."""
+    from repro.analysis.tradeoff import TradeoffCurve
+
+    cluster, _graph, task = _build_setting(args)
+    job = MultiProcessingJob(args.engine, cluster)
+    runs = job.sweep_batches(task, seed=args.seed)
+    print(
+        f"{args.engine} / {args.task} W={args.workload:g} on "
+        f"{cluster.name} ({cluster.num_machines} machines):"
+    )
+    curve = TradeoffCurve.from_runs(runs, cluster.scaled_machine)
+    for point, metrics in zip(curve.points, runs):
+        print(
+            f"  {point.batches:>3} batches: {metrics.time_label():>10} "
+            f" msgs/round={point.messages_per_round:>12,.0f}"
+            f"  [{point.regime}]"
+        )
+    best = curve.optimum
+    if best is not None:
+        print(f"optimum: {best.batches} batches")
+    print(f"advice: {curve.advice()}")
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    """``vcrepro experiment``: regenerate paper figures/tables."""
+    config = ExperimentConfig(
+        scale=args.scale, seed=args.seed, quick=args.quick
+    )
+    ids = list(EXPERIMENTS) if args.id == "all" else [args.id]
+    failures = 0
+    for eid in ids:
+        start = time.time()
+        result = run_experiment(eid, config)
+        print(result.to_text())
+        print(f"[{time.time() - start:.1f}s]\n")
+        failures += sum(1 for holds in result.claims.values() if not holds)
+    return 1 if failures else 0
+
+
+def cmd_tune(args) -> int:
+    """``vcrepro tune``: train the Section 5 auto-tuner and run a job."""
+    cluster, graph, _task = _build_setting(args)
+    tuner = AutoTuner.for_engine(
+        args.engine,
+        cluster,
+        lambda w: make_task(args.task, graph, w),
+        seed=args.seed,
+    )
+    report = tuner.run(args.workload)
+    model = report.model
+    print(
+        f"memory models: M*(W) = {model.peak.a:.3g}*W^{model.peak.b:.3f} "
+        f"+ {model.peak.c:.3g}; "
+        f"Mr(W) = {model.residual.a:.3g}*W^{model.residual.b:.3f} "
+        f"+ {model.residual.c:.3g}"
+    )
+    print(report.summary())
+    return 0
+
+
+def cmd_report(args) -> int:
+    """``vcrepro report``: write EXPERIMENTS.md from a full run."""
+    from repro.experiments.report import write_experiments_markdown
+
+    config = ExperimentConfig(
+        scale=args.scale, seed=args.seed, quick=args.quick
+    )
+    path = write_experiments_markdown(args.output, config)
+    print(f"wrote {path}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse tree for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="vcrepro",
+        description=(
+            "Multi-task processing in vertex-centric graph systems: "
+            "reproduction toolkit (EDBT 2023)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list datasets/engines/experiments")
+    p_list.set_defaults(fn=cmd_list)
+
+    p_run = sub.add_parser("run", help="run one multi-processing job")
+    _add_common(p_run)
+    _add_setting(p_run)
+    p_run.add_argument("--batches", type=int, default=1)
+    p_run.add_argument(
+        "--json", action="store_true", help="emit metrics as JSON"
+    )
+    p_run.add_argument(
+        "--rounds",
+        action="store_true",
+        help="include the per-round trace in --json output",
+    )
+    p_run.set_defaults(fn=cmd_run)
+
+    p_sweep = sub.add_parser("sweep", help="sweep batch counts")
+    _add_common(p_sweep)
+    _add_setting(p_sweep)
+    p_sweep.set_defaults(fn=cmd_sweep)
+
+    p_exp = sub.add_parser("experiment", help="regenerate a paper figure/table")
+    _add_common(p_exp)
+    p_exp.add_argument("id", choices=list(EXPERIMENTS) + ["all"])
+    p_exp.add_argument("--quick", action="store_true", help="smaller sweeps")
+    p_exp.set_defaults(fn=cmd_experiment)
+
+    p_tune = sub.add_parser("tune", help="run the Section 5 auto-tuner")
+    _add_common(p_tune)
+    _add_setting(p_tune)
+    p_tune.set_defaults(fn=cmd_tune)
+
+    p_rep = sub.add_parser("report", help="write EXPERIMENTS.md")
+    _add_common(p_rep)
+    p_rep.add_argument("--output", default="EXPERIMENTS.md")
+    p_rep.add_argument("--quick", action="store_true")
+    p_rep.set_defaults(fn=cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,36 @@
+"""Simulated cluster substrate: machines, disks, network, cluster presets.
+
+The paper's three testbeds are modelled as :class:`ClusterSpec` values:
+
+* ``galaxy8()``  — 8 local machines, 16 GB RAM, HDD (paper's Galaxy-8).
+* ``galaxy27()`` — same machines, 27 of them (Galaxy-27).
+* ``docker32()`` — 32 cloud nodes, 16 GB RAM, SSD (Docker-32).
+
+All specs carry a ``scale`` factor: per-machine memory is divided by the
+same factor the dataset node counts are, preserving the memory-pressure
+ratios that drive the paper's round-congestion tradeoff.
+"""
+
+from repro.cluster.cluster import (
+    ClusterSpec,
+    custom_cluster,
+    docker32,
+    galaxy8,
+    galaxy27,
+)
+from repro.cluster.disk import DiskModel, DiskSpec
+from repro.cluster.machine import MachineSpec
+from repro.cluster.network import NetworkModel, NetworkSpec
+
+__all__ = [
+    "MachineSpec",
+    "DiskSpec",
+    "DiskModel",
+    "NetworkSpec",
+    "NetworkModel",
+    "ClusterSpec",
+    "galaxy8",
+    "galaxy27",
+    "docker32",
+    "custom_cluster",
+]

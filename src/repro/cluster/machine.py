@@ -1,0 +1,105 @@
+"""Machine model: memory capacity, CPU throughput, OS reserve.
+
+The paper's key machine-level observation (Section 4.3) is that the
+optimal batch count is reached when per-machine memory use approaches the
+*usable* capacity — physical memory minus what the OS and resident
+services keep (~2 GB of the 16 GB machines, "usable memory capacity
+(≈ 14GB)"). :class:`MachineSpec` encodes exactly those quantities plus a
+CPU throughput figure the cost model divides compute work by.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError
+from repro.units import GB
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """One simulated machine.
+
+    Attributes
+    ----------
+    memory_bytes:
+        physical RAM (already divided by the simulation scale).
+    os_reserve_bytes:
+        memory the OS and resident services occupy; the paper's machines
+        keep ~2 GB of 16 GB. Usable capacity is the difference.
+    cores:
+        worker threads available for compute.
+    compute_ops_per_second:
+        scalar throughput of one core in task "work units" per second;
+        engines divide their counted work by ``cores × this``.
+    swap_allowance_fraction:
+        how far past physical memory the simulator lets a machine go
+        (paging) before declaring a hard overload. The region between
+        usable and this limit is the thrashing regime.
+    """
+
+    memory_bytes: float
+    os_reserve_bytes: float
+    cores: int
+    compute_ops_per_second: float
+    swap_allowance_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.memory_bytes <= 0:
+            raise ConfigurationError("memory_bytes must be positive")
+        if not 0 <= self.os_reserve_bytes < self.memory_bytes:
+            raise ConfigurationError(
+                "os_reserve_bytes must be in [0, memory_bytes)"
+            )
+        if self.cores <= 0:
+            raise ConfigurationError("cores must be positive")
+        if self.compute_ops_per_second <= 0:
+            raise ConfigurationError("compute_ops_per_second must be positive")
+        if self.swap_allowance_fraction < 0:
+            raise ConfigurationError("swap_allowance_fraction must be >= 0")
+
+    @property
+    def usable_memory_bytes(self) -> float:
+        """Memory a VC-system can use before thrashing begins (~14 GB)."""
+        return self.memory_bytes - self.os_reserve_bytes
+
+    @property
+    def overload_limit_bytes(self) -> float:
+        """Hard limit past which the simulator declares overload."""
+        return self.memory_bytes * (1.0 + self.swap_allowance_fraction)
+
+    def scaled(self, scale: float) -> "MachineSpec":
+        """Return a copy with capacity quantities divided by ``scale``.
+
+        Compute throughput scales too: the simulation's work counts
+        (messages, vertex updates) are 1/scale of the real cluster's, so
+        dividing throughput by the same factor keeps simulated seconds
+        aligned with real seconds.
+        """
+        if scale <= 0:
+            raise ConfigurationError("scale must be positive")
+        return replace(
+            self,
+            memory_bytes=self.memory_bytes / scale,
+            os_reserve_bytes=self.os_reserve_bytes / scale,
+            compute_ops_per_second=self.compute_ops_per_second / scale,
+        )
+
+
+#: The paper's local machines: 16 GB RAM, 8 cores (i7-3770 @ 3.40 GHz).
+#: Throughput is per core, in message-scale work units: ~20 M msgs/s per
+#: core matches C++ VC-systems' observed per-message handling cost.
+GALAXY_MACHINE = MachineSpec(
+    memory_bytes=16 * GB,
+    os_reserve_bytes=2 * GB,
+    cores=8,
+    compute_ops_per_second=20e6,
+)
+
+#: The paper's cloud nodes: 16 GB RAM, 15 virtual cores (Xeon E5-2637 v2).
+DOCKER_MACHINE = MachineSpec(
+    memory_bytes=16 * GB,
+    os_reserve_bytes=2 * GB,
+    cores=15,
+    compute_ops_per_second=16e6,
+)

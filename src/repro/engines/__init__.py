@@ -1,0 +1,34 @@
+"""Vertex-centric engines: seven simulated system modes + a reference
+message-passing Pregel.
+
+Simulated engines (Section 2.2's systems) execute the real task kernels
+and price every round with the cluster cost model:
+
+========================  =====================================================
+``pregel+``               C++, point-to-point, synchronous (Pregel+)
+``pregel+(mirror)``       broadcast interface + high-degree mirroring
+``giraph``                JVM cost/memory factors, Hadoop dispatch overhead
+``giraph(async)``         decoupled receive/process threads (partial async)
+``graphd``                out-of-core: message spill to disk, disk-bound mode
+``graphlab``              GAS + edge-cut + message combining (sync)
+``graphlab(async)``       no barrier, distributed locking, no combining
+``pregel+(wholegraph)``   graph replicated per machine (Section 4.9)
+========================  =====================================================
+
+:class:`~repro.engines.reference.LocalPregelEngine` is an honest
+single-process message-passing Pregel (compute(v, msgs), vote-to-halt,
+combiners, aggregators) used for validation and pedagogy.
+"""
+
+from repro.engines.base import EngineProfile, SimulatedEngine
+from repro.engines.reference import LocalPregelEngine, VertexProgram
+from repro.engines.registry import ENGINE_NAMES, create_engine
+
+__all__ = [
+    "SimulatedEngine",
+    "EngineProfile",
+    "create_engine",
+    "ENGINE_NAMES",
+    "LocalPregelEngine",
+    "VertexProgram",
+]

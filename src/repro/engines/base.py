@@ -1,0 +1,530 @@
+"""The simulated vertex-centric engine.
+
+:class:`SimulatedEngine` drives a task kernel batch-by-batch and
+round-by-round, converting each :class:`~repro.tasks.base.RoundSummary`
+into a :class:`~repro.sim.cost.RoundLoad` priced by the cluster cost
+model. All seven system modes of the paper are instances of this class
+with different :class:`EngineProfile` values (plus small behavioural
+hooks for spill and routing) — see :mod:`repro.engines.registry`.
+
+The per-round translation implements the paper's accounting:
+
+* wire messages (after optional combining) split into network/local by
+  the router; network bytes at the bottleneck machine drive the
+  congestion model;
+* per-machine memory peaks = graph state + message buffers + in-flight
+  task state + residual memory of *all previous batches* plus the
+  current batch's accumulated results — reproducing Section 4.5's
+  observation that residual and message peaks coincide from the second
+  batch onwards;
+* out-of-core engines spill buffer demand beyond their memory budget to
+  disk instead of thrashing (Section 4.4);
+* asynchronous engines drop the barrier but pay locking overhead that
+  grows with the machine count and do not combine messages
+  (Section 4.8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.cluster.cluster import ClusterSpec
+from repro.errors import BatchingError, EngineError
+from repro.graph.csr import Graph
+from repro.graph.mirrors import MirrorPlan, build_mirror_plan
+from repro.graph.partition import Partition, partition_graph
+from repro.messages.routing import (
+    BroadcastRouter,
+    MessageRouter,
+    PointToPointRouter,
+)
+from repro.rng import SeedLike, make_rng
+from repro.sim.cost import CostModel, RoundLoad
+from repro.sim.memory import MemoryModel
+from repro.sim.metrics import BatchMetrics, JobMetrics, RoundMetrics
+from repro.sim.overload import OverloadPolicy
+from repro.tasks.base import RoundSummary, TaskSpec
+from repro.units import OVERLOAD_CUTOFF_SECONDS
+
+#: Hard cap on rounds per batch, guarding against non-terminating kernels.
+MAX_ROUNDS_PER_BATCH = 5000
+
+#: For engines that aggregate results into vertex state (GraphLab's GAS
+#: model), the residual per vertex is bounded by the number of distinct
+#: endpoint counters a vertex realistically accumulates.
+AGGREGATED_ENDPOINTS_PER_VERTEX = 512
+
+
+@dataclass(frozen=True)
+class EngineProfile:
+    """Static personality of one VC-system mode.
+
+    The values encode the implementation differences Section 2.2
+    catalogues: language (JVM vs C++), synchronisation, combining,
+    mirroring, and out-of-core execution.
+    """
+
+    name: str
+    #: language/runtime multiplier on compute time (C++ 1.0, JVM ~2.4).
+    cpu_factor: float = 1.0
+    #: vertex/arc/message byte constants and object overheads.
+    memory: MemoryModel = field(default_factory=MemoryModel)
+    #: partition strategy ("hash" or "edge-cut").
+    partition_strategy: str = "hash"
+    #: broadcast routing (Pregel+(mirror)) instead of point-to-point.
+    broadcast: bool = False
+    #: combine messages sharing (source, target) before sending.
+    combining: bool = False
+    #: synchronisation barrier per round; async engines set near-zero.
+    barrier_base_seconds: float = 0.015
+    barrier_per_machine_seconds: float = 0.0015
+    #: fixed per-round dispatch overhead.
+    per_round_overhead_seconds: float = 0.02
+    #: fixed per-batch startup cost (task initialisation, buffer setup,
+    #: result bookkeeping) — what makes *too many* batches slow even when
+    #: each batch is light (Figure 6: W=1024 at 173 s / 178 s / 201 s for
+    #: 1 / 2 / 4 batches).
+    per_batch_overhead_seconds: float = 2.0
+    #: extra multiplier on message count for async control traffic.
+    async_message_factor: float = 1.0
+    #: locking work units per active vertex per machine (async GAS).
+    lock_ops_per_active_vertex: float = 0.0
+    #: out-of-core: message-buffer memory budget in (unscaled) bytes;
+    #: buffers stream through disk always, and demand beyond the budget
+    #: forces extra merge passes. None = in-memory engine.
+    out_of_core_budget_bytes: Optional[float] = None
+    #: damping applied to partition imbalance (mirroring "eliminates
+    #: skew in communication"); 1.0 = no damping.
+    imbalance_damping: float = 1.0
+    #: GAS replica-sync routing (GraphLab): network traffic scales with
+    #: vertex replicas instead of per-edge messages.
+    gas_routing: bool = False
+    #: GAS engines aggregate task results into per-vertex counters
+    #: instead of per-unit lists, capping residual memory.
+    aggregated_residual: bool = False
+    #: ablation switch: pretend intermediate results occupy no memory
+    #: (used by the ablation benchmarks to isolate the residual-memory
+    #: mechanism behind Sections 4.5/4.7).
+    ignore_residual_memory: bool = False
+    #: Facebook-Giraph superstep splitting (Section 2.2: "split a
+    #: message-heavy superstep into several sub-steps for message
+    #: reduction"): rounds whose wire-message count exceeds this
+    #: threshold run as multiple sub-steps, each moving a slice of the
+    #: traffic — an in-engine alternative to workload batching. None
+    #: disables splitting.
+    superstep_split_threshold_messages: "Optional[float]" = None
+    #: replicate the whole graph on every machine (Section 4.9 mode).
+    whole_graph: bool = False
+    #: degree threshold for building mirrors (broadcast engines).
+    mirror_degree_threshold: int = 100
+
+    @property
+    def is_async(self) -> bool:
+        return self.barrier_per_machine_seconds == 0.0
+
+    @property
+    def out_of_core(self) -> bool:
+        return self.out_of_core_budget_bytes is not None
+
+
+@dataclass
+class _PreparedGraph:
+    """Partition-derived state cached per (graph, cluster) pair."""
+
+    partition: Partition
+    plan: MirrorPlan
+    router: MessageRouter
+    imbalance: float
+    max_vertices: float
+    max_arcs: float
+
+
+class SimulatedEngine:
+    """A VC-system mode bound to a cluster, ready to run jobs."""
+
+    def __init__(self, cluster: ClusterSpec, profile: EngineProfile) -> None:
+        self.cluster = cluster
+        self.profile = profile
+        self._prepared: dict = {}
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self.profile.name
+
+    def run_job(
+        self,
+        task: TaskSpec,
+        batch_sizes: Sequence[float],
+        seed: SeedLike = None,
+    ) -> JobMetrics:
+        """Run a multi-processing job split into ``batch_sizes``.
+
+        Batches execute sequentially; the job is marked overloaded (and
+        reported at the paper's 6000 s cutoff) if any machine exceeds
+        its overload memory limit or the simulated time passes the
+        cutoff.
+        """
+        sizes = [float(s) for s in batch_sizes]
+        if not sizes or any(s <= 0 for s in sizes):
+            raise BatchingError("batch sizes must be a non-empty positive list")
+        if abs(sum(sizes) - task.workload) > 1e-6 * max(task.workload, 1.0):
+            raise BatchingError(
+                f"batch sizes sum to {sum(sizes):g}, expected workload "
+                f"{task.workload:g}"
+            )
+
+        prep = self._prepare(task)
+        cost_model = self._make_cost_model()
+        rng = make_rng(seed, label=f"{self.name}/{task.name}")
+
+        job = JobMetrics(
+            engine=self.name,
+            task=task.name,
+            dataset=task.graph.name,
+            cluster=self.cluster.name,
+            num_machines=self.cluster.num_machines,
+            total_workload=task.workload,
+            batch_sizes=sizes,
+        )
+        residual_bytes = 0.0
+        elapsed = 0.0
+        for index, batch_workload in enumerate(sizes):
+            batch = BatchMetrics(
+                batch_index=index,
+                workload=batch_workload,
+                residual_memory_bytes=residual_bytes,
+            )
+            kernel = task.make_kernel(prep.router, batch_workload, rng)
+            batch.startup_seconds = self.profile.per_batch_overhead_seconds
+            elapsed += batch.startup_seconds
+            overloaded = False
+            for round_index in range(MAX_ROUNDS_PER_BATCH):
+                summary = kernel.step()
+                load, splits = self._round_load(
+                    task, prep, summary, residual_bytes, kernel
+                )
+                cost = cost_model.round_cost(load)
+                if splits > 1:
+                    cost = _repeat_cost(cost, splits)
+                metrics = self._round_metrics(round_index, load, cost, splits)
+                batch.rounds.append(metrics)
+                elapsed += metrics.seconds
+                if cost.overloaded:
+                    overloaded = True
+                    batch.overload_reason = "memory"
+                    break
+                if elapsed > OVERLOAD_CUTOFF_SECONDS:
+                    overloaded = True
+                    batch.overload_reason = "timeout"
+                    break
+                if summary.done:
+                    break
+            else:
+                raise EngineError(
+                    f"batch exceeded {MAX_ROUNDS_PER_BATCH} rounds; "
+                    "kernel did not terminate"
+                )
+            batch.overloaded = overloaded
+            residual_bytes += kernel.residual_bytes()
+            batch.residual_memory_after_bytes = residual_bytes
+            job.batches.append(batch)
+            if overloaded:
+                break
+
+        job.aggregation_seconds = self._aggregation_seconds(task, residual_bytes)
+        job.extras.update(cost_model.overuse_totals())
+        job.extras["residual_memory_bytes"] = residual_bytes
+        return job
+
+    # ------------------------------------------------------------------
+    # Preparation
+    # ------------------------------------------------------------------
+    def _prepare(self, task: TaskSpec) -> _PreparedGraph:
+        key = id(task.graph)
+        if key in self._prepared:
+            return self._prepared[key]
+        graph = task.graph
+        machines = self.cluster.num_machines
+
+        if self.profile.whole_graph:
+            partition = partition_graph(graph, machines, "hash")
+            plan = build_mirror_plan(
+                graph, partition, self.profile.mirror_degree_threshold
+            )
+            router: MessageRouter = _LocalOnlyRouter(task.message_bytes)
+            imbalance = 1.0
+            max_vertices = float(graph.num_vertices)
+            max_arcs = float(graph.num_arcs)
+        else:
+            partition = partition_graph(
+                graph, machines, self.profile.partition_strategy
+            )
+            plan = build_mirror_plan(
+                graph, partition, self.profile.mirror_degree_threshold
+            )
+            if self.profile.broadcast:
+                router = BroadcastRouter(
+                    graph, plan, message_bytes=task.message_bytes * 1.5
+                )
+            else:
+                router = PointToPointRouter(
+                    graph, plan, message_bytes=task.message_bytes
+                )
+            mean_arcs = max(float(partition.arcs_per_machine.mean()), 1.0)
+            raw_imbalance = float(partition.arcs_per_machine.max()) / mean_arcs
+            imbalance = 1.0 + (raw_imbalance - 1.0) * self.profile.imbalance_damping
+            replication = partition.replication_factor
+            max_vertices = float(partition.vertices_per_machine.max()) * replication
+            if self.profile.broadcast:
+                max_vertices += plan.num_mirrors / machines
+            max_arcs = float(partition.arcs_per_machine.max())
+
+        prep = _PreparedGraph(
+            partition=partition,
+            plan=plan,
+            router=router,
+            imbalance=imbalance,
+            max_vertices=max_vertices,
+            max_arcs=max_arcs,
+        )
+        self._prepared[key] = prep
+        return prep
+
+    def _make_cost_model(self) -> CostModel:
+        return CostModel(
+            machine=self.cluster.scaled_machine,
+            network_spec=self.cluster.scaled_network,
+            disk_spec=self.cluster.scaled_disk if self.profile.out_of_core else None,
+            num_machines=self.cluster.num_machines,
+            cpu_factor=self.profile.cpu_factor,
+            barrier_base_seconds=self.profile.barrier_base_seconds,
+            barrier_per_machine_seconds=self.profile.barrier_per_machine_seconds,
+            per_round_overhead_seconds=self.profile.per_round_overhead_seconds,
+            overload_policy=OverloadPolicy(),
+            memory_capped=self.profile.out_of_core,
+        )
+
+    # ------------------------------------------------------------------
+    # Per-round translation
+    # ------------------------------------------------------------------
+    def _round_load(
+        self,
+        task: TaskSpec,
+        prep: _PreparedGraph,
+        summary: RoundSummary,
+        residual_prev_batches: float,
+        kernel,
+    ) -> RoundLoad:
+        machines = self.cluster.num_machines
+        profile = self.profile
+
+        routed = summary.routed
+        wire = routed.wire_messages
+        if profile.combining and summary.combined_messages is not None:
+            wire = min(wire, summary.combined_messages)
+
+        # Superstep splitting: slice a message-heavy round into
+        # sub-steps so each moves at most the threshold's worth of
+        # traffic (memory and congestion see the per-sub-step volume;
+        # the round's total cost is the sum over sub-steps).
+        splits = 1
+        if (
+            profile.superstep_split_threshold_messages
+            and wire > profile.superstep_split_threshold_messages
+        ):
+            splits = int(
+                np.ceil(wire / profile.superstep_split_threshold_messages)
+            )
+            wire /= splits
+        combine_ratio = wire / routed.wire_messages if routed.wire_messages else 1.0
+        # Asynchronous engines with dynamic scheduling skip redundant
+        # updates on fixed-point tasks (delta caching); multi-processing
+        # tasks get no such discount (factor 1.0).
+        update_factor = 1.0
+        if profile.is_async:
+            update_factor = float(task.params.get("async_update_factor", 1.0))
+        network_messages = (
+            routed.network_messages
+            * combine_ratio
+            * profile.async_message_factor
+            * update_factor
+        ) / splits
+        local_messages = (
+            routed.local_messages
+            * combine_ratio
+            * profile.async_message_factor
+            * update_factor
+        ) / splits
+        if profile.gas_routing:
+            # GAS over an edge-cut: gathers/scatters run on local edge
+            # replicas; only per-replica vertex synchronisation crosses
+            # the network — one sync per replica instead of one message
+            # per out-edge.
+            replication = max(prep.partition.replication_factor, 1.0)
+            avg_degree = max(
+                task.graph.num_arcs / max(task.graph.num_vertices, 1), 1.0
+            )
+            gas_factor = min(1.0, (replication - 1.0) / avg_degree)
+            network_messages *= gas_factor
+
+        message_bytes = prep.router.message_bytes
+        bottleneck_network = network_messages / machines * prep.imbalance
+        # In + out at the bottleneck machine.
+        bottleneck_bytes = 2.0 * bottleneck_network * message_bytes
+
+        lock_ops = (
+            profile.lock_ops_per_active_vertex
+            * summary.active_vertices
+            * machines
+        )
+        compute_ops = (
+            (summary.compute_ops * update_factor / splits + lock_ops)
+            / machines
+            * prep.imbalance
+        )
+
+        # Memory at the bottleneck machine. Combining shrinks receive
+        # buffers by the same ratio it shrinks wire traffic.
+        delivered = (
+            routed.delivered_messages
+            * combine_ratio
+            * profile.async_message_factor
+            * update_factor
+        ) / splits
+        buffered_messages = (
+            (delivered + network_messages + local_messages)
+            / machines
+            * prep.imbalance
+        )
+        residual_current = kernel.residual_bytes()
+        residual_total = residual_prev_batches + residual_current
+        if profile.ignore_residual_memory:
+            residual_total = 0.0
+        if profile.aggregated_residual:
+            # Vertex-state aggregation bounds residual memory by the
+            # number of distinct (vertex, endpoint-bucket) counters.
+            cap = (
+                task.graph.num_vertices
+                * AGGREGATED_ENDPOINTS_PER_VERTEX
+                * task.residual_record_bytes
+            )
+            residual_total = min(residual_total, cap)
+        residual_per_machine = residual_total / machines
+        task_state_per_machine = (
+            summary.task_state_bytes / machines * prep.imbalance
+        )
+        breakdown = profile.memory.breakdown(
+            vertices=prep.max_vertices,
+            arcs=prep.max_arcs,
+            messages_in=buffered_messages / 2.0,
+            messages_out=buffered_messages / 2.0,
+            task_state_bytes=task_state_per_machine,
+            residual_bytes=residual_per_machine,
+            message_bytes=message_bytes,
+        )
+        peak_memory = breakdown.total
+
+        spilled = 0.0
+        if profile.out_of_core:
+            # GraphD's distributed semi-streaming model: vertex states
+            # stay in memory within a fixed message-buffer budget;
+            # message traffic streams through the disk (the buffer
+            # footprint already counts each message on both the send and
+            # receive side, i.e. one write plus one read). Demand beyond
+            # the budget forces extra external-memory merge passes,
+            # which is what drives Table 3's >100 % disk utilisation at
+            # small batch counts.
+            budget = profile.out_of_core_budget_bytes / self.cluster.scale
+            demand = breakdown.buffer_bytes
+            # External-memory merge passes grow with the log of the
+            # overflow ratio (k-way merges), not polynomially.
+            ratio = max(1.0, demand / budget)
+            amplification = 1.0 + 4.0 * float(np.log(ratio))
+            spilled = demand * amplification
+            peak_memory = breakdown.graph_bytes + min(
+                demand + breakdown.task_state_bytes, budget
+            )
+
+        load = RoundLoad(
+            network_messages=network_messages,
+            local_messages=local_messages,
+            bottleneck_bytes=bottleneck_bytes,
+            cluster_bytes=network_messages * message_bytes,
+            compute_ops=compute_ops,
+            peak_memory_bytes=peak_memory,
+            spilled_bytes=spilled,
+            message_bytes=message_bytes,
+        )
+        return load, splits
+
+    def _round_metrics(
+        self, round_index: int, load, cost, splits: int = 1
+    ) -> RoundMetrics:
+        return RoundMetrics(
+            round_index=round_index,
+            network_messages=load.network_messages * splits,
+            local_messages=load.local_messages * splits,
+            bottleneck_bytes=load.bottleneck_bytes,
+            compute_ops=load.compute_ops,
+            peak_memory_bytes=load.peak_memory_bytes,
+            spilled_bytes=load.spilled_bytes,
+            seconds=cost.seconds,
+            compute_seconds=cost.compute_seconds,
+            network_seconds=cost.network_seconds,
+            disk_seconds=cost.disk_seconds,
+            barrier_seconds=cost.barrier_seconds,
+            thrash_multiplier=cost.thrash_multiplier,
+            disk_utilization=cost.disk_utilization,
+            io_queue_length=cost.io_queue_length,
+            network_saturated=cost.network_saturated,
+        )
+
+    def _aggregation_seconds(self, task: TaskSpec, residual_bytes: float) -> float:
+        """Final result-aggregation step (significant for whole-graph mode)."""
+        if not self.profile.whole_graph:
+            return 0.0
+        # Every machine ships its partial results to the master.
+        bytes_to_move = residual_bytes
+        network = self.cluster.scaled_network
+        return (
+            bytes_to_move / network.bandwidth_bytes_per_second
+            + 0.05 * self.cluster.num_machines
+        )
+
+
+def _repeat_cost(cost, splits: int):
+    """Total cost of running ``splits`` identical sub-steps."""
+    import dataclasses
+
+    return dataclasses.replace(
+        cost,
+        seconds=cost.seconds * splits,
+        compute_seconds=cost.compute_seconds * splits,
+        network_seconds=cost.network_seconds * splits,
+        disk_seconds=cost.disk_seconds * splits,
+        barrier_seconds=cost.barrier_seconds * splits,
+        overhead_seconds=cost.overhead_seconds * splits,
+    )
+
+
+class _LocalOnlyRouter(MessageRouter):
+    """Whole-graph mode: every message is machine-local."""
+
+    def __init__(self, message_bytes: float) -> None:
+        self.message_bytes = message_bytes
+
+    def route(self, vertex_ids: np.ndarray, emissions: np.ndarray):
+        from repro.messages.routing import RoutedMessages
+
+        total = float(np.asarray(emissions, dtype=np.float64).sum())
+        return RoutedMessages(
+            network_messages=0.0,
+            local_messages=total,
+            delivered_messages=total,
+        )

@@ -1,0 +1,38 @@
+"""GraphD: out-of-core vertex-centric execution.
+
+GraphD [Yan et al., TPDS'17] keeps vertex states in memory while edges
+and messages stream through disk (the "distributed semi-streaming
+model", Section 2.2). Modelled consequences (Section 4.4):
+
+* memory is *capped* — buffer demand beyond the configured budget
+  spills to disk (written once, read once), so GraphD never thrashes or
+  overloads on memory;
+* the disk becomes the bottleneck instead: when per-round spill traffic
+  saturates disk bandwidth, utilisation hits 100 %, the I/O queue grows,
+  and latency rises superlinearly (Table 3);
+* C++ implementation — CPU and object factors match Pregel+.
+"""
+
+from __future__ import annotations
+
+from repro.engines.base import EngineProfile
+from repro.sim.memory import MemoryModel
+
+GRAPHD = EngineProfile(
+    name="graphd",
+    cpu_factor=1.05,
+    memory=MemoryModel(
+        vertex_state_bytes=48.0,
+        arc_bytes=8.0,
+        message_bytes=16.0,
+        buffer_overhead=0.85,
+        object_overhead=1.0,
+    ),
+    partition_strategy="hash",
+    barrier_base_seconds=0.015,
+    barrier_per_machine_seconds=0.0015,
+    per_round_overhead_seconds=0.02,
+    per_batch_overhead_seconds=1.0,
+    # GraphD's default message-buffer budget (unscaled bytes).
+    out_of_core_budget_bytes=140 * 2**20,
+)

@@ -1,0 +1,60 @@
+"""GraphLab in synchronous and asynchronous modes.
+
+GraphLab (Section 2.2) uses the Gather-Apply-Scatter model over an
+edge-cut (vertex-cut) partition. The two modes differ exactly where
+Section 4.8 locates the sync-vs-async tradeoff:
+
+* **GraphLab(sync)** runs synchronous supersteps with fibers (1000 per
+  machine) and *combines* messages sharing a (source, target) pair —
+  "when random walks with the same source need to move to the same
+  neighbor, they are combined into one message". Combining is why its
+  bytes-per-machine stay low under heavy BPPR load (Table 4).
+
+* **GraphLab(async)** removes the barrier — vertex programs fire as
+  soon as inputs are ready — but pays a distributed-locking overhead
+  that grows with the machine count (no two neighbouring vertices may
+  run simultaneously) and cannot combine in-flight messages, so its
+  traffic is higher. For light tasks (PageRank) dropping the barrier
+  wins; for heavy multi-processing the locking + extra traffic lose.
+"""
+
+from __future__ import annotations
+
+from repro.engines.base import EngineProfile
+from repro.sim.memory import MemoryModel
+
+_GRAPHLAB_MEMORY = MemoryModel(
+    vertex_state_bytes=56.0,
+    arc_bytes=10.0,
+    message_bytes=16.0,
+    buffer_overhead=1.4,
+    object_overhead=1.1,
+)
+
+GRAPHLAB = EngineProfile(
+    name="graphlab",
+    cpu_factor=8.0,
+    memory=_GRAPHLAB_MEMORY,
+    partition_strategy="edge-cut",
+    combining=True,
+    gas_routing=True,
+    aggregated_residual=True,
+    barrier_base_seconds=0.02,
+    barrier_per_machine_seconds=0.002,
+    per_round_overhead_seconds=0.025,
+)
+
+GRAPHLAB_ASYNC = EngineProfile(
+    name="graphlab(async)",
+    cpu_factor=8.0,
+    memory=_GRAPHLAB_MEMORY,
+    partition_strategy="edge-cut",
+    combining=False,
+    gas_routing=True,
+    aggregated_residual=True,
+    barrier_base_seconds=0.0,
+    barrier_per_machine_seconds=0.0,
+    per_round_overhead_seconds=0.02,
+    async_message_factor=1.3,
+    lock_ops_per_active_vertex=1.5,
+)

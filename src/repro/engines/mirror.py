@@ -1,0 +1,39 @@
+"""Pregel+(mirror): broadcast interface with high-degree mirroring.
+
+Section 2.2: mirrors of each high-degree vertex are stored on every
+machine holding one of its neighbours and act as forwarding proxies, so
+a broadcast costs one network message per mirror machine instead of one
+per neighbour — "designed to reduce communication costs and eliminate
+skew". Section 3 adapts BPPR to the broadcast-only interface with the
+generalized *fractional* random walk (one common message per active
+vertex per round), which is exactly the expected-mass BPPR kernel.
+
+Consequences modelled here: broadcast routing, larger per-message size
+(receiver bookkeeping), mirror copies adding to vertex state, and
+strongly damped communication skew.
+"""
+
+from __future__ import annotations
+
+from repro.engines.base import EngineProfile
+from repro.sim.memory import MemoryModel
+
+PREGEL_PLUS_MIRROR = EngineProfile(
+    name="pregel+(mirror)",
+    cpu_factor=1.0,
+    memory=MemoryModel(
+        vertex_state_bytes=48.0,
+        arc_bytes=8.0,
+        message_bytes=24.0,
+        buffer_overhead=1.275,
+        object_overhead=1.0,
+    ),
+    partition_strategy="hash",
+    broadcast=True,
+    combining=False,
+    barrier_base_seconds=0.015,
+    barrier_per_machine_seconds=0.0015,
+    per_round_overhead_seconds=0.025,
+    imbalance_damping=0.3,
+    mirror_degree_threshold=100,
+)

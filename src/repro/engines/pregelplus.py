@@ -1,0 +1,31 @@
+"""Pregel+ (basic mode): C++/MPI, point-to-point messages, synchronous.
+
+Pregel+ [Yan et al., WWW'15] is the paper's representative
+high-performance VC-system: C++ with MPI transport, random hash vertex
+partitioning, synchronous supersteps. The profile uses unit CPU factor
+and tight object overheads — the baseline every other profile is
+calibrated relative to.
+"""
+
+from __future__ import annotations
+
+from repro.engines.base import EngineProfile
+from repro.sim.memory import MemoryModel
+
+PREGEL_PLUS = EngineProfile(
+    name="pregel+",
+    cpu_factor=1.0,
+    memory=MemoryModel(
+        vertex_state_bytes=48.0,
+        arc_bytes=8.0,
+        message_bytes=16.0,
+        buffer_overhead=1.275,
+        object_overhead=1.0,
+    ),
+    partition_strategy="hash",
+    broadcast=False,
+    combining=False,
+    barrier_base_seconds=0.015,
+    barrier_per_machine_seconds=0.0015,
+    per_round_overhead_seconds=0.02,
+)

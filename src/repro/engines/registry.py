@@ -1,0 +1,65 @@
+"""Engine registry: name → :class:`SimulatedEngine` factory.
+
+Names match the paper's system labels (case-insensitive; a few aliases
+accepted): ``pregel+``, ``pregel+(mirror)``, ``giraph``,
+``giraph(async)``, ``graphd``, ``graphlab``, ``graphlab(async)``,
+``pregel+(wholegraph)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.cluster.cluster import ClusterSpec
+from repro.engines.base import EngineProfile, SimulatedEngine
+from repro.engines.giraph import GIRAPH, GIRAPH_ASYNC, GIRAPH_SPLIT
+from repro.engines.graphd import GRAPHD
+from repro.engines.graphlab import GRAPHLAB, GRAPHLAB_ASYNC
+from repro.engines.mirror import PREGEL_PLUS_MIRROR
+from repro.engines.pregelplus import PREGEL_PLUS
+from repro.engines.wholegraph import PREGEL_PLUS_WHOLEGRAPH
+from repro.errors import UnknownEngineError
+
+_PROFILES: Dict[str, EngineProfile] = {
+    "pregel+": PREGEL_PLUS,
+    "pregel+(mirror)": PREGEL_PLUS_MIRROR,
+    "giraph": GIRAPH,
+    "giraph(async)": GIRAPH_ASYNC,
+    "giraph(split)": GIRAPH_SPLIT,
+    "graphd": GRAPHD,
+    "graphlab": GRAPHLAB,
+    "graphlab(async)": GRAPHLAB_ASYNC,
+    "pregel+(wholegraph)": PREGEL_PLUS_WHOLEGRAPH,
+}
+
+_ALIASES: Dict[str, str] = {
+    "pregel": "pregel+",
+    "pregelplus": "pregel+",
+    "pregel+mirror": "pregel+(mirror)",
+    "mirror": "pregel+(mirror)",
+    "giraph-async": "giraph(async)",
+    "giraph_async": "giraph(async)",
+    "graphlab-sync": "graphlab",
+    "graphlab(sync)": "graphlab",
+    "graphlab-async": "graphlab(async)",
+    "graphlab_async": "graphlab(async)",
+    "wholegraph": "pregel+(wholegraph)",
+}
+
+#: Canonical engine names, in the paper's presentation order.
+ENGINE_NAMES: List[str] = list(_PROFILES)
+
+
+def engine_profile(name: str) -> EngineProfile:
+    """Look up the :class:`EngineProfile` for a system name."""
+    key = name.strip().lower().replace(" ", "")
+    key = _ALIASES.get(key, key)
+    if key not in _PROFILES:
+        known = ", ".join(ENGINE_NAMES)
+        raise UnknownEngineError(f"unknown engine {name!r}; known: {known}")
+    return _PROFILES[key]
+
+
+def create_engine(name: str, cluster: ClusterSpec) -> SimulatedEngine:
+    """Instantiate the named engine on ``cluster``."""
+    return SimulatedEngine(cluster, engine_profile(name))

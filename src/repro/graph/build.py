@@ -1,0 +1,161 @@
+"""Builders that turn edge collections into :class:`~repro.graph.csr.Graph`.
+
+The builders accept anything array-like: a sequence of ``(src, dst)`` or
+``(src, dst, weight)`` tuples, or separate numpy arrays. Options cover the
+clean-ups the paper's loaders perform implicitly: symmetrising an
+undirected edge list, dropping self loops, and de-duplicating parallel
+edges.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.graph.csr import Graph
+
+EdgeLike = Union[Tuple[int, int], Tuple[int, int, float], Sequence[float]]
+
+
+def from_edges(
+    src: np.ndarray,
+    dst: np.ndarray,
+    weights: Optional[np.ndarray] = None,
+    num_vertices: Optional[int] = None,
+    directed: bool = True,
+    dedup: bool = False,
+    drop_self_loops: bool = False,
+    name: str = "graph",
+) -> Graph:
+    """Build a CSR :class:`Graph` from parallel arrays of arc endpoints.
+
+    Parameters
+    ----------
+    src, dst:
+        arc endpoints; integer arrays of equal length.
+    weights:
+        optional per-arc weights.
+    num_vertices:
+        total vertex count; inferred as ``max(endpoint) + 1`` when omitted.
+    directed:
+        if ``False``, the reverse of every arc is added (unless already
+        present and ``dedup`` is set) and the result reports undirected
+        edge counts.
+    dedup:
+        drop duplicate ``(src, dst)`` pairs, keeping the minimum weight
+        (the natural choice for shortest-path workloads).
+    drop_self_loops:
+        remove arcs with ``src == dst``.
+    """
+    src = np.asarray(src, dtype=np.int64).ravel()
+    dst = np.asarray(dst, dtype=np.int64).ravel()
+    if src.shape != dst.shape:
+        raise GraphFormatError("src and dst arrays must have equal length")
+    if weights is not None:
+        weights = np.asarray(weights, dtype=np.float64).ravel()
+        if weights.shape != src.shape:
+            raise GraphFormatError("weights must align with src/dst")
+
+    if src.size and (src.min() < 0 or dst.min() < 0):
+        raise GraphFormatError("vertex ids must be non-negative")
+    inferred_n = int(max(src.max(), dst.max()) + 1) if src.size else 0
+    if num_vertices is None:
+        num_vertices = inferred_n
+    elif num_vertices < inferred_n:
+        raise GraphFormatError(
+            f"num_vertices={num_vertices} but edges reference vertex "
+            f"{inferred_n - 1}"
+        )
+
+    if drop_self_loops and src.size:
+        keep = src != dst
+        src, dst = src[keep], dst[keep]
+        if weights is not None:
+            weights = weights[keep]
+
+    if not directed and src.size:
+        src, dst, weights = _symmetrise(src, dst, weights)
+
+    if dedup and src.size:
+        src, dst, weights = _dedup_min_weight(src, dst, weights, num_vertices)
+
+    order = np.lexsort((dst, src))
+    src, dst = src[order], dst[order]
+    if weights is not None:
+        weights = weights[order]
+
+    counts = np.bincount(src, minlength=num_vertices)
+    indptr = np.concatenate(([0], np.cumsum(counts)))
+    return Graph(indptr, dst, weights, directed=directed, name=name)
+
+
+def from_edge_list(
+    edges: Iterable[EdgeLike],
+    num_vertices: Optional[int] = None,
+    directed: bool = True,
+    dedup: bool = False,
+    drop_self_loops: bool = False,
+    name: str = "graph",
+) -> Graph:
+    """Build a graph from an iterable of ``(src, dst[, weight])`` tuples."""
+    edge_list = list(edges)
+    if not edge_list:
+        return from_edges(
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            num_vertices=num_vertices or 0,
+            directed=directed,
+            name=name,
+        )
+    widths = {len(e) for e in edge_list}
+    if widths == {2}:
+        arr = np.asarray(edge_list, dtype=np.int64)
+        weights = None
+    elif widths == {3}:
+        raw = np.asarray(edge_list, dtype=np.float64)
+        arr = raw[:, :2].astype(np.int64)
+        weights = raw[:, 2]
+    else:
+        raise GraphFormatError(
+            "edges must be uniformly (src, dst) or (src, dst, weight) tuples"
+        )
+    return from_edges(
+        arr[:, 0],
+        arr[:, 1],
+        weights,
+        num_vertices=num_vertices,
+        directed=directed,
+        dedup=dedup,
+        drop_self_loops=drop_self_loops,
+        name=name,
+    )
+
+
+def _symmetrise(
+    src: np.ndarray, dst: np.ndarray, weights: Optional[np.ndarray]
+) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]:
+    """Append the reverse of every arc (caller dedups if needed)."""
+    new_src = np.concatenate([src, dst])
+    new_dst = np.concatenate([dst, src])
+    new_weights = None if weights is None else np.concatenate([weights, weights])
+    return new_src, new_dst, new_weights
+
+
+def _dedup_min_weight(
+    src: np.ndarray,
+    dst: np.ndarray,
+    weights: Optional[np.ndarray],
+    num_vertices: int,
+) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]:
+    """Collapse duplicate arcs, keeping the smallest weight per pair."""
+    keys = src * np.int64(num_vertices) + dst
+    if weights is None:
+        unique_keys = np.unique(keys)
+        return unique_keys // num_vertices, unique_keys % num_vertices, None
+    order = np.lexsort((weights, keys))
+    keys_sorted = keys[order]
+    first = np.concatenate(([True], keys_sorted[1:] != keys_sorted[:-1]))
+    chosen = order[first]
+    return src[chosen], dst[chosen], weights[chosen]

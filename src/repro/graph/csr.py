@@ -1,0 +1,211 @@
+"""Immutable CSR (compressed sparse row) graph storage.
+
+:class:`Graph` is the single adjacency structure used throughout the
+library. It stores out-neighbours in CSR form (``indptr``/``indices``)
+with optional float edge weights, supports directed and undirected graphs
+(undirected graphs store both arcs), and exposes the handful of queries
+the vertex-centric engines need: degrees, neighbour slices, and edge
+iteration. All arrays are numpy-backed so the task kernels can operate on
+whole frontiers at once.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+
+
+class Graph:
+    """A fixed, CSR-encoded directed multigraph view.
+
+    Parameters
+    ----------
+    indptr:
+        ``int64`` array of length ``n + 1``; out-neighbours of vertex ``v``
+        are ``indices[indptr[v]:indptr[v + 1]]``.
+    indices:
+        ``int64`` array of destination vertex ids, length ``m``.
+    weights:
+        optional ``float64`` array aligned with ``indices``; ``None`` means
+        the graph is unweighted (all edges weight 1).
+    directed:
+        whether the arc list represents a directed graph. Undirected
+        graphs are stored with both arc directions present, and
+        ``num_edges`` reports arc count / 2.
+    name:
+        optional label used in reports.
+    """
+
+    __slots__ = ("indptr", "indices", "weights", "directed", "name")
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        weights: Optional[np.ndarray] = None,
+        directed: bool = True,
+        name: str = "graph",
+    ) -> None:
+        indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        indices = np.ascontiguousarray(indices, dtype=np.int64)
+        if indptr.ndim != 1 or indptr.size == 0:
+            raise GraphFormatError("indptr must be a 1-D array of length n + 1")
+        if indptr[0] != 0 or indptr[-1] != indices.size:
+            raise GraphFormatError(
+                "indptr must start at 0 and end at len(indices) "
+                f"(got {indptr[0]}..{indptr[-1]} for {indices.size} arcs)"
+            )
+        if np.any(np.diff(indptr) < 0):
+            raise GraphFormatError("indptr must be non-decreasing")
+        n = indptr.size - 1
+        if indices.size and (indices.min() < 0 or indices.max() >= n):
+            raise GraphFormatError("edge endpoint out of range")
+        if weights is not None:
+            weights = np.ascontiguousarray(weights, dtype=np.float64)
+            if weights.shape != indices.shape:
+                raise GraphFormatError("weights must align with indices")
+            if np.any(weights < 0):
+                raise GraphFormatError("edge weights must be non-negative")
+        self.indptr = indptr
+        self.indices = indices
+        self.weights = weights
+        self.directed = bool(directed)
+        self.name = name
+        self.indptr.setflags(write=False)
+        self.indices.setflags(write=False)
+        if self.weights is not None:
+            self.weights.setflags(write=False)
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices ``n``."""
+        return self.indptr.size - 1
+
+    @property
+    def num_arcs(self) -> int:
+        """Number of stored arcs (directed edges)."""
+        return self.indices.size
+
+    @property
+    def num_edges(self) -> int:
+        """Number of logical edges (arcs / 2 for undirected graphs)."""
+        if self.directed:
+            return self.indices.size
+        return self.indices.size // 2
+
+    @property
+    def is_weighted(self) -> bool:
+        return self.weights is not None
+
+    def out_degree(self, v: Optional[int] = None):
+        """Out-degree of ``v``, or the whole degree array when ``v is None``."""
+        if v is None:
+            return np.diff(self.indptr)
+        return int(self.indptr[v + 1] - self.indptr[v])
+
+    @property
+    def average_degree(self) -> float:
+        """Average out-degree (the paper's ``d_avg`` column)."""
+        if self.num_vertices == 0:
+            return 0.0
+        return self.num_arcs / self.num_vertices
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Out-neighbour ids of vertex ``v`` (a CSR slice, zero copy)."""
+        return self.indices[self.indptr[v] : self.indptr[v + 1]]
+
+    def edge_weights(self, v: int) -> np.ndarray:
+        """Weights of ``v``'s out-edges (ones if unweighted)."""
+        lo, hi = self.indptr[v], self.indptr[v + 1]
+        if self.weights is None:
+            return np.ones(hi - lo, dtype=np.float64)
+        return self.weights[lo:hi]
+
+    def iter_edges(self) -> Iterator[Tuple[int, int, float]]:
+        """Yield ``(src, dst, weight)`` for every stored arc."""
+        weights = self.weights
+        for v in range(self.num_vertices):
+            lo, hi = int(self.indptr[v]), int(self.indptr[v + 1])
+            for pos in range(lo, hi):
+                w = 1.0 if weights is None else float(weights[pos])
+                yield v, int(self.indices[pos]), w
+
+    def edge_sources(self) -> np.ndarray:
+        """Source id for every arc, aligned with ``indices`` (length m)."""
+        return np.repeat(
+            np.arange(self.num_vertices, dtype=np.int64), np.diff(self.indptr)
+        )
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+    def reverse(self) -> "Graph":
+        """Return the graph with every arc reversed (CSR of in-edges)."""
+        order = np.argsort(self.indices, kind="stable")
+        rev_indices = self.edge_sources()[order]
+        counts = np.bincount(self.indices, minlength=self.num_vertices)
+        rev_indptr = np.concatenate(([0], np.cumsum(counts)))
+        rev_weights = None if self.weights is None else self.weights[order]
+        return Graph(
+            rev_indptr,
+            rev_indices,
+            rev_weights,
+            directed=self.directed,
+            name=f"{self.name}^T",
+        )
+
+    def transition_matrix_rows(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return ``(indptr, indices, probabilities)`` of the random-walk
+        transition matrix (uniform over out-neighbours).
+
+        Dangling vertices (out-degree 0) get an empty probability row; the
+        walk kernels treat a walk at a dangling vertex as terminated, which
+        matches the Monte-Carlo semantics in Section 3 of the paper.
+        """
+        degrees = np.diff(self.indptr).astype(np.float64)
+        probs = np.repeat(
+            np.divide(
+                1.0,
+                degrees,
+                out=np.zeros_like(degrees),
+                where=degrees > 0,
+            ),
+            np.diff(self.indptr),
+        )
+        return self.indptr, self.indices, probs
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "digraph" if self.directed else "graph"
+        return (
+            f"Graph(name={self.name!r}, {kind}, n={self.num_vertices}, "
+            f"arcs={self.num_arcs}, weighted={self.is_weighted})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        same_weights = (
+            (self.weights is None and other.weights is None)
+            or (
+                self.weights is not None
+                and other.weights is not None
+                and np.array_equal(self.weights, other.weights)
+            )
+        )
+        return (
+            self.directed == other.directed
+            and np.array_equal(self.indptr, other.indptr)
+            and np.array_equal(self.indices, other.indices)
+            and same_weights
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (self.num_vertices, self.num_arcs, self.directed, self.is_weighted)
+        )

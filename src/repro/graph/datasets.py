@@ -1,0 +1,181 @@
+"""The six paper dataset profiles (Table 1) and scaled instantiation.
+
+The paper evaluates on Web-St, DBLP, LiveJournal, Orkut, Twitter and
+Friendster from SNAP. Offline we reproduce each as a *profile* — node
+count, edge count, average degree, skew class — instantiated as a
+synthetic Chung-Lu graph at a configurable ``scale`` (nodes divided by
+``scale``). The simulated clusters divide their per-machine memory by the
+same factor (see :mod:`repro.cluster.cluster`), which preserves the
+memory-pressure ratios that drive every experiment in the paper.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import ConfigurationError
+from repro.graph.csr import Graph
+from repro.graph.generators import chung_lu
+from repro.rng import DEFAULT_SEED, SeedLike, derive_seed
+
+#: Default graph-and-memory scale factor. 1/400 keeps the largest profile
+#: (Friendster, 65.6M nodes) at ~164K synthetic nodes — tractable in
+#: numpy while preserving workload-to-memory ratios.
+DEFAULT_SCALE = 400
+
+
+@dataclass(frozen=True)
+class DatasetProfile:
+    """Statistics of one paper dataset (Table 1 row).
+
+    ``power_law_exponent`` controls degree skew of the synthetic stand-in:
+    social graphs get heavier tails than the web/co-author graphs.
+    """
+
+    name: str
+    num_nodes: int
+    num_edges: int
+    avg_degree: float
+    source: str
+    directed: bool = True
+    power_law_exponent: float = 2.1
+
+    def scaled_nodes(self, scale: int) -> int:
+        """Synthetic node count at the given scale (minimum 64)."""
+        return max(64, int(round(self.num_nodes / scale)))
+
+    def instantiate(
+        self, scale: int = DEFAULT_SCALE, seed: SeedLike = None
+    ) -> Graph:
+        """Generate the synthetic stand-in graph at ``scale``."""
+        if scale <= 0:
+            raise ConfigurationError("scale must be positive")
+        n = self.scaled_nodes(scale)
+        if seed is None:
+            # Stable per-dataset default seed (process-independent).
+            seed = derive_seed(DEFAULT_SEED, f"dataset:{self.name}")
+        graph = chung_lu(
+            n,
+            avg_degree=self.avg_degree,
+            exponent=self.power_law_exponent,
+            directed=self.directed,
+            seed=seed,
+            name=self.name,
+        )
+        return graph
+
+
+#: Table 1 of the paper (K = 1e3, M = 1e6, B = 1e9).
+PAPER_DATASETS: Dict[str, DatasetProfile] = {
+    "web-st": DatasetProfile(
+        name="web-st",
+        num_nodes=281_900,
+        num_edges=2_300_000,
+        avg_degree=8.2,
+        source="stanford.edu",
+        power_law_exponent=2.3,
+    ),
+    "dblp": DatasetProfile(
+        name="dblp",
+        num_nodes=613_600,
+        num_edges=4_000_000,
+        avg_degree=6.5,
+        source="dblp.com",
+        directed=False,
+        power_law_exponent=2.4,
+    ),
+    "livejournal": DatasetProfile(
+        name="livejournal",
+        num_nodes=4_000_000,
+        num_edges=34_700_000,
+        avg_degree=8.7,
+        source="livejournal.com",
+        power_law_exponent=2.2,
+    ),
+    "orkut": DatasetProfile(
+        name="orkut",
+        num_nodes=3_100_000,
+        num_edges=117_200_000,
+        avg_degree=36.9,
+        source="orkut.com",
+        directed=False,
+        power_law_exponent=2.0,
+    ),
+    "twitter": DatasetProfile(
+        name="twitter",
+        num_nodes=41_700_000,
+        num_edges=1_500_000_000,
+        avg_degree=35.2,
+        source="twitter.com",
+        power_law_exponent=1.9,
+    ),
+    "friendster": DatasetProfile(
+        name="friendster",
+        num_nodes=65_600_000,
+        num_edges=1_800_000_000,
+        avg_degree=46.1,
+        source="snap.stanford.edu",
+        directed=False,
+        power_law_exponent=2.1,
+    ),
+}
+
+_CACHE: Dict[tuple, Graph] = {}
+
+
+def load_dataset(
+    name: str,
+    scale: int = DEFAULT_SCALE,
+    seed: Optional[int] = None,
+    cache: bool = True,
+    cache_dir: Optional[str] = None,
+) -> Graph:
+    """Instantiate (and memoise) a paper dataset stand-in by name.
+
+    ``name`` is case-insensitive and matches Table 1 ("DBLP", "Web-St",
+    ...). The per-process cache makes experiment sweeps cheap; pass
+    ``cache=False`` for an independent copy.
+
+    ``cache_dir`` (or the ``REPRO_DATASET_CACHE`` environment variable)
+    enables an on-disk ``.npz`` cache, which makes the large stand-ins
+    (Twitter, Friendster) load in milliseconds across processes.
+    """
+    key_name = name.strip().lower().replace("_", "-")
+    if key_name not in PAPER_DATASETS:
+        known = ", ".join(sorted(PAPER_DATASETS))
+        raise ConfigurationError(f"unknown dataset {name!r}; known: {known}")
+    cache_key = (key_name, scale, seed)
+    if cache and cache_key in _CACHE:
+        return _CACHE[cache_key]
+
+    directory = cache_dir or os.environ.get("REPRO_DATASET_CACHE")
+    disk_path = None
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+        seed_tag = "default" if seed is None else str(seed)
+        disk_path = os.path.join(
+            directory, f"{key_name}-s{scale}-r{seed_tag}.npz"
+        )
+        if os.path.exists(disk_path):
+            from repro.graph.io import load_npz
+
+            graph = load_npz(disk_path)
+            if cache:
+                _CACHE[cache_key] = graph
+            return graph
+
+    graph = PAPER_DATASETS[key_name].instantiate(scale=scale, seed=seed)
+    if disk_path:
+        from repro.graph.io import save_npz
+
+        save_npz(graph, disk_path)
+    if cache:
+        _CACHE[cache_key] = graph
+    return graph
+
+
+def clear_dataset_cache() -> None:
+    """Drop all memoised dataset instantiations (used by tests)."""
+    _CACHE.clear()

@@ -1,0 +1,158 @@
+"""Synthetic graph generators.
+
+The paper benchmarks on six public SNAP graphs. Those graphs are not
+available offline, so :mod:`repro.graph.datasets` instantiates *profiles*
+(node count, edge count, degree skew) through the generators in this
+module. The central generator is :func:`chung_lu`, which produces graphs
+with a prescribed expected degree sequence — enough to reproduce the
+degree-skew effects the paper's mirroring mechanism depends on. Simpler
+deterministic generators (chain, star, grid, complete) are used heavily by
+the test-suite because their task results are known in closed form.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.graph.build import from_edges
+from repro.graph.csr import Graph
+from repro.rng import SeedLike, make_rng
+
+
+def erdos_renyi(
+    n: int,
+    avg_degree: float,
+    directed: bool = True,
+    seed: SeedLike = None,
+    name: str = "erdos-renyi",
+) -> Graph:
+    """G(n, m)-style random graph with ``n`` vertices and ``n * avg_degree``
+    arcs sampled uniformly with replacement (then de-duplicated)."""
+    if n <= 0:
+        raise ConfigurationError("n must be positive")
+    if avg_degree < 0:
+        raise ConfigurationError("avg_degree must be non-negative")
+    rng = make_rng(seed, label="erdos-renyi")
+    num_arcs = int(round(n * avg_degree))
+    src = rng.integers(0, n, size=num_arcs, dtype=np.int64)
+    dst = rng.integers(0, n, size=num_arcs, dtype=np.int64)
+    return from_edges(
+        src,
+        dst,
+        num_vertices=n,
+        directed=directed,
+        dedup=True,
+        drop_self_loops=True,
+        name=name,
+    )
+
+
+def power_law_degrees(
+    n: int, avg_degree: float, exponent: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Sample an expected-degree sequence with a power-law tail.
+
+    Degrees follow a bounded Pareto shape with the given ``exponent``,
+    rescaled so the mean matches ``avg_degree``. The maximum expected
+    degree is capped at ``n - 1``.
+    """
+    if exponent <= 1.0:
+        raise ConfigurationError("power-law exponent must exceed 1")
+    raw = (1.0 - rng.random(n)) ** (-1.0 / (exponent - 1.0))
+    raw *= avg_degree / raw.mean()
+    return np.minimum(raw, float(max(n - 1, 1)))
+
+
+def chung_lu(
+    n: int,
+    avg_degree: float,
+    exponent: float = 2.1,
+    directed: bool = True,
+    seed: SeedLike = None,
+    name: str = "chung-lu",
+) -> Graph:
+    """Chung-Lu style random graph with a power-law expected degree sequence.
+
+    Arcs are sampled by drawing both endpoints proportionally to the
+    expected degree weights, which yields the correlated hub structure of
+    social graphs (hubs attract both in- and out-edges). Duplicate arcs
+    and self loops are removed, so realised degree means run slightly
+    below the target; dataset profiles compensate by oversampling.
+    """
+    if n <= 1:
+        raise ConfigurationError("n must be at least 2")
+    rng = make_rng(seed, label="chung-lu")
+    weights = power_law_degrees(n, avg_degree, exponent, rng)
+    probs = weights / weights.sum()
+    # Oversample ~12% to compensate for dedup/self-loop losses.
+    num_arcs = int(round(n * avg_degree * 1.12))
+    src = rng.choice(n, size=num_arcs, p=probs).astype(np.int64)
+    dst = rng.choice(n, size=num_arcs, p=probs).astype(np.int64)
+    return from_edges(
+        src,
+        dst,
+        num_vertices=n,
+        directed=directed,
+        dedup=True,
+        drop_self_loops=True,
+        name=name,
+    )
+
+
+def chain(n: int, directed: bool = False, weight: Optional[float] = None) -> Graph:
+    """Path graph ``0 - 1 - ... - (n-1)``; handy for distance tests."""
+    if n <= 0:
+        raise ConfigurationError("n must be positive")
+    src = np.arange(n - 1, dtype=np.int64)
+    dst = src + 1
+    weights = None if weight is None else np.full(n - 1, weight)
+    return from_edges(
+        src, dst, weights, num_vertices=n, directed=directed, name=f"chain-{n}"
+    )
+
+
+def star(n: int, directed: bool = False) -> Graph:
+    """Star with centre 0 and ``n - 1`` leaves; the extreme skew case."""
+    if n <= 1:
+        raise ConfigurationError("star needs at least 2 vertices")
+    src = np.zeros(n - 1, dtype=np.int64)
+    dst = np.arange(1, n, dtype=np.int64)
+    return from_edges(src, dst, num_vertices=n, directed=directed, name=f"star-{n}")
+
+
+def complete(n: int, directed: bool = True) -> Graph:
+    """Complete graph on ``n`` vertices (no self loops)."""
+    if n <= 1:
+        raise ConfigurationError("complete graph needs at least 2 vertices")
+    grid_src, grid_dst = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
+    mask = grid_src != grid_dst
+    return from_edges(
+        grid_src[mask].astype(np.int64),
+        grid_dst[mask].astype(np.int64),
+        num_vertices=n,
+        directed=directed,
+        name=f"complete-{n}",
+    )
+
+
+def grid_2d(rows: int, cols: int, directed: bool = False) -> Graph:
+    """2-D lattice; used to exercise diameter-heavy (many-round) workloads."""
+    if rows <= 0 or cols <= 0:
+        raise ConfigurationError("grid dimensions must be positive")
+    ids = np.arange(rows * cols, dtype=np.int64).reshape(rows, cols)
+    horiz_src = ids[:, :-1].ravel()
+    horiz_dst = ids[:, 1:].ravel()
+    vert_src = ids[:-1, :].ravel()
+    vert_dst = ids[1:, :].ravel()
+    src = np.concatenate([horiz_src, vert_src])
+    dst = np.concatenate([horiz_dst, vert_dst])
+    return from_edges(
+        src,
+        dst,
+        num_vertices=rows * cols,
+        directed=directed,
+        name=f"grid-{rows}x{cols}",
+    )

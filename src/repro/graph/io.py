@@ -1,0 +1,116 @@
+"""Graph serialization: whitespace edge-list text and numpy ``.npz``.
+
+The text format matches what the paper's systems ingest from SNAP dumps:
+one ``src dst [weight]`` triple per line, ``#`` comments allowed. The
+``.npz`` format round-trips the CSR arrays losslessly and loads orders of
+magnitude faster, which the experiment harness relies on when caching
+synthetic datasets on disk.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional, Union
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.graph.build import from_edges
+from repro.graph.csr import Graph
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+def write_edge_list(graph: Graph, path: PathLike, header: bool = True) -> None:
+    """Write ``graph`` as a text edge list (one arc per line)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        if header:
+            fh.write(f"# {graph.name}\n")
+            fh.write(
+                f"# nodes: {graph.num_vertices} arcs: {graph.num_arcs} "
+                f"directed: {graph.directed}\n"
+            )
+        if graph.weights is None:
+            for src, dst, _ in graph.iter_edges():
+                fh.write(f"{src} {dst}\n")
+        else:
+            for src, dst, weight in graph.iter_edges():
+                fh.write(f"{src} {dst} {weight:.10g}\n")
+
+
+def read_edge_list(
+    path: PathLike,
+    directed: bool = True,
+    num_vertices: Optional[int] = None,
+    dedup: bool = False,
+    name: Optional[str] = None,
+) -> Graph:
+    """Parse a whitespace edge list into a :class:`Graph`.
+
+    Accepts 2-column (unweighted) or 3-column (weighted) rows; blank
+    lines and ``#`` comments are skipped. Mixing widths is an error.
+    """
+    srcs: List[int] = []
+    dsts: List[int] = []
+    weights: List[float] = []
+    width: Optional[int] = None
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            text = line.strip()
+            if not text or text.startswith("#"):
+                continue
+            parts = text.split()
+            if width is None:
+                width = len(parts)
+                if width not in (2, 3):
+                    raise GraphFormatError(
+                        f"{path}:{lineno}: expected 2 or 3 columns, got {width}"
+                    )
+            elif len(parts) != width:
+                raise GraphFormatError(
+                    f"{path}:{lineno}: inconsistent column count"
+                )
+            try:
+                srcs.append(int(parts[0]))
+                dsts.append(int(parts[1]))
+                if width == 3:
+                    weights.append(float(parts[2]))
+            except ValueError as exc:
+                raise GraphFormatError(f"{path}:{lineno}: {exc}") from exc
+    return from_edges(
+        np.asarray(srcs, dtype=np.int64),
+        np.asarray(dsts, dtype=np.int64),
+        np.asarray(weights, dtype=np.float64) if weights else None,
+        num_vertices=num_vertices,
+        directed=directed,
+        dedup=dedup,
+        name=name or os.path.basename(os.fspath(path)),
+    )
+
+
+def save_npz(graph: Graph, path: PathLike) -> None:
+    """Save the CSR arrays to a compressed ``.npz`` archive."""
+    payload = {
+        "indptr": graph.indptr,
+        "indices": graph.indices,
+        "directed": np.asarray([graph.directed]),
+        "name": np.asarray([graph.name]),
+    }
+    if graph.weights is not None:
+        payload["weights"] = graph.weights
+    np.savez_compressed(path, **payload)
+
+
+def load_npz(path: PathLike) -> Graph:
+    """Load a graph previously written by :func:`save_npz`."""
+    with np.load(path, allow_pickle=False) as data:
+        if "indptr" not in data or "indices" not in data:
+            raise GraphFormatError(f"{path}: not a repro graph archive")
+        weights = data["weights"] if "weights" in data else None
+        return Graph(
+            data["indptr"],
+            data["indices"],
+            weights,
+            directed=bool(data["directed"][0]),
+            name=str(data["name"][0]),
+        )

@@ -1,0 +1,23 @@
+"""Message accounting: routing policies and combining estimators.
+
+Task kernels produce *per-vertex emission counts* each round; a
+:class:`~repro.messages.routing.MessageRouter` (chosen by the engine)
+turns them into network/local message splits. Point-to-point engines
+route each message along its arc; Pregel+(mirror) broadcasts once per
+mirror machine; GraphLab(sync) combines messages that share a
+(source, target) pair before they hit the wire.
+"""
+
+from repro.messages.routing import (
+    BroadcastRouter,
+    MessageRouter,
+    PointToPointRouter,
+    RoutedMessages,
+)
+
+__all__ = [
+    "MessageRouter",
+    "PointToPointRouter",
+    "BroadcastRouter",
+    "RoutedMessages",
+]

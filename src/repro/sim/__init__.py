@@ -1,0 +1,34 @@
+"""Simulation core: metrics, memory accounting, cost model, monetary model.
+
+The engines execute the paper's algorithms for real and count what
+happened (messages, bytes, compute work, memory peaks); this subpackage
+turns those counts into simulated seconds and credits:
+
+* :mod:`repro.sim.metrics` — per-round / per-batch / per-job records.
+* :mod:`repro.sim.memory` — memory footprint accounting.
+* :mod:`repro.sim.overload` — usable-memory / thrash / overload policy.
+* :mod:`repro.sim.cost` — the round-time composition model.
+* :mod:`repro.sim.monetary` — Docker-32 credit costs (Figure 7).
+"""
+
+from repro.sim.cost import CostModel, RoundCost, RoundLoad
+from repro.sim.memory import MemoryBreakdown, MemoryModel
+from repro.sim.metrics import BatchMetrics, JobMetrics, RoundMetrics
+from repro.sim.monetary import MonetaryModel, credit_cost
+from repro.sim.overload import MemoryState, OverloadPolicy, classify_memory
+
+__all__ = [
+    "RoundMetrics",
+    "BatchMetrics",
+    "JobMetrics",
+    "MemoryModel",
+    "MemoryBreakdown",
+    "MemoryState",
+    "OverloadPolicy",
+    "classify_memory",
+    "CostModel",
+    "RoundLoad",
+    "RoundCost",
+    "MonetaryModel",
+    "credit_cost",
+]

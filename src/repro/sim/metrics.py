@@ -1,0 +1,308 @@
+"""Metric records produced by engine runs.
+
+Three levels mirror the paper's reporting granularity:
+
+* :class:`RoundMetrics` — one communication round (Figure 6's per-round
+  message counts, Table 3's per-round disk numbers).
+* :class:`BatchMetrics` — one batch of the multi-processing job.
+* :class:`JobMetrics` — the whole job: total time, peak memory, overuse
+  durations, overload flag (the paper's 6000 s cutoff), and everything
+  the experiment tables print.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.units import (
+    OVERLOAD_CUTOFF_SECONDS,
+    format_bytes,
+    format_count,
+    format_seconds,
+)
+
+
+@dataclass
+class RoundMetrics:
+    """Accounting for a single synchronous communication round."""
+
+    round_index: int
+    #: messages that crossed the network this round.
+    network_messages: float
+    #: messages delivered between co-located vertices (no network).
+    local_messages: float
+    #: network bytes moved by the bottleneck machine.
+    bottleneck_bytes: float
+    #: compute work units executed by the bottleneck machine.
+    compute_ops: float
+    #: peak memory on the most loaded machine during this round.
+    peak_memory_bytes: float
+    #: bytes spilled to disk (out-of-core engines only).
+    spilled_bytes: float = 0.0
+    #: simulated seconds, total and broken down.
+    seconds: float = 0.0
+    compute_seconds: float = 0.0
+    network_seconds: float = 0.0
+    disk_seconds: float = 0.0
+    barrier_seconds: float = 0.0
+    thrash_multiplier: float = 1.0
+    disk_utilization: float = 0.0
+    io_queue_length: float = 0.0
+    network_saturated: bool = False
+
+    @property
+    def total_messages(self) -> float:
+        return self.network_messages + self.local_messages
+
+
+@dataclass
+class BatchMetrics:
+    """Accounting for one batch (a sequence of rounds)."""
+
+    batch_index: int
+    workload: float
+    rounds: List[RoundMetrics] = field(default_factory=list)
+    overloaded: bool = False
+    overload_reason: Optional[str] = None
+    #: residual memory carried *into* this batch from earlier batches.
+    residual_memory_bytes: float = 0.0
+    #: residual memory this batch leaves behind for later batches.
+    residual_memory_after_bytes: float = 0.0
+    #: fixed batch startup cost (engine-dependent).
+    startup_seconds: float = 0.0
+
+    @property
+    def num_rounds(self) -> int:
+        return len(self.rounds)
+
+    @property
+    def seconds(self) -> float:
+        if self.overloaded:
+            return OVERLOAD_CUTOFF_SECONDS
+        return self.startup_seconds + sum(r.seconds for r in self.rounds)
+
+    @property
+    def network_messages(self) -> float:
+        return sum(r.network_messages for r in self.rounds)
+
+    @property
+    def total_messages(self) -> float:
+        return sum(r.total_messages for r in self.rounds)
+
+    @property
+    def peak_memory_bytes(self) -> float:
+        if not self.rounds:
+            return self.residual_memory_bytes
+        return max(r.peak_memory_bytes for r in self.rounds)
+
+    @property
+    def messages_per_round(self) -> float:
+        """Average per-round message count — the paper's "congestion"."""
+        if not self.rounds:
+            return 0.0
+        return self.total_messages / len(self.rounds)
+
+    @property
+    def spilled_bytes(self) -> float:
+        return sum(r.spilled_bytes for r in self.rounds)
+
+
+@dataclass
+class JobMetrics:
+    """Accounting for a whole multi-processing job (all batches)."""
+
+    engine: str
+    task: str
+    dataset: str
+    cluster: str
+    num_machines: int
+    total_workload: float
+    batch_sizes: List[float] = field(default_factory=list)
+    batches: List[BatchMetrics] = field(default_factory=list)
+    aggregation_seconds: float = 0.0
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Aggregates the experiment tables print
+    # ------------------------------------------------------------------
+    @property
+    def num_batches(self) -> int:
+        return len(self.batch_sizes)
+
+    @property
+    def overloaded(self) -> bool:
+        return any(b.overloaded for b in self.batches)
+
+    @property
+    def seconds(self) -> float:
+        """Total simulated running time (cutoff when overloaded)."""
+        if self.overloaded:
+            return OVERLOAD_CUTOFF_SECONDS
+        return sum(b.seconds for b in self.batches) + self.aggregation_seconds
+
+    @property
+    def num_rounds(self) -> int:
+        return sum(b.num_rounds for b in self.batches)
+
+    @property
+    def network_messages(self) -> float:
+        return sum(b.network_messages for b in self.batches)
+
+    @property
+    def total_messages(self) -> float:
+        return sum(b.total_messages for b in self.batches)
+
+    @property
+    def messages_per_round(self) -> float:
+        rounds = self.num_rounds
+        if rounds == 0:
+            return 0.0
+        return self.total_messages / rounds
+
+    @property
+    def peak_memory_bytes(self) -> float:
+        if not self.batches:
+            return 0.0
+        return max(b.peak_memory_bytes for b in self.batches)
+
+    @property
+    def network_overuse_seconds(self) -> float:
+        return self.extras.get("network_overuse_seconds", 0.0)
+
+    @property
+    def io_overuse_seconds(self) -> float:
+        return self.extras.get("io_overuse_seconds", 0.0)
+
+    @property
+    def max_disk_utilization(self) -> float:
+        if not self.batches:
+            return 0.0
+        return max(
+            (r.disk_utilization for b in self.batches for r in b.rounds),
+            default=0.0,
+        )
+
+    @property
+    def mean_io_queue_length(self) -> float:
+        lengths = [
+            r.io_queue_length
+            for b in self.batches
+            for r in b.rounds
+            if r.spilled_bytes > 0
+        ]
+        if not lengths:
+            return 0.0
+        return sum(lengths) / len(lengths)
+
+    def time_breakdown(self) -> Dict[str, float]:
+        """Seconds attributed to each cost component across all rounds.
+
+        The thrash multiplier inflates compute/network/overhead time;
+        the difference is reported under ``"thrash"`` so the components
+        sum to the (uncapped) total.
+        """
+        parts = {
+            "compute": 0.0,
+            "network": 0.0,
+            "disk": 0.0,
+            "barrier": 0.0,
+            "startup": 0.0,
+            "thrash": 0.0,
+        }
+        for batch in self.batches:
+            parts["startup"] += batch.startup_seconds
+            for r in batch.rounds:
+                parts["compute"] += r.compute_seconds
+                parts["network"] += r.network_seconds
+                parts["disk"] += r.disk_seconds
+                parts["barrier"] += r.barrier_seconds
+                worked = r.seconds - r.barrier_seconds - r.disk_seconds
+                parts["thrash"] += max(
+                    0.0,
+                    worked
+                    - (r.seconds - r.barrier_seconds - r.disk_seconds)
+                    / max(r.thrash_multiplier, 1.0),
+                )
+        parts["other"] = max(
+            0.0,
+            sum(b.seconds for b in self.batches)
+            + self.aggregation_seconds
+            - sum(parts.values()),
+        )
+        return parts
+
+    def time_label(self) -> str:
+        """The time string as the paper prints it ("Overload" at cutoff)."""
+        if self.overloaded:
+            return "Overload"
+        return format_seconds(self.seconds)
+
+    def to_dict(self, include_rounds: bool = False) -> Dict:
+        """JSON-serialisable dump of the job's metrics.
+
+        Batch summaries are always included; pass
+        ``include_rounds=True`` for the full per-round trace.
+        """
+        payload = {
+            "engine": self.engine,
+            "task": self.task,
+            "dataset": self.dataset,
+            "cluster": self.cluster,
+            "num_machines": self.num_machines,
+            "total_workload": self.total_workload,
+            "batch_sizes": list(self.batch_sizes),
+            "seconds": self.seconds,
+            "overloaded": self.overloaded,
+            "num_rounds": self.num_rounds,
+            "network_messages": self.network_messages,
+            "total_messages": self.total_messages,
+            "messages_per_round": self.messages_per_round,
+            "peak_memory_bytes": self.peak_memory_bytes,
+            "network_overuse_seconds": self.network_overuse_seconds,
+            "io_overuse_seconds": self.io_overuse_seconds,
+            "max_disk_utilization": self.max_disk_utilization,
+            "aggregation_seconds": self.aggregation_seconds,
+            "time_breakdown": self.time_breakdown(),
+            "batches": [
+                {
+                    "index": b.batch_index,
+                    "workload": b.workload,
+                    "rounds": b.num_rounds,
+                    "seconds": b.seconds,
+                    "overloaded": b.overloaded,
+                    "overload_reason": b.overload_reason,
+                    "peak_memory_bytes": b.peak_memory_bytes,
+                    "residual_memory_after_bytes": (
+                        b.residual_memory_after_bytes
+                    ),
+                }
+                for b in self.batches
+            ],
+        }
+        if include_rounds:
+            for batch_payload, batch in zip(payload["batches"], self.batches):
+                batch_payload["round_trace"] = [
+                    {
+                        "round": r.round_index,
+                        "seconds": r.seconds,
+                        "network_messages": r.network_messages,
+                        "local_messages": r.local_messages,
+                        "peak_memory_bytes": r.peak_memory_bytes,
+                        "spilled_bytes": r.spilled_bytes,
+                        "disk_utilization": r.disk_utilization,
+                        "thrash_multiplier": r.thrash_multiplier,
+                    }
+                    for r in batch.rounds
+                ]
+        return payload
+
+    def summary(self) -> str:
+        """One-line summary for logs and example scripts."""
+        return (
+            f"{self.engine}/{self.task} on {self.dataset}@{self.cluster} "
+            f"W={self.total_workload:g} b={self.num_batches}: "
+            f"{self.time_label()}, rounds={self.num_rounds}, "
+            f"msgs/round={format_count(self.messages_per_round)}, "
+            f"peak_mem={format_bytes(self.peak_memory_bytes)}"
+        )

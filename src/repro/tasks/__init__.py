@@ -1,0 +1,36 @@
+"""Benchmark multi-processing tasks (Section 2.3 / 3 of the paper).
+
+* :mod:`repro.tasks.bppr` — Batch Personalized PageRank via α-decay
+  random walks (Monte-Carlo and expected-mass kernels, plus the
+  fractional-push variant for the mirror/broadcast interface).
+* :mod:`repro.tasks.mssp` — multi-source shortest path distance queries.
+* :mod:`repro.tasks.bkhs` — batch k-hop search.
+* :mod:`repro.tasks.pagerank` — classic PageRank (Table 4's light task).
+* :mod:`repro.tasks.exact` — exact reference computations for validation.
+* :mod:`repro.tasks.vc_programs` — true vertex-centric programs runnable
+  on the reference message-passing engine.
+"""
+
+from repro.tasks.base import RoundSummary, TaskKernel, TaskSpec, make_task
+from repro.tasks.bkhs import BKHSKernel, bkhs_task
+from repro.tasks.bppr import BPPRKernel, bppr_task
+from repro.tasks.bppr_query import BPPRQueryKernel, bppr_query_task
+from repro.tasks.mssp import MSSPKernel, mssp_task
+from repro.tasks.pagerank import PageRankKernel, pagerank_task
+
+__all__ = [
+    "TaskKernel",
+    "TaskSpec",
+    "RoundSummary",
+    "make_task",
+    "BPPRKernel",
+    "bppr_task",
+    "BPPRQueryKernel",
+    "bppr_query_task",
+    "MSSPKernel",
+    "mssp_task",
+    "BKHSKernel",
+    "bkhs_task",
+    "PageRankKernel",
+    "pagerank_task",
+]

@@ -1,0 +1,255 @@
+"""Task abstractions shared by all benchmark workloads.
+
+A *multi-processing job* (the paper's term) is a workload ``W`` of unit
+tasks — random walks per node for BPPR, source nodes for MSSP/BKHS — that
+the batching executor splits into batches. For each batch the engine
+instantiates a :class:`TaskKernel` and drives it round by round; the
+kernel runs the real algorithm on the full graph and reports a
+:class:`RoundSummary` of what it emitted, which the engine prices.
+
+Kernels are deliberately *engine-agnostic*: the engine injects a
+:class:`~repro.messages.routing.MessageRouter` so the same kernel serves
+point-to-point and broadcast (mirror) engines, matching Section 3's
+paired implementations.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+import numpy as np
+
+from repro.errors import TaskError
+from repro.graph.csr import Graph
+from repro.messages.routing import MessageRouter, RoutedMessages
+
+
+@dataclass
+class RoundSummary:
+    """What one kernel round emitted, already routed.
+
+    Attributes
+    ----------
+    routed:
+        network/local/delivered message split from the engine's router.
+    combined_messages:
+        wire messages after (source, target) combining — engines with
+        combiners (GraphLab sync) transmit this count instead. ``None``
+        means combining does not apply (defaults to the routed count).
+    compute_ops:
+        work units this round (message handling + vertex updates),
+        cluster-wide.
+    task_state_bytes:
+        cluster-wide in-flight state of the batch (walk bookkeeping,
+        frontier bitmaps, distance rows being built).
+    active_vertices:
+        number of vertices that executed compute() this round.
+    done:
+        True when the batch finished after this round.
+    """
+
+    routed: RoutedMessages
+    compute_ops: float
+    task_state_bytes: float
+    active_vertices: float
+    done: bool
+    combined_messages: Optional[float] = None
+
+    @property
+    def wire_messages(self) -> float:
+        return self.routed.wire_messages
+
+
+class TaskKernel(ABC):
+    """One batch of unit tasks executing round-by-round.
+
+    Lifecycle: construct → ``start_batch(workload)`` → repeated
+    ``step()`` until a summary with ``done=True`` → read ``result`` /
+    ``residual_bytes()``. A kernel instance serves a single batch.
+    """
+
+    def __init__(self, graph: Graph, router: MessageRouter) -> None:
+        self.graph = graph
+        self.router = router
+        self._started = False
+        self._finished = False
+        self._round = 0
+
+    # -- lifecycle ------------------------------------------------------
+    def start_batch(self, workload: float) -> None:
+        """Initialise the batch for ``workload`` unit tasks."""
+        if self._started:
+            raise TaskError("kernel already started; kernels are single-use")
+        if workload <= 0:
+            raise TaskError("batch workload must be positive")
+        self._started = True
+        self._workload = float(workload)
+        self._initialise(float(workload))
+
+    def step(self) -> RoundSummary:
+        """Advance one communication round."""
+        if not self._started:
+            raise TaskError("start_batch() must be called before step()")
+        if self._finished:
+            raise TaskError("kernel already finished")
+        self._round += 1
+        summary = self._advance()
+        if summary.done:
+            self._finished = True
+        return summary
+
+    @property
+    def round_index(self) -> int:
+        return self._round
+
+    @property
+    def finished(self) -> bool:
+        return self._finished
+
+    # -- helpers for subclasses -----------------------------------------
+    def route_emissions(
+        self,
+        vertex_ids: np.ndarray,
+        blocks_per_vertex: np.ndarray,
+        point_messages_per_vertex: np.ndarray,
+    ) -> RoutedMessages:
+        """Route this round's emissions through the engine's router.
+
+        Broadcast routers consume *blocks* (one per vertex per unit-task
+        group — Section 3's common message to all neighbours);
+        point-to-point routers consume individual per-arc messages.
+        """
+        from repro.messages.routing import BroadcastRouter
+
+        if isinstance(self.router, BroadcastRouter):
+            return self.router.route(vertex_ids, blocks_per_vertex)
+        return self.router.route(vertex_ids, point_messages_per_vertex)
+
+    # -- subclass hooks ---------------------------------------------------
+    @abstractmethod
+    def _initialise(self, workload: float) -> None:
+        """Set up batch state for ``workload`` unit tasks."""
+
+    @abstractmethod
+    def _advance(self) -> RoundSummary:
+        """Run one round and summarise it."""
+
+    @abstractmethod
+    def residual_bytes(self) -> float:
+        """Cluster-wide bytes of results this batch leaves resident for
+        final aggregation (the paper's *residual memory*)."""
+
+    @property
+    @abstractmethod
+    def result(self) -> Any:
+        """Task-specific result of the batch (valid once finished)."""
+
+
+#: Builds a kernel for one batch: (graph, router, batch_workload, rng).
+KernelFactory = Callable[
+    [Graph, MessageRouter, float, np.random.Generator], TaskKernel
+]
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """A multi-processing job definition.
+
+    ``workload`` follows the paper's units: walks-per-node for BPPR,
+    number of source nodes for MSSP/BKHS. ``params`` carries
+    task-specific settings (α, k, sampling limits) for reports.
+    """
+
+    name: str
+    graph: Graph
+    workload: float
+    kernel_factory: KernelFactory = field(repr=False, compare=False, default=None)  # type: ignore[assignment]
+    params: Dict[str, Any] = field(default_factory=dict)
+    #: serialized message bytes for point-to-point transport of this task.
+    message_bytes: float = 16.0
+    #: bytes of one residual record (see kernel.residual_bytes).
+    residual_record_bytes: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.workload <= 0:
+            raise TaskError("workload must be positive")
+        if self.kernel_factory is None:
+            raise TaskError("kernel_factory is required")
+
+    def make_kernel(
+        self,
+        router: MessageRouter,
+        batch_workload: float,
+        rng: np.random.Generator,
+    ) -> TaskKernel:
+        """Instantiate a kernel for one batch of this job."""
+        kernel = self.kernel_factory(self.graph, router, batch_workload, rng)
+        kernel.start_batch(batch_workload)
+        return kernel
+
+
+def choose_sources(
+    graph: Graph,
+    workload: float,
+    sample_limit: Optional[int],
+    rng: np.random.Generator,
+) -> "SampledSources":
+    """Pick the source set for a source-driven batch (MSSP/BKHS).
+
+    The paper's workload for these tasks is the *number of source nodes*.
+    When ``workload`` exceeds ``sample_limit``, only ``sample_limit``
+    distinct sources are simulated and all message/compute counts are
+    multiplied by ``workload / sample_limit`` — statistically faithful
+    because source costs are i.i.d. draws from the same graph. Results
+    are exact for the simulated sources.
+    """
+    if workload <= 0:
+        raise TaskError("workload must be positive")
+    count = int(round(workload))
+    simulated = count if sample_limit is None else min(count, sample_limit)
+    simulated = max(1, min(simulated, graph.num_vertices))
+    replace = simulated > graph.num_vertices
+    sources = rng.choice(
+        graph.num_vertices, size=simulated, replace=replace
+    ).astype(np.int64)
+    return SampledSources(
+        sources=sources, scale_factor=count / simulated, requested=count
+    )
+
+
+@dataclass(frozen=True)
+class SampledSources:
+    """Source sample plus the count scale factor (see :func:`choose_sources`)."""
+
+    sources: np.ndarray
+    scale_factor: float
+    requested: int
+
+    @property
+    def num_simulated(self) -> int:
+        return self.sources.size
+
+
+def make_task(name: str, graph: Graph, workload: float, **params: Any) -> TaskSpec:
+    """Build a :class:`TaskSpec` by task name ("bppr", "mssp", "bkhs",
+    "pagerank"); keyword params are forwarded to the task constructor."""
+    from repro.tasks.bkhs import bkhs_task
+    from repro.tasks.bppr import bppr_task
+    from repro.tasks.bppr_query import bppr_query_task
+    from repro.tasks.mssp import mssp_task
+    from repro.tasks.pagerank import pagerank_task
+
+    factories = {
+        "bppr": bppr_task,
+        "bppr-query": bppr_query_task,
+        "mssp": mssp_task,
+        "bkhs": bkhs_task,
+        "pagerank": pagerank_task,
+    }
+    key = name.strip().lower()
+    if key not in factories:
+        known = ", ".join(sorted(factories))
+        raise TaskError(f"unknown task {name!r}; known: {known}")
+    return factories[key](graph, workload, **params)

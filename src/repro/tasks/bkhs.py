@@ -1,0 +1,183 @@
+"""Batch k-Hop Search (BKHS).
+
+Given a source set ``S`` and constant ``k``, BKHS collects, for each
+``s ∈ S``, the vertices within ``k`` hops (Section 2.3). The Pregel
+implementation mirrors MSSP but "the program stops after k + 1
+communication rounds" (Section 3): rounds 1..k expand the BFS frontier
+and round ``k + 1`` is the terminating round in which every vertex votes
+to halt. Workload is the number of sources; large workloads are sampled
+and scaled like MSSP.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import TaskError
+from repro.graph.csr import Graph
+from repro.messages.routing import MessageRouter
+from repro.tasks.base import (
+    RoundSummary,
+    TaskKernel,
+    TaskSpec,
+    choose_sources,
+)
+
+#: Bytes for one source's k-hop statistic (the collected output).
+RESIDUAL_RECORD_BYTES = 16.0
+
+#: Bytes per (source, vertex) visited marker held during the batch.
+VISITED_ENTRY_BYTES = 4.0
+
+
+class BKHSKernel(TaskKernel):
+    """One batch of k-hop searches from sampled sources."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        router: MessageRouter,
+        rng: np.random.Generator,
+        k: int = 2,
+        sample_limit: Optional[int] = 64,
+    ) -> None:
+        super().__init__(graph, router)
+        if k < 1:
+            raise TaskError("k must be at least 1")
+        self.k = int(k)
+        self.rng = rng
+        self.sample_limit = sample_limit
+        self._degrees = np.diff(graph.indptr).astype(np.int64)
+
+    def _initialise(self, workload: float) -> None:
+        sampled = choose_sources(
+            self.graph, workload, self.sample_limit, self.rng
+        )
+        self._sources = sampled.sources
+        self._scale = sampled.scale_factor
+        n = self.graph.num_vertices
+        s = self._sources.size
+        self._visited = np.zeros((s, n), dtype=bool)
+        self._visited[np.arange(s), self._sources] = True
+        self._frontier_rows = np.arange(s, dtype=np.int64)
+        self._frontier_verts = self._sources.copy()
+
+    def _advance(self) -> RoundSummary:
+        graph = self.graph
+        if self._round > self.k:
+            # Round k + 1: receive-only termination round, no messages.
+            routed = self.route_emissions(
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.float64),
+                np.empty(0, dtype=np.float64),
+            )
+            return RoundSummary(
+                routed=routed,
+                compute_ops=float(self.graph.num_vertices),
+                task_state_bytes=self._state_bytes(),
+                active_vertices=0.0,
+                done=True,
+            )
+
+        rows, verts = self._frontier_rows, self._frontier_verts
+        counts = self._degrees[verts]
+        total = int(counts.sum())
+        if total > 0:
+            starts = graph.indptr[verts]
+            base = np.repeat(starts, counts)
+            shifts = np.arange(total) - np.repeat(
+                np.cumsum(counts) - counts, counts
+            )
+            nbr = graph.indices[base + shifts]
+            msg_rows = np.repeat(rows, counts)
+            fresh = ~self._visited[msg_rows, nbr]
+            if fresh.any():
+                pair_keys = msg_rows[fresh] * np.int64(
+                    graph.num_vertices
+                ) + nbr[fresh]
+                unique_keys = np.unique(pair_keys)
+                new_rows = (unique_keys // graph.num_vertices).astype(
+                    np.int64
+                )
+                new_verts = (unique_keys % graph.num_vertices).astype(
+                    np.int64
+                )
+                self._visited[new_rows, new_verts] = True
+                self._frontier_rows, self._frontier_verts = (
+                    new_rows,
+                    new_verts,
+                )
+            else:
+                self._frontier_rows = np.empty(0, dtype=np.int64)
+                self._frontier_verts = np.empty(0, dtype=np.int64)
+        else:
+            self._frontier_rows = np.empty(0, dtype=np.int64)
+            self._frontier_verts = np.empty(0, dtype=np.int64)
+
+        updates_per_vertex = np.bincount(
+            verts, minlength=graph.num_vertices
+        ).astype(np.float64)
+        active = np.flatnonzero(updates_per_vertex > 0)
+        blocks = updates_per_vertex[active] * self._scale
+        point = (
+            updates_per_vertex[active]
+            * self._degrees[active].astype(np.float64)
+            * self._scale
+        )
+        routed = self.route_emissions(active, blocks, point)
+        return RoundSummary(
+            routed=routed,
+            compute_ops=routed.delivered_messages + active.size * self._scale,
+            task_state_bytes=self._state_bytes(),
+            active_vertices=float(active.size) * self._scale,
+            done=False,
+            combined_messages=routed.wire_messages,
+        )
+
+    def _state_bytes(self) -> float:
+        return (
+            float(self._visited.sum()) * VISITED_ENTRY_BYTES * self._scale
+        )
+
+    def residual_bytes(self) -> float:
+        """Only the per-source statistics survive the batch."""
+        return self._sources.size * RESIDUAL_RECORD_BYTES * self._scale
+
+    @property
+    def result(self) -> dict:
+        """Map ``source id -> number of vertices within k hops`` (incl. s)."""
+        counts = self._visited.sum(axis=1)
+        return {
+            int(s): int(counts[i]) for i, s in enumerate(self._sources)
+        }
+
+    def reachable_sets(self) -> dict:
+        """Map ``source id -> boolean reachability mask`` (for tests)."""
+        return {
+            int(s): self._visited[i].copy()
+            for i, s in enumerate(self._sources)
+        }
+
+
+def bkhs_task(
+    graph: Graph,
+    workload: float,
+    k: int = 2,
+    sample_limit: Optional[int] = 64,
+) -> TaskSpec:
+    """Build the BKHS :class:`TaskSpec` (workload = number of sources)."""
+
+    def factory(g, router, batch_workload, rng):
+        return BKHSKernel(g, router, rng, k=k, sample_limit=sample_limit)
+
+    return TaskSpec(
+        name="bkhs",
+        graph=graph,
+        workload=workload,
+        kernel_factory=factory,
+        params={"k": k, "sample_limit": sample_limit},
+        message_bytes=12.0,
+        residual_record_bytes=RESIDUAL_RECORD_BYTES,
+    )

@@ -1,0 +1,212 @@
+"""Multi-Source Shortest Path distance queries (MSSP).
+
+Section 3's Pregel MSSP: messages ``(u, v, d)`` assert a length-``d``
+path from source ``u`` to ``v``; per round, a vertex keeps the minimum
+per source and relaxes its out-edges. The kernel executes exactly that —
+a synchronous multi-source Bellman-Ford — fully vectorised over the
+(source, vertex) frontier. Under the mirror/broadcast interface the
+per-neighbour message collapses to one ``(u, d)`` broadcast block per
+updated (source, vertex) pair, which :meth:`route_emissions` handles.
+
+Workload is the *number of source nodes* (the paper's MSSP unit). For
+large workloads, ``sample_limit`` caps how many distinct sources are
+simulated and scales all counts — see
+:func:`repro.tasks.base.choose_sources`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.graph.csr import Graph
+from repro.messages.routing import MessageRouter
+from repro.tasks.base import (
+    RoundSummary,
+    TaskKernel,
+    TaskSpec,
+    choose_sources,
+)
+
+#: Bytes to keep one (source, vertex) final distance.
+RESIDUAL_RECORD_BYTES = 8.0
+
+#: Bytes per in-flight frontier entry ((source, vertex, distance) triple).
+FRONTIER_ENTRY_BYTES = 12.0
+
+
+class MSSPKernel(TaskKernel):
+    """One batch of single-source shortest-path queries."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        router: MessageRouter,
+        rng: np.random.Generator,
+        sample_limit: Optional[int] = 64,
+        max_rounds: int = 100_000,
+    ) -> None:
+        super().__init__(graph, router)
+        self.rng = rng
+        self.sample_limit = sample_limit
+        self.max_rounds = int(max_rounds)
+        self._degrees = np.diff(graph.indptr).astype(np.int64)
+
+    def _initialise(self, workload: float) -> None:
+        sampled = choose_sources(
+            self.graph, workload, self.sample_limit, self.rng
+        )
+        self._sources = sampled.sources
+        self._scale = sampled.scale_factor
+        n = self.graph.num_vertices
+        s = self._sources.size
+        self._dist = np.full((s, n), np.inf, dtype=np.float64)
+        self._dist[np.arange(s), self._sources] = 0.0
+        # Frontier: (source-row, vertex) pairs improved last round.
+        self._frontier_rows = np.arange(s, dtype=np.int64)
+        self._frontier_verts = self._sources.copy()
+
+    def _advance(self) -> RoundSummary:
+        graph = self.graph
+        rows, verts = self._frontier_rows, self._frontier_verts
+
+        counts = self._degrees[verts]
+        total = int(counts.sum())
+        if total == 0:
+            return self._summary_for(
+                np.empty(0, dtype=np.int64), np.empty(0), done=True
+            )
+
+        # Expand every frontier pair to all out-neighbours (CSR gather).
+        starts = graph.indptr[verts]
+        base = np.repeat(starts, counts)
+        shifts = np.arange(total) - np.repeat(
+            np.cumsum(counts) - counts, counts
+        )
+        arc_pos = base + shifts
+        nbr = graph.indices[arc_pos]
+        msg_rows = np.repeat(rows, counts)
+        step = (
+            graph.weights[arc_pos]
+            if graph.weights is not None
+            else np.ones(total, dtype=np.float64)
+        )
+        cand = np.repeat(self._dist[rows, verts], counts) + step
+
+        # In-round aggregation: keep the minimum per (source, target).
+        before = self._dist[msg_rows, nbr]
+        np.minimum.at(self._dist, (msg_rows, nbr), cand)
+        after = self._dist[msg_rows, nbr]
+        improved = after < before
+        if improved.any():
+            pair_keys = msg_rows[improved] * np.int64(
+                graph.num_vertices
+            ) + nbr[improved]
+            unique_keys = np.unique(pair_keys)
+            self._frontier_rows = (
+                unique_keys // graph.num_vertices
+            ).astype(np.int64)
+            self._frontier_verts = (
+                unique_keys % graph.num_vertices
+            ).astype(np.int64)
+            done = self._round >= self.max_rounds
+        else:
+            self._frontier_rows = np.empty(0, dtype=np.int64)
+            self._frontier_verts = np.empty(0, dtype=np.int64)
+            done = True
+
+        # Emission accounting for *this* round's sends.
+        updates_per_vertex = np.bincount(
+            verts, minlength=graph.num_vertices
+        ).astype(np.float64)
+        return self._summary_for(verts, updates_per_vertex, done)
+
+    def _summary_for(
+        self,
+        sending_verts: np.ndarray,
+        updates_per_vertex: np.ndarray,
+        done: bool,
+    ) -> RoundSummary:
+        graph = self.graph
+        if sending_verts.size == 0:
+            routed = self.route_emissions(
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.float64),
+                np.empty(0, dtype=np.float64),
+            )
+            return RoundSummary(
+                routed=routed,
+                compute_ops=0.0,
+                task_state_bytes=self._state_bytes(),
+                active_vertices=0.0,
+                done=done,
+            )
+        active = np.flatnonzero(updates_per_vertex > 0)
+        blocks = updates_per_vertex[active] * self._scale
+        point = (
+            updates_per_vertex[active]
+            * self._degrees[active].astype(np.float64)
+            * self._scale
+        )
+        routed = self.route_emissions(active, blocks, point)
+        # Combining keeps at most one message per (source, target) pair;
+        # in-round duplicates (several paths to the same neighbour in the
+        # same round) are rare for distinct arcs, so point count stands.
+        return RoundSummary(
+            routed=routed,
+            compute_ops=routed.delivered_messages + active.size * self._scale,
+            task_state_bytes=self._state_bytes(),
+            active_vertices=float(active.size) * self._scale,
+            done=done,
+            combined_messages=routed.wire_messages,
+        )
+
+    def _state_bytes(self) -> float:
+        """In-flight distance table + frontier for the whole batch."""
+        reached = np.isfinite(self._dist).sum()
+        return (
+            float(reached) * FRONTIER_ENTRY_BYTES
+            + float(self._frontier_rows.size) * FRONTIER_ENTRY_BYTES
+        ) * self._scale
+
+    def residual_bytes(self) -> float:
+        """Final distances stay resident per machine until the job ends."""
+        reached = float(np.isfinite(self._dist).sum())
+        return reached * RESIDUAL_RECORD_BYTES * self._scale
+
+    @property
+    def result(self) -> dict:
+        """Map ``source id -> distance vector`` for simulated sources."""
+        return {
+            int(s): self._dist[i].copy()
+            for i, s in enumerate(self._sources)
+        }
+
+
+def mssp_task(
+    graph: Graph,
+    workload: float,
+    sample_limit: Optional[int] = 64,
+    max_rounds: int = 100_000,
+) -> TaskSpec:
+    """Build the MSSP :class:`TaskSpec` (workload = number of sources)."""
+
+    def factory(g, router, batch_workload, rng):
+        return MSSPKernel(
+            g,
+            router,
+            rng,
+            sample_limit=sample_limit,
+            max_rounds=max_rounds,
+        )
+
+    return TaskSpec(
+        name="mssp",
+        graph=graph,
+        workload=workload,
+        kernel_factory=factory,
+        params={"sample_limit": sample_limit},
+        message_bytes=20.0,
+        residual_record_bytes=RESIDUAL_RECORD_BYTES,
+    )

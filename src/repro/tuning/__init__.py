@@ -1,0 +1,37 @@
+"""The cost-based tuning framework of Section 5.
+
+Given a workload ``W``, the framework learns an *optimized batch
+execution strategy* ``S* = {W_1, ..., W_t}`` (Σ W_i = W) that keeps every
+machine under ``p`` percent of its physical memory:
+
+1. **Train** (:mod:`repro.tuning.trainer`): run light workloads
+   ``2^r (r = 1..h)`` and record the maximum memory ``y_r`` and maximum
+   residual memory ``y'_r`` per machine.
+2. **Fit** (:mod:`repro.tuning.lma` + :mod:`repro.tuning.memory_model`):
+   estimate ``M*(W) = a1 W^b1 + c1`` and ``Mr(W) = a2 W^b2 + c2`` with
+   Levenberg-Marquardt (Equation 2/4).
+3. **Plan** (:mod:`repro.tuning.planner`): compute the batch schedule by
+   Equations 5-6 — each batch gets the largest workload whose projected
+   peak, on top of the accumulated residual, stays under ``p·M``.
+4. **Execute** (:mod:`repro.tuning.autotuner`): run the schedule and
+   compare against Full-Parallelism (Figure 12).
+"""
+
+from repro.tuning.autotuner import AutoTuner, TuningReport
+from repro.tuning.lma import FitResult, fit_power_law, levenberg_marquardt
+from repro.tuning.memory_model import MemoryCostModel, PowerLawModel
+from repro.tuning.planner import plan_batches
+from repro.tuning.trainer import TrainingSample, train_memory_models
+
+__all__ = [
+    "levenberg_marquardt",
+    "fit_power_law",
+    "FitResult",
+    "PowerLawModel",
+    "MemoryCostModel",
+    "TrainingSample",
+    "train_memory_models",
+    "plan_batches",
+    "AutoTuner",
+    "TuningReport",
+]

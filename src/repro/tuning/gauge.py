@@ -1,0 +1,128 @@
+"""Trial-and-error workload gauging (Section 4.10's first guideline).
+
+"The first step is to gauge a suitable workload that will not overload
+the system. This can be monitored via a trial-and-error process using a
+binary search for the workload. In each trial, the overload situation
+can be detected by checking the memory consumption or disk utilization
+in the master machine."
+
+:func:`gauge_max_workload` runs exactly that: binary search over the
+workload, with each trial executed as a 1-batch job on the target
+engine; a trial counts as overloading when the job overloads, when the
+memory peak exceeds the usable fraction, or when an out-of-core
+engine's disk saturates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.engines.base import SimulatedEngine
+from repro.errors import TuningError
+from repro.rng import SeedLike
+from repro.tuning.trainer import TaskFactory
+
+
+@dataclass(frozen=True)
+class GaugeTrial:
+    """One binary-search probe."""
+
+    workload: float
+    overloaded: bool
+    seconds: float
+    peak_memory_bytes: float
+    max_disk_utilization: float
+
+
+@dataclass
+class GaugeResult:
+    """Outcome of the binary search."""
+
+    max_safe_workload: float
+    trials: List[GaugeTrial] = field(default_factory=list)
+
+    @property
+    def num_trials(self) -> int:
+        return len(self.trials)
+
+
+def _trial_overloads(
+    engine: SimulatedEngine, metrics, memory_fraction: float
+) -> bool:
+    if metrics.overloaded:
+        return True
+    machine = engine.cluster.scaled_machine
+    if metrics.peak_memory_bytes > memory_fraction * machine.memory_bytes:
+        return True
+    if engine.profile.out_of_core and metrics.max_disk_utilization >= 1.0:
+        return True
+    return False
+
+
+def gauge_max_workload(
+    engine: SimulatedEngine,
+    task_factory: TaskFactory,
+    upper_bound: float,
+    lower_bound: float = 1.0,
+    memory_fraction: float = 0.875,
+    tolerance_fraction: float = 0.05,
+    max_trials: int = 20,
+    seed: SeedLike = None,
+) -> GaugeResult:
+    """Binary-search the largest 1-batch workload that stays safe.
+
+    Parameters
+    ----------
+    upper_bound / lower_bound:
+        search interval; ``lower_bound`` must itself be safe (checked).
+    memory_fraction:
+        memory threshold relative to physical memory (the paper's
+        overloading parameter ``p``).
+    tolerance_fraction:
+        stop when the bracket is within this fraction of the upper
+        bound.
+
+    Returns the largest workload observed safe. Raises
+    :class:`TuningError` when even ``lower_bound`` overloads.
+    """
+    if upper_bound <= lower_bound:
+        raise TuningError("upper_bound must exceed lower_bound")
+
+    trials: List[GaugeTrial] = []
+
+    def probe(workload: float) -> bool:
+        task = task_factory(workload)
+        metrics = engine.run_job(task, [float(workload)], seed=seed)
+        overloaded = _trial_overloads(engine, metrics, memory_fraction)
+        trials.append(
+            GaugeTrial(
+                workload=workload,
+                overloaded=overloaded,
+                seconds=metrics.seconds,
+                peak_memory_bytes=metrics.peak_memory_bytes,
+                max_disk_utilization=metrics.max_disk_utilization,
+            )
+        )
+        return overloaded
+
+    low, high = float(lower_bound), float(upper_bound)
+    if probe(low):
+        raise TuningError(
+            f"even the lower bound workload {low:g} overloads the system"
+        )
+    if not probe(high):
+        return GaugeResult(max_safe_workload=high, trials=trials)
+
+    tolerance = tolerance_fraction * upper_bound
+    for _ in range(max_trials):
+        if high - low <= tolerance:
+            break
+        mid = round((low + high) / 2.0)
+        if mid <= low or mid >= high:
+            break
+        if probe(mid):
+            high = mid
+        else:
+            low = mid
+    return GaugeResult(max_safe_workload=low, trials=trials)

@@ -1,0 +1,139 @@
+"""The batch-schedule planner (Equations 1, 5, 6).
+
+Objective: find ``S = {W_1, ..., W_t}`` with ``Σ W_i = W`` such that for
+every batch ``j``::
+
+    Mr(Σ_{i≤j} W_i) + M*(W_{j+1}) ≤ p · M          (Equation 1)
+
+Computation is iterative (Equation 5/6): batch ``i+1`` receives the
+largest workload whose projected peak fits beside the residual of
+everything already processed::
+
+    W_{i+1} = ((p·M − a2·(Σ_{j≤i} W_j)^b2 − c2 − c1) / a1)^(1/b1)
+
+Residual memory grows with processed workload, so the schedule
+decreases monotonically — the paper's example for W=5120 on 4 machines
+is ``[2747, 1388, 644, 266, 75]``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.cluster.machine import MachineSpec
+from repro.errors import TuningError
+from repro.tuning.memory_model import MemoryCostModel
+
+#: Default overloading parameter p: fraction of physical memory a
+#: machine may use before it counts as overloaded. Section 4.3 puts the
+#: usable capacity at 14/16 ≈ 0.875 of physical memory; planning right
+#: at that boundary leaves no slack for model error, so the default
+#: keeps a small safety margin below it.
+DEFAULT_OVERLOAD_FRACTION = 0.8
+
+#: Safety floor: a planned batch smaller than this fraction of the
+#: remaining workload ends the iteration by folding the tail into a
+#: final batch (prevents infinitely-shrinking tails).
+MIN_BATCH_FRACTION = 0.005
+
+
+def plan_batches(
+    model: MemoryCostModel,
+    total_workload: float,
+    machine: MachineSpec,
+    overload_fraction: float = DEFAULT_OVERLOAD_FRACTION,
+    max_batches: int = 64,
+    integral: bool = True,
+) -> List[float]:
+    """Compute the Optimized schedule for ``total_workload``.
+
+    Parameters
+    ----------
+    model:
+        the fitted (M*, Mr) pair, in the same (scaled) byte units as
+        ``machine.memory_bytes``.
+    total_workload:
+        the job's workload ``W``.
+    machine:
+        target machine spec; ``p·M`` is ``overload_fraction *
+        machine.memory_bytes``.
+    max_batches:
+        hard cap on schedule length.
+    integral:
+        round batch workloads to integers (walk/source counts).
+
+    Returns a list of positive batch workloads summing to ``W``. Raises
+    :class:`TuningError` when even an empty cluster cannot fit the
+    smallest batch (budget below the models' constant terms).
+    """
+    if total_workload <= 0:
+        raise TuningError("total workload must be positive")
+    if not 0 < overload_fraction <= 1:
+        raise TuningError("overload_fraction must be in (0, 1]")
+    budget = overload_fraction * machine.memory_bytes
+
+    schedule: List[float] = []
+    done = 0.0
+    remaining = float(total_workload)
+    for _ in range(max_batches):
+        # Equation 5: memory left for the next batch's peak.
+        headroom = (
+            budget - model.residual(done)
+            if done > 0
+            else budget - model.residual.c
+        )
+        allowed = model.peak.invert(max(headroom, 0.0))
+        if integral:
+            allowed = float(int(allowed))
+        if allowed < (1.0 if integral else MIN_BATCH_FRACTION * total_workload):
+            if not schedule:
+                raise TuningError(
+                    "memory budget below the model's constant terms; "
+                    "no feasible first batch"
+                )
+            # Residual memory of the processed workload leaves no
+            # headroom for the rest: the *total* workload is infeasible
+            # under Equation 1 no matter how it is batched.
+            raise TuningError(
+                f"workload infeasible: after {done:g} units the projected "
+                f"residual memory leaves no headroom for the remaining "
+                f"{remaining:g}; reduce the workload, raise the overload "
+                "fraction, or add machines"
+            )
+        batch = min(remaining, allowed)
+        schedule.append(batch)
+        done += batch
+        remaining -= batch
+        if remaining <= (0.5 if integral else 1e-9):
+            if remaining > 0:
+                schedule[-1] += remaining
+            return schedule
+    raise TuningError(
+        f"schedule exceeds {max_batches} batches with {remaining:g} units "
+        "left; the workload is effectively infeasible under the memory "
+        "budget"
+    )
+
+
+def validate_schedule(
+    schedule: List[float],
+    model: MemoryCostModel,
+    machine: MachineSpec,
+    overload_fraction: float = DEFAULT_OVERLOAD_FRACTION,
+    slack: float = 1.02,
+) -> Optional[int]:
+    """Check Equation 1 for every batch; return the index of the first
+    violating batch or ``None`` when the schedule is feasible.
+
+    ``slack`` tolerates the integral rounding of batch workloads.
+    """
+    budget = overload_fraction * machine.memory_bytes * slack
+    done = 0.0
+    for index, batch in enumerate(schedule):
+        projected = (
+            model.residual(done) if done > 0 else model.residual.c
+        ) + model.peak(batch)
+        if projected > budget:
+            return index
+        done += batch
+    return None

@@ -1,0 +1,133 @@
+"""The light-weight training phase of Section 5.
+
+"We conduct training on the task with workload 2^r (1 ≤ r ≤ h) where
+W ≫ 2^h (the condition ensures the training cost is minor). Through the
+training we collect h sets of runtime statistics, including the maximum
+memory {y_r} and the maximum residual memory {y'_r}."
+
+The trainer runs each probe workload as a 1-batch job on the target
+engine/cluster and records per-machine peaks from the job metrics, then
+fits the two power-law models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro.engines.base import SimulatedEngine
+from repro.errors import TuningError
+from repro.rng import SeedLike
+from repro.tasks.base import TaskSpec
+from repro.tuning.memory_model import MemoryCostModel, PowerLawModel
+
+#: A task factory: workload -> TaskSpec (so the trainer can build probe
+#: tasks of arbitrary light workloads).
+TaskFactory = Callable[[float], TaskSpec]
+
+
+@dataclass(frozen=True)
+class TrainingSample:
+    """One probe run's statistics."""
+
+    workload: float
+    peak_memory_bytes: float
+    residual_memory_bytes: float
+    seconds: float
+    overloaded: bool
+
+
+def probe_workloads(
+    total_workload: float, max_exponent: Optional[int] = None
+) -> List[int]:
+    """The 2^r probe ladder, kept well below the real workload.
+
+    Probes stop at ``2^h ≤ W / 4`` so the training cost stays minor
+    while the top probes reach the linear memory regime the planner
+    extrapolates from; at least three probes are produced (the fit
+    needs three points).
+    """
+    if total_workload <= 8:
+        raise TuningError("workload too small to train on (need > 8)")
+    ladder: List[int] = []
+    r = 1
+    while 2**r <= max(total_workload / 4.0, 8):
+        ladder.append(2**r)
+        r += 1
+        if max_exponent is not None and r > max_exponent:
+            break
+    if len(ladder) < 3:
+        ladder = [2, 4, 8]
+    return ladder
+
+
+def collect_training_samples(
+    engine: SimulatedEngine,
+    task_factory: TaskFactory,
+    workloads: Sequence[float],
+    seed: SeedLike = None,
+) -> List[TrainingSample]:
+    """Run each probe workload as a 1-batch job and record its stats."""
+    samples: List[TrainingSample] = []
+    for workload in workloads:
+        task = task_factory(float(workload))
+        metrics = engine.run_job(task, [float(workload)], seed=seed)
+        samples.append(
+            TrainingSample(
+                workload=float(workload),
+                peak_memory_bytes=metrics.peak_memory_bytes,
+                residual_memory_bytes=metrics.extras.get(
+                    "residual_memory_bytes", 0.0
+                )
+                / engine.cluster.num_machines,
+                seconds=metrics.seconds,
+                overloaded=metrics.overloaded,
+            )
+        )
+    return samples
+
+
+def train_memory_models(
+    engine: SimulatedEngine,
+    task_factory: TaskFactory,
+    total_workload: float,
+    seed: SeedLike = None,
+) -> MemoryCostModel:
+    """End-to-end training: probe ladder → samples → fitted models."""
+    ladder = probe_workloads(total_workload)
+    samples = collect_training_samples(engine, task_factory, ladder, seed=seed)
+    usable = [s for s in samples if not s.overloaded]
+    if len(usable) < 3:
+        raise TuningError(
+            "training probes overloaded the cluster; reduce the probe ladder"
+        )
+    workloads = [s.workload for s in usable]
+    peak = PowerLawModel.fit(
+        workloads, [s.peak_memory_bytes for s in usable], seed=seed
+    )
+    peak = _envelope(peak, workloads, [s.peak_memory_bytes for s in usable])
+    residual = PowerLawModel.fit(
+        workloads, [s.residual_memory_bytes for s in usable], seed=seed
+    )
+    return MemoryCostModel(peak=peak, residual=residual)
+
+
+def _envelope(
+    model: PowerLawModel, workloads, values
+) -> PowerLawModel:
+    """Inflate ``a`` so the model upper-bounds every training point.
+
+    The planner uses the peak model to *avoid overload*, so a model that
+    sits under a noisy training sample is dangerous — an envelope fit
+    errs on the safe (conservative) side.
+    """
+    worst = 1.0
+    for w, y in zip(workloads, values):
+        predicted = model(w)
+        if predicted > 0 and y > predicted:
+            worst = max(worst, y / predicted)
+    if worst == 1.0:
+        return model
+    return PowerLawModel(
+        a=model.a * worst, b=model.b, c=model.c, rmse=model.rmse
+    )

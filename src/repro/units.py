@@ -1,0 +1,56 @@
+"""Byte/time unit constants and human-readable formatting helpers.
+
+The simulator works in plain floats (bytes and seconds). These helpers keep
+magic numbers out of the cost model and make experiment tables readable,
+matching the units used in the paper's tables (GB, minutes, seconds).
+"""
+
+from __future__ import annotations
+
+KB = 1024.0
+MB = 1024.0 * KB
+GB = 1024.0 * MB
+TB = 1024.0 * GB
+
+MILLISECOND = 1e-3
+SECOND = 1.0
+MINUTE = 60.0
+HOUR = 3600.0
+
+#: The paper marks a run "overload" when it does not finish within 6000 s.
+OVERLOAD_CUTOFF_SECONDS = 6000.0
+
+
+def format_bytes(num_bytes: float) -> str:
+    """Format a byte count the way the paper's tables do (e.g. ``15.1GB``)."""
+    if num_bytes < 0:
+        return "-" + format_bytes(-num_bytes)
+    for unit, name in ((TB, "TB"), (GB, "GB"), (MB, "MB"), (KB, "KB")):
+        if num_bytes >= unit:
+            return f"{num_bytes / unit:.1f}{name}"
+    return f"{num_bytes:.0f}B"
+
+
+def format_seconds(seconds: float) -> str:
+    """Format a duration compactly (``3.4min``, ``173.3s``, ``94ms``)."""
+    if seconds < 0:
+        return "-" + format_seconds(-seconds)
+    if seconds >= HOUR:
+        return f"{seconds / HOUR:.1f}h"
+    # The paper prints short runs in seconds (e.g. 173.3 s) and switches
+    # to minutes only for multi-minute runs.
+    if seconds >= 5 * MINUTE:
+        return f"{seconds / MINUTE:.1f}min"
+    if seconds >= 1.0:
+        return f"{seconds:.1f}s"
+    return f"{seconds * 1000:.0f}ms"
+
+
+def format_count(count: float) -> str:
+    """Format a message count the way Figure 6 does (``633.2M``)."""
+    if count < 0:
+        return "-" + format_count(-count)
+    for unit, name in ((1e9, "B"), (1e6, "M"), (1e3, "K")):
+        if count >= unit:
+            return f"{count / unit:.1f}{name}"
+    return f"{count:.0f}"

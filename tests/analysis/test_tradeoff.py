@@ -1,0 +1,80 @@
+"""Tests for the tradeoff/regime classifier."""
+
+import pytest
+
+from repro.analysis.tradeoff import TradeoffCurve, classify_regime
+from repro.batching.executor import MultiProcessingJob
+from repro.cluster.cluster import galaxy8, galaxy27
+from repro.graph.datasets import load_dataset
+from repro.tasks.bppr import bppr_task
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return load_dataset("dblp", scale=400)
+
+
+def curve_for(engine, cluster, workload, graph, counts=(1, 2, 4, 8, 16)):
+    job = MultiProcessingJob(engine, cluster)
+    runs = job.sweep_batches(
+        bppr_task(graph, workload), batch_counts=counts, seed=1
+    )
+    return TradeoffCurve.from_runs(runs, cluster.scaled_machine), runs
+
+
+class TestRegimeClassification:
+    def test_heavy_full_parallelism_is_memory_bound(self, graph):
+        cluster = galaxy8(scale=400)
+        curve, _ = curve_for("pregel+", cluster, 10240, graph)
+        assert curve.points[0].regime == "memory-bound"
+
+    def test_light_workload_balanced(self, graph):
+        cluster = galaxy8(scale=400)
+        curve, _ = curve_for("pregel+", cluster, 256, graph, counts=(1, 2))
+        assert curve.points[0].regime == "balanced"
+
+    def test_graphd_small_batches_disk_bound(self, graph):
+        cluster = galaxy27(scale=400)
+        curve, _ = curve_for("graphd", cluster, 2048, graph, counts=(1, 2, 8))
+        assert curve.points[0].regime == "disk-bound"
+        assert curve.points[-1].regime != "disk-bound"
+
+    def test_many_tiny_batches_sync_bound(self, graph):
+        cluster = galaxy8(scale=400)
+        job = MultiProcessingJob("pregel+", cluster)
+        runs = job.sweep_batches(
+            bppr_task(graph, 256), batch_counts=(64,), seed=1
+        )
+        assert (
+            classify_regime(runs[0], cluster.scaled_machine) == "sync-bound"
+        )
+
+
+class TestCurve:
+    def test_optimum_matches_min_time(self, graph):
+        cluster = galaxy8(scale=400)
+        curve, runs = curve_for("pregel+", cluster, 10240, graph)
+        finite = [m for m in runs if not m.overloaded]
+        assert curve.optimum.batches == min(
+            finite, key=lambda m: m.seconds
+        ).num_batches
+
+    def test_all_overloaded_advice(self, graph):
+        cluster = galaxy8(scale=400).with_machines(2)
+        curve, _ = curve_for(
+            "pregel+", cluster, 65536, graph, counts=(1, 2)
+        )
+        assert curve.optimum is None
+        assert "reduce the workload" in curve.advice()
+
+    def test_advice_names_the_pressure(self, graph):
+        cluster = galaxy8(scale=400)
+        curve, _ = curve_for("pregel+", cluster, 10240, graph)
+        assert "memory-bound" in curve.advice()
+
+    def test_rows_render(self, graph):
+        cluster = galaxy8(scale=400)
+        curve, _ = curve_for("pregel+", cluster, 1024, graph, counts=(1, 2))
+        rows = curve.to_rows()
+        assert rows[0]["batches"] == 1
+        assert "regime" in rows[0]

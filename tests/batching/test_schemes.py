@@ -1,0 +1,153 @@
+"""Tests for batching schemes (plus hypothesis properties)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.batching.schemes import (
+    doubling_batch_counts,
+    equal_batches,
+    explicit_batches,
+    full_parallelism,
+    two_batches_delta,
+)
+from repro.errors import BatchingError
+
+
+class TestEqualBatches:
+    def test_even_split(self):
+        assert equal_batches(100, 4) == [25.0, 25.0, 25.0, 25.0]
+
+    def test_remainder_spread_over_leading_batches(self):
+        assert equal_batches(10, 3) == [4.0, 3.0, 3.0]
+
+    def test_one_batch_is_full_parallelism(self):
+        assert equal_batches(77, 1) == full_parallelism(77) == [77.0]
+
+    def test_fractional_workload(self):
+        assert equal_batches(2.5, 2) == [1.25, 1.25]
+
+    def test_fractional_smaller_than_batches_rejected(self):
+        # A batch must contain at least one unit task.
+        with pytest.raises(BatchingError):
+            equal_batches(1.5, 3)
+
+    def test_too_many_batches_rejected(self):
+        with pytest.raises(BatchingError):
+            equal_batches(3, 5)
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_invalid_counts(self, bad):
+        with pytest.raises(BatchingError):
+            equal_batches(10, bad)
+
+    def test_invalid_workload(self):
+        with pytest.raises(BatchingError):
+            equal_batches(0, 1)
+
+
+class TestTwoBatchesDelta:
+    def test_balanced(self):
+        assert two_batches_delta(100, 0) == [50.0, 50.0]
+
+    def test_positive_delta_front_loads(self):
+        assert two_batches_delta(100, 20) == [60.0, 40.0]
+
+    def test_negative_delta_back_loads(self):
+        assert two_batches_delta(100, -20) == [40.0, 60.0]
+
+    def test_degenerate_delta_rejected(self):
+        with pytest.raises(BatchingError):
+            two_batches_delta(100, 100)
+        with pytest.raises(BatchingError):
+            two_batches_delta(100, -150)
+
+
+class TestExplicit:
+    def test_passthrough(self):
+        assert explicit_batches([3, 2, 1]) == [3.0, 2.0, 1.0]
+
+    def test_empty_rejected(self):
+        with pytest.raises(BatchingError):
+            explicit_batches([])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(BatchingError):
+            explicit_batches([5, 0])
+
+
+class TestDoublingAxis:
+    def test_standard_axis(self):
+        assert doubling_batch_counts(1000) == [1, 2, 4, 8, 16]
+
+    def test_truncated_for_small_workload(self):
+        assert doubling_batch_counts(5) == [1, 2, 4]
+
+    def test_custom_limit(self):
+        assert doubling_batch_counts(1000, limit=64) == [
+            1, 2, 4, 8, 16, 32, 64,
+        ]
+
+
+@given(
+    st.integers(min_value=1, max_value=10**6),
+    st.integers(min_value=1, max_value=128),
+)
+@settings(max_examples=200, deadline=None)
+def test_equal_batches_properties(workload, batches):
+    """Sum preserved, sizes positive, near-equal, monotone."""
+    if batches > workload:
+        with pytest.raises(BatchingError):
+            equal_batches(workload, batches)
+        return
+    sizes = equal_batches(workload, batches)
+    assert len(sizes) == batches
+    assert sum(sizes) == workload
+    assert all(s > 0 for s in sizes)
+    assert max(sizes) - min(sizes) <= 1
+    assert sizes == sorted(sizes, reverse=True)
+
+
+@given(
+    st.floats(min_value=1.0, max_value=1e6),
+    st.floats(min_value=-0.99, max_value=0.99),
+)
+@settings(max_examples=100, deadline=None)
+def test_two_batches_delta_properties(workload, fraction):
+    delta = workload * fraction
+    sizes = two_batches_delta(workload, delta)
+    assert sum(sizes) == pytest.approx(workload)
+    # Absolute tolerance relative to the workload magnitude (tiny deltas
+    # drown in float cancellation otherwise).
+    assert sizes[0] - sizes[1] == pytest.approx(
+        delta, abs=1e-9 * max(workload, 1.0)
+    )
+
+
+class TestGeometric:
+    def test_sum_and_ratio(self):
+        from repro.batching.schemes import geometric_batches
+
+        sizes = geometric_batches(700, 3, ratio=0.5)
+        assert sum(sizes) == pytest.approx(700)
+        assert sizes == [400.0, 200.0, 100.0]
+
+    def test_ratio_one_is_equal_split(self):
+        from repro.batching.schemes import geometric_batches
+
+        sizes = geometric_batches(90, 3, ratio=1.0)
+        assert sizes == [30.0, 30.0, 30.0]
+
+    def test_monotone_decreasing(self):
+        from repro.batching.schemes import geometric_batches
+
+        sizes = geometric_batches(1000, 6, ratio=0.7)
+        assert all(a > b for a, b in zip(sizes, sizes[1:]))
+
+    def test_invalid_ratio(self):
+        from repro.batching.schemes import geometric_batches
+
+        with pytest.raises(BatchingError):
+            geometric_batches(100, 3, ratio=0.0)
+        with pytest.raises(BatchingError):
+            geometric_batches(100, 3, ratio=1.5)

@@ -1,0 +1,130 @@
+"""Tests for the disk and network models."""
+
+import pytest
+
+from repro.cluster.disk import DiskModel, DiskSpec
+from repro.cluster.network import NetworkModel, NetworkSpec
+from repro.errors import ConfigurationError
+from repro.units import MB
+
+
+@pytest.fixture
+def disk():
+    return DiskModel(DiskSpec(bandwidth_bytes_per_second=100 * MB))
+
+
+@pytest.fixture
+def network():
+    return NetworkModel(
+        NetworkSpec(
+            bandwidth_bytes_per_second=100 * MB,
+            congestion_threshold_bytes=10 * MB,
+            knee_exponent=1.0,
+            knee_coefficient=10.0,
+        ),
+        num_machines=1,
+    )
+
+
+class TestDiskModel:
+    def test_no_spill_no_cost(self, disk):
+        usage = disk.round_time(0.0, other_seconds=1.0, message_bytes=8)
+        assert usage.busy_seconds == 0.0
+        assert usage.utilization == 0.0
+
+    def test_light_spill_overlaps(self, disk):
+        # 10 MB at 100 MB/s = 0.1 s busy inside a 1 s round.
+        usage = disk.round_time(10 * MB, other_seconds=1.0, message_bytes=8)
+        assert usage.busy_seconds == pytest.approx(0.1, rel=0.1)
+        assert usage.round_seconds == pytest.approx(1.0)
+        assert not usage.saturated
+
+    def test_saturation_extends_round(self, disk):
+        usage = disk.round_time(
+            500 * MB, other_seconds=1.0, message_bytes=8
+        )
+        assert usage.saturated
+        assert usage.utilization > 1.0
+        assert usage.round_seconds > usage.busy_seconds
+
+    def test_queue_grows_with_overflow(self, disk):
+        light = disk.round_time(150 * MB, other_seconds=1.0, message_bytes=8)
+        heavy = disk.round_time(600 * MB, other_seconds=1.0, message_bytes=8)
+        assert heavy.queue_length > light.queue_length
+
+    def test_overuse_accumulates_only_saturated(self, disk):
+        disk.round_time(10 * MB, other_seconds=1.0, message_bytes=8)
+        assert disk.overuse_seconds() == 0.0
+        disk.round_time(500 * MB, other_seconds=1.0, message_bytes=8)
+        assert disk.overuse_seconds() > 0.0
+
+    def test_reset(self, disk):
+        disk.round_time(500 * MB, other_seconds=1.0, message_bytes=8)
+        disk.reset()
+        assert disk.max_utilization() == 0.0
+        assert disk.total_spilled_bytes() == 0.0
+
+    def test_invalid_spec(self):
+        with pytest.raises(ConfigurationError):
+            DiskSpec(bandwidth_bytes_per_second=0)
+
+
+class TestNetworkModel:
+    def test_linear_below_threshold(self, network):
+        usage = network.round_time(5 * MB, cluster_bytes=5 * MB)
+        assert usage.penalty_seconds == 0.0
+        assert usage.transfer_seconds == pytest.approx(0.05)
+        assert not usage.saturated
+
+    def test_penalty_above_threshold(self, network):
+        usage = network.round_time(20 * MB, cluster_bytes=20 * MB)
+        assert usage.saturated
+        # excess ratio 1.0, coefficient 10 -> penalty = 10x base.
+        assert usage.penalty_seconds == pytest.approx(
+            10 * usage.transfer_seconds
+        )
+
+    def test_cluster_bytes_drive_the_knee(self, network):
+        # Small per-machine bytes but huge cluster volume still saturates.
+        usage = network.round_time(1 * MB, cluster_bytes=100 * MB)
+        assert usage.saturated
+
+    def test_threshold_scales_with_machines(self):
+        spec = NetworkSpec(
+            bandwidth_bytes_per_second=100 * MB,
+            congestion_threshold_bytes=10 * MB,
+        )
+        one = NetworkModel(spec, num_machines=1)
+        eight = NetworkModel(spec, num_machines=8)
+        assert eight.cluster_threshold_bytes == 8 * one.cluster_threshold_bytes
+        assert not eight.round_time(
+            20 * MB, cluster_bytes=20 * MB
+        ).saturated
+
+    def test_overuse_mixes_saturated_and_load(self, network):
+        network.round_time(20 * MB, cluster_bytes=20 * MB)  # saturated
+        saturated_overuse = network.overuse_seconds()
+        assert saturated_overuse > 0
+        network.round_time(1 * MB, cluster_bytes=1 * MB)  # light
+        assert network.overuse_seconds() >= saturated_overuse
+
+    def test_zero_bytes_free(self, network):
+        usage = network.round_time(0.0)
+        assert usage.total_seconds == 0.0
+
+    def test_scaled_spec(self):
+        spec = NetworkSpec(
+            bandwidth_bytes_per_second=100 * MB,
+            congestion_threshold_bytes=10 * MB,
+        )
+        scaled = spec.scaled(10)
+        assert scaled.bandwidth_bytes_per_second == 10 * MB
+        assert scaled.congestion_threshold_bytes == 1 * MB
+
+    def test_invalid_spec(self):
+        with pytest.raises(ConfigurationError):
+            NetworkSpec(
+                bandwidth_bytes_per_second=1.0,
+                congestion_threshold_bytes=1.0,
+                knee_exponent=0.5,
+            )

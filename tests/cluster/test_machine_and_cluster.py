@@ -1,0 +1,109 @@
+"""Tests for machine specs and cluster presets."""
+
+import pytest
+
+from repro.cluster.cluster import (
+    cluster_by_name,
+    custom_cluster,
+    docker32,
+    galaxy8,
+    galaxy27,
+)
+from repro.cluster.machine import GALAXY_MACHINE, MachineSpec
+from repro.errors import ConfigurationError
+from repro.units import GB
+
+
+class TestMachineSpec:
+    def test_usable_memory(self):
+        assert GALAXY_MACHINE.usable_memory_bytes == 14 * GB
+
+    def test_overload_limit(self):
+        spec = MachineSpec(
+            memory_bytes=16 * GB,
+            os_reserve_bytes=2 * GB,
+            cores=8,
+            compute_ops_per_second=1e6,
+            swap_allowance_fraction=0.5,
+        )
+        assert spec.overload_limit_bytes == 24 * GB
+
+    def test_scaled_divides_capacity_and_throughput(self):
+        scaled = GALAXY_MACHINE.scaled(400)
+        assert scaled.memory_bytes == GALAXY_MACHINE.memory_bytes / 400
+        assert (
+            scaled.compute_ops_per_second
+            == GALAXY_MACHINE.compute_ops_per_second / 400
+        )
+        assert scaled.cores == GALAXY_MACHINE.cores
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(memory_bytes=0),
+            dict(os_reserve_bytes=99 * GB),
+            dict(cores=0),
+            dict(compute_ops_per_second=-1),
+        ],
+    )
+    def test_invalid_specs_rejected(self, kwargs):
+        base = dict(
+            memory_bytes=16 * GB,
+            os_reserve_bytes=2 * GB,
+            cores=8,
+            compute_ops_per_second=1e6,
+        )
+        base.update(kwargs)
+        with pytest.raises(ConfigurationError):
+            MachineSpec(**base)
+
+
+class TestClusterPresets:
+    def test_paper_machine_counts(self):
+        assert galaxy8().num_machines == 8
+        assert galaxy27().num_machines == 27
+        assert docker32().num_machines == 32
+
+    def test_paper_memory(self):
+        for cluster in (galaxy8(), galaxy27(), docker32()):
+            assert cluster.machine.memory_bytes == 16 * GB
+
+    def test_docker_has_credit_rate(self):
+        assert docker32().credit_rate_per_machine_hour is not None
+        assert galaxy8().credit_rate_per_machine_hour is None
+
+    def test_scaled_capacities(self):
+        cluster = galaxy8(scale=400)
+        assert cluster.scaled_machine.memory_bytes == 16 * GB / 400
+        assert (
+            cluster.scaled_network.bandwidth_bytes_per_second
+            == cluster.network.bandwidth_bytes_per_second / 400
+        )
+        assert (
+            cluster.scaled_disk.bandwidth_bytes_per_second
+            == cluster.disk.bandwidth_bytes_per_second / 400
+        )
+
+    def test_with_machines(self):
+        four = galaxy8().with_machines(4)
+        assert four.num_machines == 4
+        assert four.machine == galaxy8().machine
+
+    def test_total_memory(self):
+        cluster = galaxy8(scale=1)
+        assert cluster.total_memory_bytes == 8 * 16 * GB
+
+    def test_lookup_by_name(self):
+        assert cluster_by_name("Galaxy-8").num_machines == 8
+        assert cluster_by_name("docker-32").kind == "cloud"
+        with pytest.raises(ConfigurationError):
+            cluster_by_name("galaxy-99")
+
+    def test_custom_cluster(self):
+        c = custom_cluster(5, memory_gb=32, cores=12)
+        assert c.num_machines == 5
+        assert c.machine.memory_bytes == 32 * 2**30
+        assert c.machine.cores == 12
+
+    def test_describe_mentions_name(self):
+        assert "galaxy-8" in galaxy8().describe()

@@ -1,0 +1,121 @@
+"""Property-style tests on per-round accounting invariants.
+
+These pin down the engine's translation from kernel summaries to round
+loads — the accounting every experiment depends on.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.cluster import galaxy8
+from repro.engines.registry import create_engine
+from repro.graph.generators import chung_lu
+from repro.tasks.bppr import bppr_task
+from repro.tasks.mssp import mssp_task
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return chung_lu(400, avg_degree=8.0, seed=77)
+
+
+def run(engine_name, graph, task, sizes, machines=8, seed=1):
+    engine = create_engine(
+        engine_name, galaxy8(scale=400).with_machines(machines)
+    )
+    return engine.run_job(task, sizes, seed=seed)
+
+
+class TestRoundInvariants:
+    def test_rounds_have_positive_time(self, graph):
+        metrics = run("pregel+", graph, bppr_task(graph, 256), [256.0])
+        for batch in metrics.batches:
+            for r in batch.rounds:
+                assert r.seconds > 0
+
+    def test_message_totals_consistent(self, graph):
+        metrics = run("pregel+", graph, bppr_task(graph, 256), [256.0])
+        total = sum(
+            r.network_messages + r.local_messages
+            for b in metrics.batches
+            for r in b.rounds
+        )
+        assert metrics.total_messages == pytest.approx(total)
+
+    def test_network_messages_bounded_by_total(self, graph):
+        metrics = run("pregel+", graph, bppr_task(graph, 256), [256.0])
+        assert metrics.network_messages <= metrics.total_messages + 1e-9
+
+    def test_monotone_message_decay_within_bppr_batch(self, graph):
+        metrics = run("pregel+", graph, bppr_task(graph, 512), [512.0])
+        wire = [
+            r.network_messages + r.local_messages
+            for r in metrics.batches[0].rounds
+        ]
+        # Walk mass decays every round (alpha-stops + danglings).
+        assert all(a >= b for a, b in zip(wire, wire[1:]))
+
+    def test_peak_memory_includes_graph_floor(self, graph):
+        tiny = run("pregel+", graph, bppr_task(graph, 1), [1.0])
+        assert tiny.peak_memory_bytes > 0
+
+    def test_bkhs_round_count_via_engine(self, graph):
+        from repro.tasks.bkhs import bkhs_task
+
+        metrics = run(
+            "pregel+", graph, bkhs_task(graph, 8, k=3, sample_limit=8), [8.0]
+        )
+        assert metrics.num_rounds == 4  # k + 1
+
+    def test_mssp_single_batch_round_count_matches_kernel(self, graph):
+        metrics = run(
+            "pregel+", graph, mssp_task(graph, 8, sample_limit=8), [8.0]
+        )
+        # BFS diameter of a dense power-law graph is small.
+        assert 2 <= metrics.num_rounds <= 20
+
+    def test_cutoff_never_exceeded_by_reported_time(self, graph):
+        heavy = run("pregel+", graph, bppr_task(graph, 200000), [200000.0])
+        assert heavy.overloaded
+        assert heavy.seconds == 6000.0
+
+
+@given(
+    workload=st.integers(min_value=8, max_value=512),
+    batches=st.integers(min_value=1, max_value=8),
+)
+@settings(max_examples=15, deadline=None)
+def test_workload_conservation_property(workload, batches):
+    """Total walks terminated equals n x W regardless of batching."""
+    graph = chung_lu(120, 5.0, seed=13)
+    if batches > workload:
+        return
+    from repro.batching.schemes import equal_batches
+
+    engine = create_engine("pregel+", galaxy8(scale=400))
+    metrics = engine.run_job(
+        bppr_task(graph, workload),
+        equal_batches(workload, batches),
+        seed=3,
+    )
+    residual = metrics.extras["residual_memory_bytes"]
+    expected_walks = workload * graph.num_vertices
+    assert residual == pytest.approx(expected_walks * 12.0, rel=0.01)
+
+
+@given(batches=st.sampled_from([1, 2, 4, 8]))
+@settings(max_examples=8, deadline=None)
+def test_total_wire_messages_batching_invariant(batches):
+    """Batching splits work but conserves the total message volume
+    (within the tail-truncation tolerance of the mass threshold)."""
+    graph = chung_lu(120, 5.0, seed=13)
+    engine = create_engine("pregel+", galaxy8(scale=400))
+    one = engine.run_job(bppr_task(graph, 512), [512.0], seed=3)
+    split = engine.run_job(
+        bppr_task(graph, 512), [512.0 / batches] * batches, seed=3
+    )
+    assert split.total_messages == pytest.approx(
+        one.total_messages, rel=0.02
+    )

@@ -1,0 +1,56 @@
+"""Quick-mode smoke runs for the heavier experiments.
+
+The big-graph experiments (fig5, fig8) are exercised at a coarser scale
+so the suite stays fast while still touching every experiment module.
+"""
+
+import pytest
+
+from repro.experiments.base import ExperimentConfig
+from repro.experiments.runner import run_experiment
+
+#: Coarse scale keeps Twitter/Friendster stand-ins small in tests.
+COARSE = ExperimentConfig(scale=4000, quick=True)
+QUICK = ExperimentConfig(quick=True)
+
+
+class TestQuickRuns:
+    @pytest.mark.parametrize("eid", ["fig3", "fig10", "fig11"])
+    def test_medium_experiments_quick(self, eid):
+        result = run_experiment(eid, QUICK)
+        assert result.rows
+
+    @pytest.mark.parametrize("eid", ["fig5", "fig7", "fig8"])
+    def test_big_graph_experiments_coarse(self, eid):
+        result = run_experiment(eid, COARSE)
+        assert result.rows
+
+    def test_ablations_quick(self):
+        result = run_experiment("ablations", QUICK)
+        # The knee and residual mechanisms are robust to quick mode.
+        assert result.rows
+        assert (
+            result.claims[
+                "the superlinear Figure-6 jump needs the congestion knee"
+            ]
+        )
+
+    def test_table3_quick(self):
+        result = run_experiment("table3", QUICK)
+        assert len(result.rows) == 3  # b = 1, 4, 32
+
+
+class TestScaleInvariance:
+    """The headline crossover survives a different simulation scale —
+    the core promise of the scale rule (docs/CALIBRATION.md)."""
+
+    @pytest.mark.parametrize("scale", [200, 800])
+    def test_fig4_heavy_workload_crossover(self, scale):
+        config = ExperimentConfig(scale=scale)
+        result = run_experiment("fig4", config)
+        rows = {row["workload"]: row for row in result.rows}
+        # Full-Parallelism never wins at the heavy workloads.
+        assert rows[10240]["optimum"] != 1
+        assert rows[12288]["optimum"] != 1
+        # The light workload stays happiest at or near Full-Parallelism.
+        assert rows[1024]["optimum"] in (1, 2)

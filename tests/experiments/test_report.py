@@ -1,0 +1,51 @@
+"""Tests for the EXPERIMENTS.md report generator (quick mode)."""
+
+import pytest
+
+from repro.experiments.base import ExperimentConfig
+from repro.experiments.report import write_experiments_markdown
+
+
+class TestReportGeneration:
+    @pytest.fixture(scope="class")
+    def report_path(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("report") / "EXPERIMENTS.md"
+        return write_experiments_markdown(
+            str(out), ExperimentConfig(quick=True, scale=2000)
+        )
+
+    def test_file_written(self, report_path):
+        assert report_path.exists()
+
+    def test_contains_every_experiment(self, report_path):
+        content = report_path.read_text()
+        for eid in (
+            "fig2",
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+            "fig12",
+            "table2",
+            "table3",
+            "table4",
+            "ablations",
+        ):
+            assert f"### {eid}:" in content, eid
+
+    def test_summary_counts_claims(self, report_path):
+        content = report_path.read_text()
+        assert "## Summary" in content
+        assert "paper claims reproduced" in content
+
+    def test_markdown_tables_present(self, report_path):
+        content = report_path.read_text()
+        assert content.count("|---") >= 15
+
+    def test_scale_documented(self, report_path):
+        assert "1/2000" in report_path.read_text()

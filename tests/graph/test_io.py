@@ -1,0 +1,68 @@
+"""Round-trip tests for graph serialization."""
+
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.io import load_npz, read_edge_list, save_npz, write_edge_list
+
+
+class TestEdgeListText:
+    def test_round_trip_unweighted(self, tiny_graph, tmp_path):
+        path = tmp_path / "tiny.txt"
+        write_edge_list(tiny_graph, path)
+        loaded = read_edge_list(path, num_vertices=6)
+        assert loaded == tiny_graph
+
+    def test_round_trip_weighted(self, weighted_graph, tmp_path):
+        path = tmp_path / "weighted.txt"
+        write_edge_list(weighted_graph, path)
+        loaded = read_edge_list(path, num_vertices=5)
+        assert loaded == weighted_graph
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# header\n\n0 1\n# mid comment\n1 2\n\n")
+        g = read_edge_list(path)
+        assert g.num_arcs == 2
+
+    def test_inconsistent_columns_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0 1\n1 2 3.5\n")
+        with pytest.raises(GraphFormatError):
+            read_edge_list(path)
+
+    def test_garbage_rejected_with_line_number(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0 1\nfoo bar\n")
+        with pytest.raises(GraphFormatError, match="bad.txt:2"):
+            read_edge_list(path)
+
+    def test_wrong_width_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0 1 2 3\n")
+        with pytest.raises(GraphFormatError):
+            read_edge_list(path)
+
+
+class TestNpz:
+    def test_round_trip(self, tiny_graph, tmp_path):
+        path = tmp_path / "tiny.npz"
+        save_npz(tiny_graph, path)
+        loaded = load_npz(path)
+        assert loaded == tiny_graph
+        assert loaded.name == tiny_graph.name
+
+    def test_round_trip_weighted(self, weighted_graph, tmp_path):
+        path = tmp_path / "w.npz"
+        save_npz(weighted_graph, path)
+        loaded = load_npz(path)
+        assert loaded == weighted_graph
+        assert loaded.is_weighted
+
+    def test_non_graph_archive_rejected(self, tmp_path):
+        import numpy as np
+
+        path = tmp_path / "other.npz"
+        np.savez(path, foo=np.arange(3))
+        with pytest.raises(GraphFormatError):
+            load_npz(path)

@@ -1,0 +1,138 @@
+"""Tests for partitioning and mirroring plans."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitionError
+from repro.graph.generators import star
+from repro.graph.mirrors import build_mirror_plan
+from repro.graph.partition import (
+    edge_partition,
+    hash_partition,
+    partition_graph,
+    range_partition,
+)
+
+
+class TestHashPartition:
+    def test_covers_all_vertices(self, social_graph):
+        part = hash_partition(social_graph, 8)
+        part.validate(social_graph)
+        assert part.vertices_per_machine.sum() == social_graph.num_vertices
+
+    def test_roughly_balanced(self, social_graph):
+        part = hash_partition(social_graph, 8)
+        expected = social_graph.num_vertices / 8
+        assert part.vertices_per_machine.min() > 0.5 * expected
+        assert part.vertices_per_machine.max() < 1.5 * expected
+
+    def test_cut_fraction_approaches_1_minus_1_over_m(self, social_graph):
+        part = hash_partition(social_graph, 8)
+        assert abs(part.cut_fraction - 7 / 8) < 0.06
+
+    def test_single_machine_no_cut(self, social_graph):
+        part = hash_partition(social_graph, 1)
+        assert part.cut_arcs == 0
+        assert part.cut_fraction == 0.0
+
+    def test_deterministic(self, social_graph):
+        a = hash_partition(social_graph, 4)
+        b = hash_partition(social_graph, 4)
+        np.testing.assert_array_equal(a.owner, b.owner)
+
+    def test_zero_machines_rejected(self, tiny_graph):
+        with pytest.raises(PartitionError):
+            hash_partition(tiny_graph, 0)
+
+
+class TestRangePartition:
+    def test_contiguous_ranges(self, random_graph):
+        part = range_partition(random_graph, 4)
+        owners = part.owner
+        assert all(owners[i] <= owners[i + 1] for i in range(len(owners) - 1))
+
+    def test_covers_graph(self, random_graph):
+        part = range_partition(random_graph, 4)
+        part.validate(random_graph)
+
+
+class TestEdgePartition:
+    def test_replication_factor_at_least_one(self, social_graph):
+        part = edge_partition(social_graph, 8)
+        assert part.replication_factor >= 1.0
+        part.validate(social_graph)
+
+    def test_replication_grows_with_machines(self, social_graph):
+        small = edge_partition(social_graph, 2)
+        large = edge_partition(social_graph, 16)
+        assert large.replication_factor > small.replication_factor
+
+    def test_single_machine_replication_one(self, social_graph):
+        part = edge_partition(social_graph, 1)
+        assert part.replication_factor == pytest.approx(1.0)
+
+    def test_empty_graph(self):
+        from repro.graph.build import from_edge_list
+
+        g = from_edge_list([], num_vertices=5)
+        part = edge_partition(g, 3)
+        assert part.replication_factor == 1.0
+
+
+class TestRegistry:
+    def test_lookup_by_name(self, random_graph):
+        for name in ("hash", "range", "edge-cut"):
+            part = partition_graph(random_graph, 3, name)
+            assert part.strategy in (name, "edge-cut")
+
+    def test_unknown_strategy(self, random_graph):
+        with pytest.raises(PartitionError):
+            partition_graph(random_graph, 3, "magic")
+
+
+class TestMirrorPlan:
+    def test_star_centre_mirrored(self):
+        g = star(300, directed=False)
+        part = hash_partition(g, 8)
+        plan = build_mirror_plan(g, part, degree_threshold=100)
+        assert plan.mirrored[0]
+        assert not plan.mirrored[1:].any()
+
+    def test_remote_machines_bounded(self, social_graph):
+        part = hash_partition(social_graph, 8)
+        plan = build_mirror_plan(social_graph, part)
+        assert plan.remote_machines.max() <= 7
+
+    def test_remote_plus_local_equals_degree(self, social_graph):
+        part = hash_partition(social_graph, 8)
+        plan = build_mirror_plan(social_graph, part)
+        degrees = np.diff(social_graph.indptr)
+        np.testing.assert_array_equal(
+            plan.remote_neighbors + plan.local_neighbors, degrees
+        )
+
+    def test_mirroring_reduces_broadcast_traffic(self):
+        g = star(500, directed=False)
+        part = hash_partition(g, 8)
+        plan = build_mirror_plan(g, part, degree_threshold=50)
+        # Centre broadcast: ~7 machine messages instead of ~437 remote
+        # neighbour messages (the leaves' own traffic is unchanged, so
+        # the overall reduction is just under one half).
+        assert plan.skew_reduction() > 0.4
+
+    def test_threshold_infinite_means_no_mirrors(self, social_graph):
+        part = hash_partition(social_graph, 8)
+        plan = build_mirror_plan(
+            social_graph, part, degree_threshold=10**9
+        )
+        assert plan.num_mirrored_vertices == 0
+        assert plan.skew_reduction() == 0.0
+
+    def test_broadcast_cost_for_unmirrored_is_remote_neighbors(
+        self, social_graph
+    ):
+        part = hash_partition(social_graph, 8)
+        plan = build_mirror_plan(social_graph, part, degree_threshold=10**9)
+        np.testing.assert_array_equal(
+            plan.broadcast_network_messages(), plan.remote_neighbors
+        )

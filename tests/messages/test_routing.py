@@ -1,0 +1,138 @@
+"""Tests for message routing and combining estimators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.generators import chung_lu, star
+from repro.graph.mirrors import build_mirror_plan
+from repro.graph.partition import hash_partition
+from repro.messages.combine import (
+    combined_walk_messages,
+    expected_occupied_bins,
+)
+from repro.messages.routing import BroadcastRouter, PointToPointRouter
+
+
+@pytest.fixture
+def routed_setup():
+    graph = chung_lu(300, avg_degree=8.0, seed=21)
+    partition = hash_partition(graph, 8)
+    plan = build_mirror_plan(graph, partition, degree_threshold=40)
+    return graph, partition, plan
+
+
+class TestPointToPoint:
+    def test_conservation(self, routed_setup):
+        graph, _, plan = routed_setup
+        router = PointToPointRouter(graph, plan)
+        ids = np.arange(graph.num_vertices)
+        emissions = np.full(graph.num_vertices, 10.0)
+        routed = router.route(ids, emissions)
+        assert routed.network_messages + routed.local_messages == (
+            pytest.approx(routed.delivered_messages)
+        )
+        assert routed.delivered_messages == pytest.approx(emissions.sum())
+
+    def test_single_machine_all_local(self):
+        graph = chung_lu(100, 6.0, seed=3)
+        partition = hash_partition(graph, 1)
+        plan = build_mirror_plan(graph, partition)
+        router = PointToPointRouter(graph, plan)
+        routed = router.route(
+            np.arange(100), np.full(100, 5.0)
+        )
+        assert routed.network_messages == 0.0
+
+    def test_empty_emission(self, routed_setup):
+        graph, _, plan = routed_setup
+        router = PointToPointRouter(graph, plan)
+        routed = router.route(np.empty(0, dtype=np.int64), np.empty(0))
+        assert routed.delivered_messages == 0.0
+
+    def test_network_share_matches_cut(self, routed_setup):
+        graph, partition, plan = routed_setup
+        router = PointToPointRouter(graph, plan)
+        degrees = np.diff(graph.indptr).astype(np.float64)
+        active = np.flatnonzero(degrees > 0)
+        # One message per out-arc: the network share equals the cut.
+        routed = router.route(active, degrees[active])
+        assert routed.network_messages == pytest.approx(partition.cut_arcs)
+
+
+class TestBroadcast:
+    def test_mirrored_hub_cheap(self):
+        graph = star(400, directed=False)
+        partition = hash_partition(graph, 8)
+        plan = build_mirror_plan(graph, partition, degree_threshold=50)
+        router = BroadcastRouter(graph, plan)
+        hub = router.route(np.array([0]), np.array([1.0]))
+        # One block from the mirrored hub costs at most 7 wire messages.
+        assert hub.network_messages <= 7
+        # ... but is delivered to all 399 leaves.
+        assert hub.delivered_messages == pytest.approx(399)
+
+    def test_unmirrored_pays_per_neighbor(self):
+        graph = star(400, directed=False)
+        partition = hash_partition(graph, 8)
+        plan = build_mirror_plan(graph, partition, degree_threshold=10**9)
+        router = BroadcastRouter(graph, plan)
+        hub = router.route(np.array([0]), np.array([1.0]))
+        assert hub.network_messages == pytest.approx(
+            plan.remote_neighbors[0]
+        )
+
+    def test_blocks_scale_linearly(self, routed_setup):
+        graph, _, plan = routed_setup
+        router = BroadcastRouter(graph, plan)
+        ids = np.arange(graph.num_vertices)
+        one = router.route(ids, np.ones(graph.num_vertices))
+        five = router.route(ids, np.full(graph.num_vertices, 5.0))
+        assert five.network_messages == pytest.approx(
+            5 * one.network_messages
+        )
+
+
+class TestCombining:
+    def test_one_bin_fully_occupied(self):
+        out = expected_occupied_bins(np.array([7.0]), np.array([1.0]))
+        assert out[0] == pytest.approx(1.0)
+
+    def test_many_balls_saturate_bins(self):
+        out = expected_occupied_bins(np.array([10000.0]), np.array([10.0]))
+        assert out[0] == pytest.approx(10.0, rel=1e-3)
+
+    def test_single_ball_hits_one_bin(self):
+        out = expected_occupied_bins(np.array([1.0]), np.array([50.0]))
+        assert out[0] == pytest.approx(1.0)
+
+    def test_zero_cases(self):
+        out = expected_occupied_bins(
+            np.array([0.0, 5.0]), np.array([10.0, 0.0])
+        )
+        assert (out == 0).all()
+
+    @given(
+        st.floats(min_value=1.0, max_value=1e5),
+        st.floats(min_value=1.0, max_value=1e4),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_occupancy_bounds(self, balls, bins):
+        out = float(
+            expected_occupied_bins(np.array([balls]), np.array([bins]))[0]
+        )
+        assert 0.0 < out <= min(balls, bins) + 1e-6
+
+    def test_combined_never_exceeds_raw(self):
+        mass = np.array([100.0, 3.0, 50000.0])
+        degrees = np.array([10.0, 10.0, 5.0])
+        combined = combined_walk_messages(mass, degrees)
+        assert (combined <= mass + 1e-9).all()
+
+    def test_source_diversity_weakens_combining(self):
+        mass = np.array([1000.0])
+        degrees = np.array([10.0])
+        few = combined_walk_messages(mass, degrees, 1.0)
+        many = combined_walk_messages(mass, degrees, 100.0)
+        assert many[0] > few[0]

@@ -1,0 +1,199 @@
+"""Tests for the cost model, overload policy and memory accounting."""
+
+import pytest
+
+from repro.cluster.disk import DiskSpec
+from repro.cluster.machine import MachineSpec
+from repro.cluster.network import NetworkSpec
+from repro.sim.cost import CostModel, RoundLoad
+from repro.sim.memory import MemoryModel
+from repro.sim.overload import (
+    MemoryState,
+    OverloadPolicy,
+    classify_memory,
+)
+from repro.units import GB, MB
+
+
+@pytest.fixture
+def machine():
+    return MachineSpec(
+        memory_bytes=100 * MB,
+        os_reserve_bytes=10 * MB,
+        cores=4,
+        compute_ops_per_second=1e6,
+        swap_allowance_fraction=0.5,
+    )
+
+
+@pytest.fixture
+def cost_model(machine):
+    return CostModel(
+        machine=machine,
+        network_spec=NetworkSpec(
+            bandwidth_bytes_per_second=10 * MB,
+            congestion_threshold_bytes=50 * MB,
+        ),
+        num_machines=4,
+    )
+
+
+def load_with(**kwargs):
+    defaults = dict(
+        network_messages=1000.0,
+        local_messages=100.0,
+        bottleneck_bytes=1 * MB,
+        compute_ops=1e6,
+        peak_memory_bytes=10 * MB,
+        cluster_bytes=4 * MB,
+    )
+    defaults.update(kwargs)
+    return RoundLoad(**defaults)
+
+
+class TestOverloadPolicy:
+    def test_under_usable_no_penalty(self, machine):
+        policy = OverloadPolicy()
+        assert policy.thrash_multiplier(50 * MB, machine) == 1.0
+        assert policy.thrash_multiplier(90 * MB, machine) == 1.0
+
+    def test_penalty_grows_with_overshoot(self, machine):
+        policy = OverloadPolicy()
+        low = policy.thrash_multiplier(95 * MB, machine)
+        high = policy.thrash_multiplier(130 * MB, machine)
+        assert 1.0 < low < high
+
+    def test_classification(self, machine):
+        assert classify_memory(80 * MB, machine) is MemoryState.OK
+        assert classify_memory(120 * MB, machine) is MemoryState.THRASHING
+        assert classify_memory(200 * MB, machine) is MemoryState.OVERLOADED
+
+
+class TestCostModel:
+    def test_compute_time(self, cost_model):
+        # 1e6 ops / (4 cores * 1e6 ops/s) = 0.25 s
+        assert cost_model.compute_seconds(1e6) == pytest.approx(0.25)
+
+    def test_cpu_factor_slows_compute(self, machine):
+        fast = CostModel(
+            machine=machine,
+            network_spec=NetworkSpec(
+                bandwidth_bytes_per_second=10 * MB,
+                congestion_threshold_bytes=1 * GB,
+            ),
+            cpu_factor=1.0,
+        )
+        slow = CostModel(
+            machine=machine,
+            network_spec=fast.network_spec,
+            cpu_factor=2.4,
+        )
+        assert slow.compute_seconds(1e6) == pytest.approx(
+            2.4 * fast.compute_seconds(1e6)
+        )
+
+    def test_round_cost_composition(self, cost_model):
+        cost = cost_model.round_cost(load_with())
+        assert cost.seconds == pytest.approx(
+            (cost.compute_seconds + cost.network_seconds + cost.overhead_seconds)
+            * cost.thrash_multiplier
+            + cost.barrier_seconds,
+            rel=1e-9,
+        )
+
+    def test_barrier_scales_with_machines(self, machine):
+        spec = NetworkSpec(
+            bandwidth_bytes_per_second=10 * MB,
+            congestion_threshold_bytes=1 * GB,
+        )
+        small = CostModel(machine=machine, network_spec=spec, num_machines=2)
+        big = CostModel(machine=machine, network_spec=spec, num_machines=32)
+        assert big.barrier_seconds() > small.barrier_seconds()
+
+    def test_overload_flag(self, cost_model):
+        cost = cost_model.round_cost(
+            load_with(peak_memory_bytes=300 * MB)
+        )
+        assert cost.overloaded
+        assert cost.memory_state is MemoryState.OVERLOADED
+
+    def test_memory_capped_never_overloads(self, machine):
+        model = CostModel(
+            machine=machine,
+            network_spec=NetworkSpec(
+                bandwidth_bytes_per_second=10 * MB,
+                congestion_threshold_bytes=1 * GB,
+            ),
+            disk_spec=DiskSpec(bandwidth_bytes_per_second=50 * MB),
+            memory_capped=True,
+        )
+        cost = model.round_cost(load_with(peak_memory_bytes=999 * MB))
+        assert not cost.overloaded
+        assert cost.thrash_multiplier == 1.0
+
+    def test_spill_adds_disk_time(self, machine):
+        model = CostModel(
+            machine=machine,
+            network_spec=NetworkSpec(
+                bandwidth_bytes_per_second=10 * MB,
+                congestion_threshold_bytes=1 * GB,
+            ),
+            disk_spec=DiskSpec(bandwidth_bytes_per_second=1 * MB),
+            memory_capped=True,
+        )
+        quiet = model.round_cost(load_with(spilled_bytes=0.0))
+        noisy = model.round_cost(load_with(spilled_bytes=100 * MB))
+        assert noisy.disk_seconds > 0.0
+        assert noisy.seconds > quiet.seconds
+
+    def test_overuse_totals_shape(self, cost_model):
+        cost_model.round_cost(load_with())
+        totals = cost_model.overuse_totals()
+        assert set(totals) == {
+            "network_overuse_seconds",
+            "io_overuse_seconds",
+        }
+
+    def test_reset_clears_history(self, cost_model):
+        cost_model.round_cost(load_with(cluster_bytes=900 * MB))
+        assert cost_model.overuse_totals()["network_overuse_seconds"] > 0
+        cost_model.reset()
+        assert (
+            cost_model.overuse_totals()["network_overuse_seconds"] == 0.0
+        )
+
+
+class TestMemoryModel:
+    def test_breakdown_total(self):
+        model = MemoryModel()
+        breakdown = model.breakdown(
+            vertices=100,
+            arcs=500,
+            messages_in=1000,
+            messages_out=1000,
+            task_state_bytes=4096,
+            residual_bytes=8192,
+        )
+        assert breakdown.total == pytest.approx(
+            breakdown.graph_bytes
+            + breakdown.buffer_bytes
+            + breakdown.task_state_bytes
+            + breakdown.residual_bytes
+        )
+
+    def test_object_overhead_multiplies(self):
+        lean = MemoryModel(object_overhead=1.0)
+        jvm = MemoryModel(object_overhead=2.0)
+        assert jvm.graph_bytes(100, 100) == 2 * lean.graph_bytes(100, 100)
+        assert jvm.buffer_bytes(10, 10) == 2 * lean.buffer_bytes(10, 10)
+
+    def test_message_bytes_override(self):
+        model = MemoryModel(message_bytes=16.0, buffer_overhead=1.0, object_overhead=1.0)
+        assert model.buffer_bytes(10, 0) == 160.0
+        assert model.buffer_bytes(10, 0, message_bytes=8.0) == 80.0
+
+    def test_invalid_constants_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            MemoryModel(vertex_state_bytes=0)

@@ -1,0 +1,123 @@
+"""Property-based tests on cost-model monotonicity.
+
+The experiments' conclusions depend on the cost model being *monotone*
+in its inputs: more bytes never cost less, more memory pressure never
+helps, deeper saturation never shortens a round. Hypothesis sweeps the
+input space.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.disk import DiskModel, DiskSpec
+from repro.cluster.machine import MachineSpec
+from repro.cluster.network import NetworkModel, NetworkSpec
+from repro.sim.cost import CostModel, RoundLoad
+from repro.sim.overload import OverloadPolicy
+from repro.units import MB
+
+MACHINE = MachineSpec(
+    memory_bytes=100 * MB,
+    os_reserve_bytes=10 * MB,
+    cores=4,
+    compute_ops_per_second=1e6,
+)
+NETWORK = NetworkSpec(
+    bandwidth_bytes_per_second=10 * MB,
+    congestion_threshold_bytes=5 * MB,
+)
+
+
+def fresh_model(**kwargs):
+    return CostModel(machine=MACHINE, network_spec=NETWORK, **kwargs)
+
+
+def load(bytes_=1 * MB, memory=10 * MB, ops=1e5, cluster=None):
+    return RoundLoad(
+        network_messages=bytes_ / 8,
+        local_messages=0.0,
+        bottleneck_bytes=bytes_,
+        compute_ops=ops,
+        peak_memory_bytes=memory,
+        cluster_bytes=cluster if cluster is not None else bytes_,
+    )
+
+
+@given(
+    st.floats(min_value=1e3, max_value=5e8),
+    st.floats(min_value=1.01, max_value=4.0),
+)
+@settings(max_examples=60, deadline=None)
+def test_time_monotone_in_bytes(bytes_, factor):
+    small = fresh_model().round_cost(load(bytes_=bytes_))
+    big = fresh_model().round_cost(load(bytes_=bytes_ * factor))
+    assert big.seconds >= small.seconds
+
+
+@given(
+    st.floats(min_value=1e6, max_value=2e8),
+    st.floats(min_value=1.01, max_value=3.0),
+)
+@settings(max_examples=60, deadline=None)
+def test_time_monotone_in_memory_pressure(memory, factor):
+    low = fresh_model().round_cost(load(memory=memory))
+    high = fresh_model().round_cost(load(memory=memory * factor))
+    assert high.seconds >= low.seconds - 1e-12
+
+
+@given(st.floats(min_value=1e3, max_value=1e9))
+@settings(max_examples=60, deadline=None)
+def test_thrash_multiplier_at_least_one(memory):
+    policy = OverloadPolicy()
+    assert policy.thrash_multiplier(memory, MACHINE) >= 1.0
+
+
+@given(
+    st.floats(min_value=0.0, max_value=5e8),
+    st.floats(min_value=0.1, max_value=10.0),
+)
+@settings(max_examples=60, deadline=None)
+def test_disk_round_time_monotone_in_spill(spill, other):
+    a = DiskModel(DiskSpec(bandwidth_bytes_per_second=50 * MB))
+    usage_small = a.round_time(spill, other, 8.0)
+    usage_big = a.round_time(spill * 2 + 1.0, other, 8.0)
+    assert usage_big.round_seconds >= usage_small.round_seconds - 1e-12
+
+
+@given(
+    st.floats(min_value=1e3, max_value=1e9),
+    st.integers(min_value=1, max_value=64),
+)
+@settings(max_examples=60, deadline=None)
+def test_network_threshold_scaling_never_hurts(cluster_bytes, machines):
+    """More machines -> higher cluster knee -> never more penalty."""
+    one = NetworkModel(NETWORK, num_machines=1)
+    many = NetworkModel(NETWORK, num_machines=machines)
+    t_one = one.round_time(1 * MB, cluster_bytes=cluster_bytes)
+    t_many = many.round_time(1 * MB, cluster_bytes=cluster_bytes)
+    assert t_many.total_seconds <= t_one.total_seconds + 1e-12
+
+
+@given(st.floats(min_value=0.0, max_value=1e9))
+@settings(max_examples=40, deadline=None)
+def test_round_cost_components_nonnegative(bytes_):
+    cost = fresh_model().round_cost(load(bytes_=max(bytes_, 1.0)))
+    assert cost.compute_seconds >= 0
+    assert cost.network_seconds >= 0
+    assert cost.barrier_seconds >= 0
+    assert cost.seconds >= cost.barrier_seconds
+
+
+def test_memory_capped_model_ignores_memory():
+    capped = fresh_model(
+        disk_spec=DiskSpec(bandwidth_bytes_per_second=50 * MB),
+        memory_capped=True,
+    )
+    low = capped.round_cost(load(memory=1 * MB))
+    capped2 = fresh_model(
+        disk_spec=DiskSpec(bandwidth_bytes_per_second=50 * MB),
+        memory_capped=True,
+    )
+    high = capped2.round_cost(load(memory=900 * MB))
+    assert low.seconds == pytest.approx(high.seconds)

@@ -1,0 +1,53 @@
+"""Tests for the per-component time breakdown on job metrics."""
+
+import pytest
+
+from repro import MultiProcessingJob, bppr_task, galaxy8, load_dataset
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return load_dataset("dblp", scale=400)
+
+
+class TestTimeBreakdown:
+    def test_components_sum_to_total(self, graph):
+        job = MultiProcessingJob("pregel+", galaxy8(scale=400))
+        metrics = job.run(bppr_task(graph, 1024), num_batches=2, seed=1)
+        parts = metrics.time_breakdown()
+        assert sum(parts.values()) == pytest.approx(
+            metrics.seconds, rel=1e-6
+        )
+
+    def test_network_dominates_heavy_bppr(self, graph):
+        job = MultiProcessingJob("pregel+", galaxy8(scale=400))
+        metrics = job.run(bppr_task(graph, 4096), num_batches=2, seed=1)
+        parts = metrics.time_breakdown()
+        assert parts["network"] > parts["compute"]
+        assert parts["network"] > parts["barrier"]
+
+    def test_disk_share_only_for_out_of_core(self, graph):
+        in_memory = MultiProcessingJob("pregel+", galaxy8(scale=400)).run(
+            bppr_task(graph, 2048), num_batches=2, seed=1
+        )
+        out_of_core = MultiProcessingJob("graphd", galaxy8(scale=400)).run(
+            bppr_task(graph, 2048), num_batches=2, seed=1
+        )
+        assert in_memory.time_breakdown()["disk"] == 0.0
+        assert out_of_core.time_breakdown()["disk"] >= 0.0
+        assert out_of_core.batches[0].spilled_bytes > 0
+
+    def test_barrier_share_grows_with_batches(self, graph):
+        job = MultiProcessingJob("pregel+", galaxy8(scale=400))
+        few = job.run(bppr_task(graph, 1024), num_batches=1, seed=1)
+        many = job.run(bppr_task(graph, 1024), num_batches=16, seed=1)
+        few_share = few.time_breakdown()["barrier"] / few.seconds
+        many_share = many.time_breakdown()["barrier"] / many.seconds
+        assert many_share > few_share
+
+    def test_thrash_share_appears_under_pressure(self, graph):
+        job = MultiProcessingJob("pregel+", galaxy8(scale=400))
+        light = job.run(bppr_task(graph, 1024), num_batches=2, seed=1)
+        heavy = job.run(bppr_task(graph, 12288), num_batches=2, seed=1)
+        assert light.time_breakdown()["thrash"] == pytest.approx(0.0)
+        assert heavy.time_breakdown()["thrash"] > 0.0

@@ -1,0 +1,195 @@
+"""Correctness tests for MSSP and BKHS kernels against references."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.build import from_edges
+from repro.graph.generators import chain, chung_lu, grid_2d
+from repro.graph.mirrors import build_mirror_plan
+from repro.graph.partition import hash_partition
+from repro.messages.routing import BroadcastRouter, PointToPointRouter
+from repro.rng import make_rng
+from repro.tasks.bkhs import BKHSKernel, bkhs_task
+from repro.tasks.exact import (
+    bfs_distances,
+    dijkstra_distances,
+    k_hop_set,
+    shortest_path_distances,
+)
+from repro.tasks.mssp import MSSPKernel, mssp_task
+
+
+def run_kernel(kernel, workload):
+    kernel.start_batch(workload)
+    for _ in range(100_000):
+        if kernel.step().done:
+            break
+    return kernel
+
+
+def router_for(graph, machines=4):
+    partition = hash_partition(graph, machines)
+    plan = build_mirror_plan(graph, partition)
+    return PointToPointRouter(graph, plan)
+
+
+class TestMSSPCorrectness:
+    def test_unweighted_matches_bfs(self):
+        graph = chung_lu(150, 6.0, seed=5)
+        kernel = MSSPKernel(
+            graph, router_for(graph), make_rng(2), sample_limit=None
+        )
+        run_kernel(kernel, 10)
+        for source, dist in kernel.result.items():
+            np.testing.assert_array_equal(
+                dist, bfs_distances(graph, source)
+            )
+
+    def test_weighted_matches_dijkstra(self, weighted_graph):
+        kernel = MSSPKernel(
+            weighted_graph,
+            router_for(weighted_graph, 2),
+            make_rng(2),
+            sample_limit=None,
+        )
+        run_kernel(kernel, 3)
+        for source, dist in kernel.result.items():
+            np.testing.assert_allclose(
+                dist, dijkstra_distances(weighted_graph, source)
+            )
+
+    def test_chain_distances(self):
+        graph = chain(20, directed=False)
+        kernel = MSSPKernel(
+            graph, router_for(graph, 2), make_rng(0), sample_limit=None
+        )
+        run_kernel(kernel, 5)
+        for source, dist in kernel.result.items():
+            expected = np.abs(np.arange(20) - source).astype(float)
+            np.testing.assert_array_equal(dist, expected)
+
+    def test_rounds_track_eccentricity(self):
+        graph = grid_2d(6, 6, directed=False)
+        kernel = MSSPKernel(
+            graph, router_for(graph, 2), make_rng(0), sample_limit=1
+        )
+        run_kernel(kernel, 1)
+        source = next(iter(kernel.result))
+        ecc = int(
+            np.max(kernel.result[source][np.isfinite(kernel.result[source])])
+        )
+        # One relaxation round per BFS level + the terminating round.
+        assert kernel.round_index == ecc + 1
+
+    def test_sampling_scales_counts(self):
+        graph = chung_lu(150, 6.0, seed=5)
+        limited = MSSPKernel(
+            graph, router_for(graph), make_rng(2), sample_limit=4
+        )
+        limited.start_batch(40)
+        full = MSSPKernel(
+            graph, router_for(graph), make_rng(2), sample_limit=None
+        )
+        full.start_batch(40)
+        lim_first = limited.step()
+        full_first = full.step()
+        assert limited._scale == pytest.approx(10.0)
+        # Scaled counts approximate the full simulation's round-1 load.
+        assert lim_first.wire_messages == pytest.approx(
+            full_first.wire_messages, rel=0.6
+        )
+
+    def test_unreachable_stays_infinite(self):
+        graph = from_edges(
+            np.array([0]), np.array([1]), num_vertices=4
+        )  # vertices 2, 3 unreachable from 0
+        kernel = MSSPKernel(
+            graph, router_for(graph, 2), make_rng(0), sample_limit=None
+        )
+        kernel.start_batch(4)
+        # Force source set to include 0 for determinism of the check.
+        for _ in range(100):
+            if kernel.step().done:
+                break
+        for source, dist in kernel.result.items():
+            expected = shortest_path_distances(graph, source)
+            np.testing.assert_array_equal(dist, expected)
+
+
+class TestBKHSCorrectness:
+    def test_counts_match_bruteforce(self):
+        graph = chung_lu(120, 5.0, seed=9)
+        kernel = BKHSKernel(
+            graph, router_for(graph), make_rng(3), k=2, sample_limit=None
+        )
+        run_kernel(kernel, 8)
+        for source, count in kernel.result.items():
+            assert count == int(k_hop_set(graph, source, 2).sum())
+
+    def test_reachable_sets_match(self):
+        graph = grid_2d(5, 5, directed=False)
+        kernel = BKHSKernel(
+            graph, router_for(graph, 2), make_rng(3), k=3, sample_limit=None
+        )
+        run_kernel(kernel, 4)
+        for source, mask in kernel.reachable_sets().items():
+            np.testing.assert_array_equal(
+                mask, k_hop_set(graph, source, 3)
+            )
+
+    def test_fixed_round_count(self):
+        graph = chung_lu(100, 6.0, seed=4)
+        for k in (1, 2, 4):
+            kernel = BKHSKernel(
+                graph, router_for(graph), make_rng(3), k=k, sample_limit=4
+            )
+            run_kernel(kernel, 4)
+            assert kernel.round_index == k + 1
+
+    def test_k_must_be_positive(self):
+        graph = chain(5)
+        with pytest.raises(Exception):
+            BKHSKernel(graph, router_for(graph, 2), make_rng(0), k=0)
+
+    def test_broadcast_router_accepted(self):
+        graph = chung_lu(100, 6.0, seed=4)
+        partition = hash_partition(graph, 4)
+        plan = build_mirror_plan(graph, partition, degree_threshold=10)
+        router = BroadcastRouter(graph, plan)
+        kernel = BKHSKernel(graph, router, make_rng(3), k=2, sample_limit=4)
+        run_kernel(kernel, 4)
+        for source, count in kernel.result.items():
+            assert count == int(k_hop_set(graph, source, 2).sum())
+
+
+class TestTaskSpecs:
+    def test_mssp_task(self, random_graph):
+        task = mssp_task(random_graph, 64)
+        assert task.name == "mssp"
+        assert task.params["sample_limit"] == 64
+
+    def test_bkhs_task(self, random_graph):
+        task = bkhs_task(random_graph, 64, k=3)
+        assert task.params["k"] == 3
+
+
+@given(
+    st.integers(min_value=2, max_value=30),
+    st.integers(min_value=0, max_value=60),
+    st.integers(min_value=0, max_value=10**6),
+)
+@settings(max_examples=30, deadline=None)
+def test_mssp_property_matches_bfs(n, m, seed):
+    """Property test: MSSP distances equal BFS on random digraphs."""
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, n, size=m)
+    dst = rng.integers(0, n, size=m)
+    graph = from_edges(src, dst, num_vertices=n, dedup=True)
+    kernel = MSSPKernel(
+        graph, router_for(graph, 2), make_rng(seed), sample_limit=None
+    )
+    run_kernel(kernel, min(3, n))
+    for source, dist in kernel.result.items():
+        np.testing.assert_array_equal(dist, bfs_distances(graph, source))

@@ -1,0 +1,106 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "pregel+" in out
+        assert "dblp" in out
+        assert "fig12" in out
+
+    def test_run_command(self, capsys):
+        code = main(
+            [
+                "run",
+                "--dataset",
+                "dblp",
+                "--task",
+                "bppr",
+                "--workload",
+                "256",
+                "--batches",
+                "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pregel+/bppr" in out
+        assert "batch 0" in out and "batch 1" in out
+
+    def test_sweep_command(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--workload",
+                "512",
+                "--machines",
+                "4",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "optimum" in out
+
+    def test_experiment_quick(self, capsys):
+        code = main(["experiment", "fig6", "--quick"])
+        out = capsys.readouterr().out
+        assert "fig6" in out
+        assert code in (0, 1)  # claims may be relaxed in quick mode
+
+    def test_tune_command(self, capsys):
+        code = main(
+            [
+                "tune",
+                "--workload",
+                "2048",
+                "--machines",
+                "4",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "memory models" in out
+        assert "Optimized" in out
+
+    def test_unknown_engine_is_reported(self, capsys):
+        code = main(["run", "--engine", "spark", "--workload", "64"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_parser_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+    def test_run_json_output(self, capsys):
+        import json
+
+        code = main(
+            ["run", "--workload", "64", "--batches", "2", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["engine"] == "pregel+"
+        assert len(payload["batches"]) == 2
+        assert "time_breakdown" in payload
+
+    def test_run_bppr_query_task(self, capsys):
+        code = main(
+            ["run", "--task", "bppr-query", "--workload", "64"]
+        )
+        assert code == 0
+        assert "bppr-query" in capsys.readouterr().out
+
+    def test_report_quick(self, tmp_path, capsys):
+        out_file = tmp_path / "EXP.md"
+        code = main(
+            ["report", "--quick", "--output", str(out_file)]
+        )
+        assert code == 0
+        content = out_file.read_text()
+        assert "paper vs measured" in content
+        assert "fig2" in content

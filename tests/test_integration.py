@@ -1,0 +1,144 @@
+"""Cross-layer integration tests.
+
+These tie the layers together: kernels vs the honest reference engine,
+end-to-end jobs vs calibration anchors, and the tuner closing the loop
+on the simulator it trained on.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    MultiProcessingJob,
+    bppr_task,
+    galaxy8,
+    load_dataset,
+    mssp_task,
+)
+from repro.engines.reference import LocalPregelEngine
+from repro.graph.generators import chung_lu
+from repro.graph.mirrors import build_mirror_plan
+from repro.graph.partition import hash_partition
+from repro.messages.routing import PointToPointRouter
+from repro.rng import make_rng
+from repro.tasks.bppr import BPPRKernel
+from repro.tasks.vc_programs import RandomWalkPPRProgram
+
+
+class TestKernelVsReferenceEngine:
+    """The vectorised kernels and the honest engine must agree on the
+    *expected* message counts — they implement the same algorithm."""
+
+    def test_bppr_round1_message_count(self):
+        graph = chung_lu(40, 4.0, seed=51)
+        walks = 50
+
+        # Reference engine: count actual messages in superstep 0.
+        program = RandomWalkPPRProgram(walks_per_node=walks, seed=1)
+        run = LocalPregelEngine(graph).run(program)
+        mc_round1 = run.stats[0].messages_sent
+
+        # Kernel (expected mode): round-1 moving mass.
+        partition = hash_partition(graph, 2)
+        plan = build_mirror_plan(graph, partition)
+        router = PointToPointRouter(graph, plan)
+        kernel = BPPRKernel(graph, router, make_rng(1))
+        kernel.start_batch(float(walks))
+        expected_round1 = kernel.step().wire_messages
+
+        # Monte-Carlo round 1 is Binomial(n*W, ~(1-alpha)); the expected
+        # kernel gives its mean. 5 sigma tolerance.
+        n_walks = walks * graph.num_vertices
+        sigma = np.sqrt(n_walks * 0.15 * 0.85)
+        assert abs(mc_round1 - expected_round1) < 5 * sigma
+
+    def test_bppr_total_messages_agree(self):
+        graph = chung_lu(40, 4.0, seed=51)
+        walks = 80
+        program = RandomWalkPPRProgram(walks_per_node=walks, seed=2)
+        run = LocalPregelEngine(graph).run(program)
+
+        partition = hash_partition(graph, 2)
+        plan = build_mirror_plan(graph, partition)
+        router = PointToPointRouter(graph, plan)
+        kernel = BPPRKernel(graph, router, make_rng(2))
+        kernel.start_batch(float(walks))
+        total = 0.0
+        while True:
+            summary = kernel.step()
+            total += summary.wire_messages
+            if summary.done:
+                break
+        # Expected total moves per walk: (1-a)/a-ish, truncated by
+        # danglings; require agreement within 10 %.
+        assert total == pytest.approx(run.total_messages, rel=0.10)
+
+
+class TestCalibrationAnchors:
+    """The headline numbers this reproduction is calibrated on. If one
+    of these fails, EXPERIMENTS.md's comparisons are stale."""
+
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        graph = load_dataset("dblp")
+        job = MultiProcessingJob("pregel+", galaxy8())
+        results = {}
+        for workload in (1024, 10240, 12288):
+            for batches in (1, 2, 4):
+                results[(workload, batches)] = job.run(
+                    bppr_task(graph, workload), num_batches=batches
+                )
+        return results
+
+    def test_light_workload_full_parallelism_wins(self, sweep):
+        assert (
+            sweep[(1024, 1)].seconds
+            < sweep[(1024, 2)].seconds
+            < sweep[(1024, 4)].seconds
+        )
+
+    def test_light_workload_time_near_paper(self, sweep):
+        # Paper: 173.3 s. Accept a factor-of-2 corridor.
+        assert 90 < sweep[(1024, 1)].seconds < 350
+
+    def test_heavy_workload_one_batch_fails(self, sweep):
+        assert sweep[(10240, 1)].overloaded
+        assert not sweep[(10240, 2)].overloaded
+
+    def test_heavy_workload_two_batches_near_paper(self, sweep):
+        # Paper: 1819.4 s.
+        assert 900 < sweep[(10240, 2)].seconds < 3600
+
+    def test_heaviest_workload_prefers_four_batches(self, sweep):
+        assert (
+            sweep[(12288, 4)].seconds < sweep[(12288, 2)].seconds
+        )
+
+    def test_peak_memory_matches_paper_scale(self, sweep):
+        # Paper: 15.1 GB for (12288, 1 batch, 8 machines) -> scaled /400.
+        measured = sweep[(12288, 1)].peak_memory_bytes * 400
+        assert 10e9 < measured < 25e9
+
+
+class TestEndToEndTuning:
+    def test_tuner_fixes_an_overloading_workload(self):
+        from repro.tuning.autotuner import AutoTuner
+
+        graph = load_dataset("dblp")
+        cluster = galaxy8().with_machines(4)
+        tuner = AutoTuner.for_engine(
+            "pregel+", cluster, lambda w: bppr_task(graph, w), seed=11
+        )
+        report = tuner.run(6656)
+        assert report.full_parallelism.overloaded
+        assert not report.optimized.overloaded
+        assert len(report.schedule) >= 2
+
+    def test_mssp_jobs_work_end_to_end(self):
+        graph = load_dataset("dblp")
+        job = MultiProcessingJob("pregel+", galaxy8())
+        metrics = job.run(
+            mssp_task(graph, 512, sample_limit=16), num_batches=4
+        )
+        assert metrics.num_batches == 4
+        assert not metrics.overloaded

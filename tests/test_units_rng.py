@@ -1,0 +1,142 @@
+"""Tests for units formatting and RNG plumbing."""
+
+import numpy as np
+import pytest
+
+from repro import rng as rng_mod
+from repro.rng import DEFAULT_SEED, derive_seed, make_rng, spawn
+from repro.units import (
+    GB,
+    KB,
+    MB,
+    OVERLOAD_CUTOFF_SECONDS,
+    format_bytes,
+    format_count,
+    format_seconds,
+)
+
+
+class TestUnits:
+    def test_byte_constants(self):
+        assert KB == 1024
+        assert MB == 1024**2
+        assert GB == 1024**3
+
+    def test_cutoff_matches_paper(self):
+        assert OVERLOAD_CUTOFF_SECONDS == 6000.0
+
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (15.1 * GB, "15.1GB"),
+            (2.5 * MB, "2.5MB"),
+            (512.0, "512B"),
+            (3.2 * KB, "3.2KB"),
+        ],
+    )
+    def test_format_bytes(self, value, expected):
+        assert format_bytes(value) == expected
+
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (173.3, "173.3s"),
+            (51 * 60, "51.0min"),
+            (2 * 3600, "2.0h"),
+            (0.094, "94ms"),
+        ],
+    )
+    def test_format_seconds(self, value, expected):
+        assert format_seconds(value) == expected
+
+    @pytest.mark.parametrize(
+        "value,expected",
+        [(633.2e6, "633.2M"), (63.7e3, "63.7K"), (1.5e9, "1.5B"), (42, "42")],
+    )
+    def test_format_count(self, value, expected):
+        assert format_count(value) == expected
+
+    def test_negative_values(self):
+        assert format_bytes(-GB) == "-1.0GB"
+        assert format_seconds(-5) == "-5.0s"
+        assert format_count(-2e6) == "-2.0M"
+
+
+class TestRng:
+    def test_derive_seed_stable(self):
+        assert derive_seed(42, "walks") == derive_seed(42, "walks")
+
+    def test_derive_seed_label_independence(self):
+        assert derive_seed(42, "a") != derive_seed(42, "b")
+
+    def test_make_rng_default_seed(self):
+        a = make_rng(None)
+        b = make_rng(DEFAULT_SEED)
+        assert a.integers(0, 10**9) == b.integers(0, 10**9)
+
+    def test_make_rng_passthrough(self):
+        gen = np.random.default_rng(1)
+        assert make_rng(gen) is gen
+
+    def test_labelled_streams_differ(self):
+        a = make_rng(1, label="x")
+        b = make_rng(1, label="y")
+        assert a.integers(0, 10**9) != b.integers(0, 10**9)
+
+    def test_spawn_from_generator_consumes_state(self):
+        parent = np.random.default_rng(9)
+        first = spawn(parent, "child")
+        second = spawn(parent, "child")
+        assert (
+            first.integers(0, 10**9) != second.integers(0, 10**9)
+        )
+
+    def test_spawn_from_int_is_deterministic(self):
+        a = spawn(3, "kid")
+        b = spawn(3, "kid")
+        assert a.integers(0, 10**9) == b.integers(0, 10**9)
+
+    def test_module_default_exists(self):
+        assert isinstance(rng_mod.DEFAULT_SEED, int)
+
+
+class TestPublicApi:
+    def test_package_exports(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+
+    def test_error_hierarchy(self):
+        from repro.errors import (
+            BatchingError,
+            ConfigurationError,
+            EngineError,
+            FitError,
+            GraphFormatError,
+            OverloadError,
+            PartitionError,
+            ReproError,
+            TaskError,
+            TuningError,
+            UnknownEngineError,
+        )
+
+        for exc in (
+            ConfigurationError,
+            GraphFormatError,
+            PartitionError,
+            EngineError,
+            TaskError,
+            BatchingError,
+            OverloadError,
+            TuningError,
+        ):
+            assert issubclass(exc, ReproError)
+        assert issubclass(UnknownEngineError, EngineError)
+        assert issubclass(FitError, TuningError)

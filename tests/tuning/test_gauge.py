@@ -1,0 +1,74 @@
+"""Tests for the binary-search workload gauge (Section 4.10)."""
+
+import pytest
+
+from repro.cluster.cluster import galaxy8
+from repro.engines.registry import create_engine
+from repro.errors import TuningError
+from repro.graph.datasets import load_dataset
+from repro.tasks.bppr import bppr_task
+from repro.tuning.gauge import gauge_max_workload
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return create_engine("pregel+", galaxy8(scale=400).with_machines(4))
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return load_dataset("dblp", scale=400)
+
+
+class TestGauge:
+    def test_finds_the_memory_wall(self, engine, graph):
+        result = gauge_max_workload(
+            engine,
+            lambda w: bppr_task(graph, w),
+            upper_bound=16384,
+            lower_bound=64,
+            seed=5,
+        )
+        # The 4-machine wall sits in the low thousands at this scale.
+        assert 1000 < result.max_safe_workload < 16384
+        # The gauged workload is itself safe; the next probe up failed.
+        safe = [t for t in result.trials if not t.overloaded]
+        assert max(t.workload for t in safe) == result.max_safe_workload
+
+    def test_binary_search_is_logarithmic(self, engine, graph):
+        result = gauge_max_workload(
+            engine,
+            lambda w: bppr_task(graph, w),
+            upper_bound=16384,
+            lower_bound=64,
+            seed=5,
+        )
+        assert result.num_trials <= 14
+
+    def test_all_safe_returns_upper_bound(self, engine, graph):
+        result = gauge_max_workload(
+            engine,
+            lambda w: bppr_task(graph, w),
+            upper_bound=256,
+            lower_bound=16,
+            seed=5,
+        )
+        assert result.max_safe_workload == 256
+        assert result.num_trials == 2
+
+    def test_hopeless_lower_bound_raises(self, engine, graph):
+        with pytest.raises(TuningError):
+            gauge_max_workload(
+                engine,
+                lambda w: bppr_task(graph, w),
+                upper_bound=90000,
+                lower_bound=60000,
+                seed=5,
+            )
+
+    def test_invalid_interval(self, engine, graph):
+        with pytest.raises(TuningError):
+            gauge_max_workload(
+                engine, lambda w: bppr_task(graph, w), upper_bound=5,
+                lower_bound=10,
+            )

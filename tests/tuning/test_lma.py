@@ -1,0 +1,112 @@
+"""Tests for the from-scratch Levenberg-Marquardt implementation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FitError
+from repro.tuning.lma import fit_power_law, levenberg_marquardt
+
+
+class TestGenericLMA:
+    def test_fits_a_line(self):
+        x = np.linspace(1, 10, 20)
+        y = 3.0 * x + 2.0
+
+        def residual(p):
+            return p[0] * x + p[1] - y
+
+        def jacobian(p):
+            return np.stack([x, np.ones_like(x)], axis=1)
+
+        result = levenberg_marquardt(
+            residual, jacobian, np.array([1.0, 0.0])
+        )
+        np.testing.assert_allclose(result.params, [3.0, 2.0], atol=1e-6)
+        assert result.converged
+
+    def test_respects_bounds(self):
+        x = np.linspace(1, 10, 20)
+        y = -5.0 * x
+
+        def residual(p):
+            return p[0] * x - y
+
+        def jacobian(p):
+            return x[:, None]
+
+        result = levenberg_marquardt(
+            residual,
+            jacobian,
+            np.array([1.0]),
+            lower_bounds=np.array([0.0]),
+        )
+        assert result.params[0] >= 0.0
+
+
+class TestPowerLawFit:
+    @pytest.mark.parametrize(
+        "a,b,c",
+        [
+            (2.0, 1.0, 5.0),
+            (0.5, 1.5, 100.0),
+            (3.0, 0.7, 0.0),
+            (1e3, 1.2, 1e4),
+        ],
+    )
+    def test_recovers_exact_parameters(self, a, b, c):
+        x = np.array([2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0])
+        y = a * x**b + c
+        result = fit_power_law(x, y, seed=1)
+        fitted = result.params
+        np.testing.assert_allclose(
+            fitted[0] * x ** fitted[1] + fitted[2], y, rtol=1e-4
+        )
+
+    def test_robust_to_noise(self):
+        rng = np.random.default_rng(5)
+        x = np.array([2.0, 4.0, 8.0, 16.0, 32.0, 64.0])
+        clean = 4.0 * x**1.1 + 50.0
+        noisy = clean * (1.0 + 0.02 * rng.standard_normal(x.size))
+        result = fit_power_law(x, noisy, seed=2)
+        predictions = (
+            result.params[0] * x ** result.params[1] + result.params[2]
+        )
+        assert np.abs(predictions / clean - 1.0).max() < 0.1
+
+    def test_exponent_bounded(self):
+        x = np.array([2.0, 4.0, 8.0, 16.0])
+        y = np.array([1.0, 1.0, 1.0, 1.0])
+        result = fit_power_law(x, y, seed=3)
+        assert 0.0 <= result.params[1] <= 4.0
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(FitError):
+            fit_power_law(np.array([1.0, 2.0]), np.array([1.0, 2.0]))
+
+    def test_nonpositive_x_rejected(self):
+        with pytest.raises(FitError):
+            fit_power_law(
+                np.array([0.0, 1.0, 2.0]), np.array([1.0, 2.0, 3.0])
+            )
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(FitError):
+            fit_power_law(np.array([1.0, 2.0, 3.0]), np.array([1.0, 2.0]))
+
+
+@given(
+    st.floats(min_value=0.1, max_value=100.0),
+    st.floats(min_value=0.3, max_value=2.0),
+    st.floats(min_value=0.0, max_value=1000.0),
+)
+@settings(max_examples=25, deadline=None)
+def test_power_law_property_fit_quality(a, b, c):
+    """For clean data the fit reproduces the curve to within 1%."""
+    x = np.array([2.0, 4.0, 8.0, 16.0, 32.0, 64.0])
+    y = a * x**b + c
+    result = fit_power_law(x, y, seed=7)
+    predicted = result.params[0] * x ** result.params[1] + result.params[2]
+    scale = np.maximum(np.abs(y), 1e-9)
+    assert (np.abs(predicted - y) / scale).max() < 0.01
