@@ -21,6 +21,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from pathlib import Path
 from typing import List, Optional
 
 from repro.batching.executor import MultiProcessingJob
@@ -30,9 +31,18 @@ from repro.errors import ReproError
 from repro.experiments.base import ExperimentConfig
 from repro.experiments.runner import EXPERIMENTS, run_experiment
 from repro.graph.datasets import DEFAULT_SCALE, PAPER_DATASETS, load_dataset
+from repro.perf import timings
+from repro.perf.cache import configure_cache, get_cache
 from repro.rng import DEFAULT_SEED
 from repro.tasks.base import make_task
 from repro.tuning.autotuner import AutoTuner
+
+
+def _job_count(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError("jobs must be >= 0")
+    return value
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -45,6 +55,20 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--seed", type=int, default=DEFAULT_SEED, help="master RNG seed"
+    )
+    parser.add_argument(
+        "--jobs",
+        type=_job_count,
+        default=1,
+        help="worker processes for independent runs (0 = one per CPU, "
+        "default 1 = serial); results are identical either way",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="directory for the on-disk artifact cache (graphs and "
+        "engine runs persist as .npz across invocations); defaults to "
+        "the REPRO_CACHE_DIR environment variable",
     )
 
 
@@ -68,7 +92,14 @@ def _add_setting(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _apply_cache_dir(args) -> None:
+    """Point the artifact cache at ``--cache-dir`` when given."""
+    if getattr(args, "cache_dir", None):
+        configure_cache(directory=args.cache_dir)
+
+
 def _build_setting(args):
+    _apply_cache_dir(args)
     cluster = cluster_by_name(args.cluster, scale=args.scale)
     if args.machines:
         cluster = cluster.with_machines(args.machines)
@@ -134,8 +165,9 @@ def cmd_sweep(args) -> int:
 
 def cmd_experiment(args) -> int:
     """``vcrepro experiment``: regenerate paper figures/tables."""
+    _apply_cache_dir(args)
     config = ExperimentConfig(
-        scale=args.scale, seed=args.seed, quick=args.quick
+        scale=args.scale, seed=args.seed, quick=args.quick, jobs=args.jobs
     )
     ids = list(EXPERIMENTS) if args.id == "all" else [args.id]
     failures = 0
@@ -170,14 +202,38 @@ def cmd_tune(args) -> int:
 
 
 def cmd_report(args) -> int:
-    """``vcrepro report``: write EXPERIMENTS.md from a full run."""
+    """``vcrepro report``: write EXPERIMENTS.md from a full run.
+
+    Also prints the phase-timing table accumulated during the run and
+    dumps it (plus cache hit/miss counters and total wall-clock) as
+    ``BENCH_perf.json`` next to the report, so successive runs leave a
+    performance trajectory to regress against.
+    """
     from repro.experiments.report import write_experiments_markdown
 
+    _apply_cache_dir(args)
     config = ExperimentConfig(
-        scale=args.scale, seed=args.seed, quick=args.quick
+        scale=args.scale, seed=args.seed, quick=args.quick, jobs=args.jobs
     )
+    timings.reset()
+    start = time.time()
     path = write_experiments_markdown(args.output, config)
+    wall = time.time() - start
     print(f"wrote {path}")
+    print()
+    print(timings.render_table())
+    bench_path = str(Path(args.output).parent / "BENCH_perf.json")
+    timings.write_json(
+        bench_path,
+        extra={
+            "wall_seconds": wall,
+            "scale": config.scale,
+            "quick": config.quick,
+            "jobs": config.jobs,
+            "cache": get_cache().stats.to_dict(),
+        },
+    )
+    print(f"wrote {bench_path} (wall {wall:.1f}s)")
     return 0
 
 

@@ -26,6 +26,7 @@ The per-round translation implements the paper's accounting:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
@@ -41,10 +42,18 @@ from repro.messages.routing import (
     MessageRouter,
     PointToPointRouter,
 )
+from repro.perf import timings
+from repro.perf.cache import get_cache
 from repro.rng import SeedLike, make_rng
 from repro.sim.cost import CostModel, RoundLoad
 from repro.sim.memory import MemoryModel
-from repro.sim.metrics import BatchMetrics, JobMetrics, RoundMetrics
+from repro.sim.metrics import (
+    JOB_SERIALIZER,
+    BatchMetrics,
+    JobMetrics,
+    RoundMetrics,
+    clone_job,
+)
 from repro.sim.overload import OverloadPolicy
 from repro.tasks.base import RoundSummary, TaskSpec
 from repro.units import OVERLOAD_CUTOFF_SECONDS
@@ -179,6 +188,39 @@ class SimulatedEngine:
                 f"{task.workload:g}"
             )
 
+        # Whole runs are pure functions of (engine profile, cluster,
+        # graph content, task settings, batch split, seed): experiment
+        # sweeps repeat many identical runs across figures, so memoise
+        # them — and persist them to the on-disk store when a cache
+        # directory is configured, which makes warm re-runs skip the
+        # simulation entirely. Generator seeds carry hidden state and
+        # are not cached. Callers get an independent copy so mutating a
+        # returned job can never poison the cache.
+        if seed is None or isinstance(seed, (int, np.integer)):
+            cache_key = (
+                "run",
+                repr(self.profile),
+                repr(self.cluster),
+                task.graph.fingerprint,
+                task.name,
+                float(task.workload),
+                float(task.message_bytes),
+                float(task.residual_record_bytes),
+                repr(sorted(task.params.items())),
+                tuple(sizes),
+                None if seed is None else int(seed),
+            )
+            job = get_cache().get_or_build(
+                cache_key,
+                lambda: self._run_job_uncached(task, sizes, seed),
+                serializer=JOB_SERIALIZER,
+            )
+            return clone_job(job)
+        return self._run_job_uncached(task, sizes, seed)
+
+    def _run_job_uncached(
+        self, task: TaskSpec, sizes: List[float], seed: SeedLike
+    ) -> JobMetrics:
         prep = self._prepare(task)
         cost_model = self._make_cost_model()
         rng = make_rng(seed, label=f"{self.name}/{task.name}")
@@ -205,11 +247,15 @@ class SimulatedEngine:
             elapsed += batch.startup_seconds
             overloaded = False
             for round_index in range(MAX_ROUNDS_PER_BATCH):
+                tick = time.perf_counter()
                 summary = kernel.step()
+                tock = time.perf_counter()
+                timings.add("kernel", tock - tick)
                 load, splits = self._round_load(
                     task, prep, summary, residual_bytes, kernel
                 )
                 cost = cost_model.round_cost(load)
+                timings.add("cost-model", time.perf_counter() - tock)
                 if splits > 1:
                     cost = _repeat_cost(cost, splits)
                 metrics = self._round_metrics(round_index, load, cost, splits)

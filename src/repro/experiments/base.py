@@ -18,12 +18,16 @@ class ExperimentConfig:
 
     ``scale`` divides dataset node counts and cluster capacities alike;
     ``quick`` shrinks sweeps (fewer batch counts / machine counts) for
-    smoke tests, keeping the headline comparison intact.
+    smoke tests, keeping the headline comparison intact. ``jobs``
+    fans independent runs out over worker processes (0 = one per CPU,
+    1 = serial); results are byte-identical either way because every
+    run derives its RNG stream from the explicit seed.
     """
 
     scale: int = DEFAULT_SCALE
     seed: int = DEFAULT_SEED
     quick: bool = False
+    jobs: int = 1
 
 
 @dataclass

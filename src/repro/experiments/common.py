@@ -9,6 +9,7 @@ from repro.cluster.cluster import ClusterSpec
 from repro.experiments.base import DOUBLING_BATCHES, ExperimentConfig
 from repro.graph.csr import Graph
 from repro.graph.datasets import load_dataset
+from repro.perf.parallel import parallel_map_fork
 from repro.sim.metrics import JobMetrics
 from repro.tasks.base import TaskSpec, make_task
 
@@ -35,13 +36,24 @@ def sweep_batches(
     task_factory: Callable[[], TaskSpec],
     batch_counts: Sequence[int],
     seed: int,
+    jobs: Optional[int] = None,
 ) -> List[JobMetrics]:
-    """Run one task under each batch count on one engine/cluster."""
+    """Run one task under each batch count on one engine/cluster.
+
+    ``jobs`` fans the batch counts out over forked worker processes
+    (see :func:`repro.perf.parallel.parallel_map_fork`); every run
+    seeds its own RNG stream, so results match the serial loop
+    byte-for-byte regardless of worker count.
+    """
     job = MultiProcessingJob(engine_name, cluster)
-    runs = []
-    for count in batch_counts:
-        runs.append(job.run(task_factory(), num_batches=count, seed=seed))
-    return runs
+    counts = list(batch_counts)
+
+    def run_one(index: int) -> JobMetrics:
+        return job.run(
+            task_factory(), num_batches=counts[index], seed=seed
+        )
+
+    return parallel_map_fork(run_one, len(counts), jobs=jobs)
 
 
 def task_for(
@@ -71,10 +83,15 @@ def runs_by_batch(
 def non_monotone(runs: Sequence[JobMetrics]) -> bool:
     """True when running time is not monotonically increasing with the
     batch count — i.e. Full-Parallelism is not optimal (overloaded runs
-    count as slowest)."""
+    count as slowest).
+
+    Ranking compares ``(overloaded, seconds)`` so a finite run that
+    happens to land exactly on the overload cutoff still ranks below an
+    overloaded run instead of tying with it.
+    """
     ordered = sorted(runs, key=lambda m: m.num_batches)
-    times = [m.seconds for m in ordered]
-    return any(later < earlier for earlier, later in zip(times, times[1:]))
+    ranks = [(m.overloaded, m.seconds) for m in ordered]
+    return any(later < earlier for earlier, later in zip(ranks, ranks[1:]))
 
 
 def full_parallelism_suboptimal(runs: Sequence[JobMetrics]) -> bool:

@@ -100,6 +100,7 @@ def run(config: ExperimentConfig = ExperimentConfig()) -> ExperimentResult:
                 lambda: task_for(dblp, task_name, workload, config.quick),
                 [batches],
                 config.seed,
+                jobs=config.jobs,
             )[0]
         return cache[key]
 
@@ -113,6 +114,7 @@ def run(config: ExperimentConfig = ExperimentConfig()) -> ExperimentResult:
                 lambda: task_for(graph, "bppr", workload, config.quick),
                 [batches],
                 config.seed,
+                jobs=config.jobs,
             )[0]
         return cache[key]
 
@@ -125,6 +127,7 @@ def run(config: ExperimentConfig = ExperimentConfig()) -> ExperimentResult:
                 lambda: task_for(dblp, "bppr", workload, config.quick),
                 [batches],
                 config.seed,
+                jobs=config.jobs,
             )[0]
         return cache[key]
 
@@ -137,6 +140,7 @@ def run(config: ExperimentConfig = ExperimentConfig()) -> ExperimentResult:
                 lambda: task_for(dblp, "bppr", workload, config.quick),
                 [batches],
                 config.seed,
+                jobs=config.jobs,
             )[0]
         return cache[key]
 

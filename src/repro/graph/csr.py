@@ -11,6 +11,7 @@ whole frontiers at once.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterator, Optional, Tuple
 
 import numpy as np
@@ -39,7 +40,15 @@ class Graph:
         optional label used in reports.
     """
 
-    __slots__ = ("indptr", "indices", "weights", "directed", "name")
+    __slots__ = (
+        "indptr",
+        "indices",
+        "weights",
+        "directed",
+        "name",
+        "_degrees",
+        "_fingerprint",
+    )
 
     def __init__(
         self,
@@ -74,6 +83,8 @@ class Graph:
         self.weights = weights
         self.directed = bool(directed)
         self.name = name
+        self._degrees = None
+        self._fingerprint = None
         self.indptr.setflags(write=False)
         self.indices.setflags(write=False)
         if self.weights is not None:
@@ -106,8 +117,35 @@ class Graph:
     def out_degree(self, v: Optional[int] = None):
         """Out-degree of ``v``, or the whole degree array when ``v is None``."""
         if v is None:
-            return np.diff(self.indptr)
+            return self.degrees
         return int(self.indptr[v + 1] - self.indptr[v])
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """Out-degree per vertex (``int64``, computed once and cached)."""
+        if self._degrees is None:
+            degrees = np.diff(self.indptr)
+            degrees.setflags(write=False)
+            self._degrees = degrees
+        return self._degrees
+
+    @property
+    def fingerprint(self) -> str:
+        """Content hash of the CSR arrays (stable across processes).
+
+        Used as the cache key component for partition/mirror-plan/run
+        artifacts (:mod:`repro.perf.cache`): two graphs with identical
+        structure, weights and direction share every derived artifact.
+        """
+        if self._fingerprint is None:
+            digest = hashlib.blake2b(digest_size=16)
+            digest.update(b"directed" if self.directed else b"undirected")
+            digest.update(self.indptr.tobytes())
+            digest.update(self.indices.tobytes())
+            if self.weights is not None:
+                digest.update(self.weights.tobytes())
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
 
     @property
     def average_degree(self) -> float:
@@ -209,3 +247,137 @@ class Graph:
         return hash(
             (self.num_vertices, self.num_arcs, self.directed, self.is_weighted)
         )
+
+
+# ----------------------------------------------------------------------
+# Shared frontier kernels
+#
+# Every frontier-driven task (MSSP, BKHS, and the per-arc mass spreading
+# in BPPR/PageRank/exact references) used to carry its own copy of the
+# ``repeat``/``cumsum`` CSR gather; the helpers below consolidate them
+# into one optimized implementation that reuses scratch buffers across
+# rounds and replaces ``np.unique`` on composite keys with a sort-based
+# reduction.
+# ----------------------------------------------------------------------
+
+
+class FrontierScratch:
+    """Reusable buffers for :func:`expand_frontier` across rounds.
+
+    Holds a grow-only cached ``arange`` so per-round expansion skips the
+    (measurably hot) ``np.arange`` allocation. The slices handed out are
+    read-only views: consume them before requesting a larger size.
+    """
+
+    __slots__ = ("_iota",)
+
+    def __init__(self) -> None:
+        self._iota = np.empty(0, dtype=np.int64)
+
+    def arange(self, size: int) -> np.ndarray:
+        """A ``[0, size)`` arange view from the grow-only cached buffer."""
+        if self._iota.size < size:
+            self._iota = np.arange(
+                max(size, 2 * self._iota.size), dtype=np.int64
+            )
+        return self._iota[:size]
+
+
+def expand_frontier(
+    graph: Graph,
+    verts: np.ndarray,
+    scratch: Optional[FrontierScratch] = None,
+) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]:
+    """Expand frontier vertices to all their out-arcs (vectorised gather).
+
+    Returns ``(arc_positions, counts, kept)``:
+
+    * ``arc_positions`` — positions into ``graph.indices`` /
+      ``graph.weights`` of every out-arc of every frontier entry, in
+      frontier order (entry ``i``'s arcs are contiguous);
+    * ``counts`` — out-degree of each kept frontier entry; expand any
+      per-entry payload to arc granularity with ``np.repeat(x, counts)``
+      (chunked copies, much faster than per-element gathers on the
+      skewed degree distributions the datasets model);
+    * ``kept`` — indices of frontier entries with out-degree > 0, or
+      ``None`` when every entry had arcs (no filtering needed —
+      zero-degree entries would otherwise corrupt the prefix trick).
+
+    Compared to the naive three-``np.repeat`` gather this fuses the
+    base/offset arithmetic into one ``np.repeat`` plus one in-place add
+    from the scratch-cached ``arange``.
+    """
+    counts = graph.degrees[verts]
+    kept: Optional[np.ndarray] = None
+    if counts.size and counts.min() == 0:
+        kept = np.flatnonzero(counts)
+        verts = verts[kept]
+        counts = counts[kept]
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64), counts, kept
+
+    # Each entry's arcs start at indptr[v]; subtracting the exclusive
+    # prefix sum first lets one repeat plus the cached arange produce
+    # consecutive positions per segment.
+    bounds = np.cumsum(counts)
+    arc_pos = np.repeat(graph.indptr[verts] - (bounds - counts), counts)
+    if scratch is None:
+        arc_pos += np.arange(total, dtype=np.int64)
+    else:
+        arc_pos += scratch.arange(total)
+    return arc_pos, counts, kept
+
+
+def dedup_pairs(
+    rows: np.ndarray, cols: np.ndarray, num_cols: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Distinct ``(row, col)`` pairs in row-major order, sort-based.
+
+    Builds composite ``row * num_cols + col`` keys, sorts them in place
+    and keeps boundary elements — an order of magnitude faster than
+    ``np.unique`` on the same keys — then splits the unique keys back
+    with a single ``np.divmod``.
+    """
+    keys = rows * np.int64(num_cols) + cols
+    if keys.size == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    keys.sort()
+    boundary = np.empty(keys.size, dtype=bool)
+    boundary[0] = True
+    np.not_equal(keys[1:], keys[:-1], out=boundary[1:])
+    unique_rows, unique_cols = np.divmod(keys[boundary], np.int64(num_cols))
+    return unique_rows, unique_cols
+
+
+def dedup_pairs_dense(
+    rows: np.ndarray, cols: np.ndarray, mask: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Distinct ``(row, col)`` pairs via a reusable dense boolean mask.
+
+    For kernels that already hold an ``(s, n)`` state matrix the dense
+    scan beats sorting: mark, collect with ``np.nonzero`` (row-major —
+    the same order :func:`dedup_pairs` produces), then un-mark so the
+    mask is all-False again for the next round. ``mask`` must be
+    all-False on entry; no composite keys are constructed.
+    """
+    mask[rows, cols] = True
+    unique_rows, unique_cols = np.nonzero(mask)
+    unique_rows = unique_rows.astype(np.int64, copy=False)
+    unique_cols = unique_cols.astype(np.int64, copy=False)
+    mask[unique_rows, unique_cols] = False
+    return unique_rows, unique_cols
+
+
+def propagate_mass(graph: Graph, per_vertex: np.ndarray) -> np.ndarray:
+    """Push ``per_vertex`` values along every out-arc and sum at targets.
+
+    The shared per-arc spreading step of BPPR/PageRank/exact-PPR:
+    ``out[v] = sum(per_vertex[u] for every arc u -> v)``. Callers divide
+    by degree beforehand for random-walk semantics.
+    """
+    per_arc = np.repeat(per_vertex, graph.degrees)
+    return np.bincount(
+        graph.indices, weights=per_arc, minlength=graph.num_vertices
+    )

@@ -11,13 +11,16 @@ memory-pressure ratios that drive every experiment in the paper.
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass
 from typing import Dict, Optional
+
+import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.graph.csr import Graph
 from repro.graph.generators import chung_lu
+from repro.perf import timings
+from repro.perf.cache import ArraySerializer, clear_cache, get_cache
 from repro.rng import DEFAULT_SEED, SeedLike, derive_seed
 
 #: Default graph-and-memory scale factor. 1/400 keeps the largest profile
@@ -122,7 +125,31 @@ PAPER_DATASETS: Dict[str, DatasetProfile] = {
     ),
 }
 
-_CACHE: Dict[tuple, Graph] = {}
+def _pack_graph(graph: Graph) -> Dict[str, np.ndarray]:
+    arrays = {
+        "indptr": graph.indptr,
+        "indices": graph.indices,
+        "directed": np.asarray([graph.directed]),
+        "name": np.asarray([graph.name]),
+    }
+    if graph.weights is not None:
+        arrays["weights"] = graph.weights
+    return arrays
+
+
+def _unpack_graph(arrays: Dict[str, np.ndarray]) -> Graph:
+    return Graph(
+        arrays["indptr"],
+        arrays["indices"],
+        arrays.get("weights"),
+        directed=bool(arrays["directed"][0]),
+        name=str(arrays["name"][0]),
+    )
+
+
+#: Serializer persisting dataset stand-ins in the shared artifact cache
+#: (same layout as :func:`repro.graph.io.save_npz`).
+GRAPH_SERIALIZER = ArraySerializer(pack=_pack_graph, unpack=_unpack_graph)
 
 
 def load_dataset(
@@ -135,47 +162,35 @@ def load_dataset(
     """Instantiate (and memoise) a paper dataset stand-in by name.
 
     ``name`` is case-insensitive and matches Table 1 ("DBLP", "Web-St",
-    ...). The per-process cache makes experiment sweeps cheap; pass
-    ``cache=False`` for an independent copy.
-
-    ``cache_dir`` (or the ``REPRO_DATASET_CACHE`` environment variable)
-    enables an on-disk ``.npz`` cache, which makes the large stand-ins
-    (Twitter, Friendster) load in milliseconds across processes.
+    ...). Instantiations go through the shared artifact cache
+    (:mod:`repro.perf.cache`): the in-memory LRU makes experiment sweeps
+    cheap — pass ``cache=False`` for an independent copy — and a cache
+    directory (``cache_dir``, ``--cache-dir``, or the ``REPRO_CACHE_DIR``
+    / legacy ``REPRO_DATASET_CACHE`` environment variables) additionally
+    persists ``.npz`` archives so the large stand-ins (Twitter,
+    Friendster) load in milliseconds across processes.
     """
     key_name = name.strip().lower().replace("_", "-")
     if key_name not in PAPER_DATASETS:
         known = ", ".join(sorted(PAPER_DATASETS))
         raise ConfigurationError(f"unknown dataset {name!r}; known: {known}")
-    cache_key = (key_name, scale, seed)
-    if cache and cache_key in _CACHE:
-        return _CACHE[cache_key]
 
-    directory = cache_dir or os.environ.get("REPRO_DATASET_CACHE")
-    disk_path = None
-    if directory:
-        os.makedirs(directory, exist_ok=True)
-        seed_tag = "default" if seed is None else str(seed)
-        disk_path = os.path.join(
-            directory, f"{key_name}-s{scale}-r{seed_tag}.npz"
-        )
-        if os.path.exists(disk_path):
-            from repro.graph.io import load_npz
+    def build() -> Graph:
+        with timings.span("graph-gen"):
+            return PAPER_DATASETS[key_name].instantiate(
+                scale=scale, seed=seed
+            )
 
-            graph = load_npz(disk_path)
-            if cache:
-                _CACHE[cache_key] = graph
-            return graph
-
-    graph = PAPER_DATASETS[key_name].instantiate(scale=scale, seed=seed)
-    if disk_path:
-        from repro.graph.io import save_npz
-
-        save_npz(graph, disk_path)
-    if cache:
-        _CACHE[cache_key] = graph
-    return graph
+    return get_cache().get_or_build(
+        ("dataset", key_name, scale, seed),
+        build,
+        serializer=GRAPH_SERIALIZER,
+        use_memory=cache,
+        directory=cache_dir,
+        stem=key_name,
+    )
 
 
 def clear_dataset_cache() -> None:
-    """Drop all memoised dataset instantiations (used by tests)."""
-    _CACHE.clear()
+    """Drop all memoised artifacts, datasets included (used by tests)."""
+    clear_cache()

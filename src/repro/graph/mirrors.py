@@ -13,6 +13,7 @@ one vectorised lookup.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 
 import numpy as np
@@ -20,6 +21,8 @@ import numpy as np
 from repro.errors import ConfigurationError
 from repro.graph.csr import Graph
 from repro.graph.partition import Partition
+from repro.perf import timings
+from repro.perf.cache import get_cache
 
 #: Default degree above which Pregel+ creates mirrors. The Pregel+ paper
 #: tunes this per graph; the commonly cited effective threshold is around
@@ -90,9 +93,39 @@ def build_mirror_plan(
     partition: Partition,
     degree_threshold: int = DEFAULT_DEGREE_THRESHOLD,
 ) -> MirrorPlan:
-    """Build a :class:`MirrorPlan` for ``graph`` under ``partition``."""
+    """Build a :class:`MirrorPlan` for ``graph`` under ``partition``.
+
+    Memoised in the shared artifact cache, keyed by the graph's content
+    fingerprint plus a digest of the partition's owner array (not the
+    strategy name, so hand-built partitions can never collide).
+    """
     if degree_threshold < 0:
         raise ConfigurationError("degree_threshold must be non-negative")
+    owner_digest = hashlib.blake2b(
+        partition.owner.tobytes(), digest_size=16
+    ).hexdigest()
+
+    def build() -> MirrorPlan:
+        with timings.span("mirror-plan"):
+            return _build_mirror_plan(graph, partition, degree_threshold)
+
+    return get_cache().get_or_build(
+        (
+            "mirror-plan",
+            graph.fingerprint,
+            owner_digest,
+            int(partition.num_machines),
+            int(degree_threshold),
+        ),
+        build,
+    )
+
+
+def _build_mirror_plan(
+    graph: Graph,
+    partition: Partition,
+    degree_threshold: int,
+) -> MirrorPlan:
     n = graph.num_vertices
     degrees = np.diff(graph.indptr)
     owner = partition.owner

@@ -16,6 +16,8 @@ import numpy as np
 
 from repro.errors import PartitionError
 from repro.graph.csr import Graph
+from repro.perf import timings
+from repro.perf.cache import get_cache
 
 #: Multiplicative hashing constant (Knuth); spreads consecutive ids.
 _HASH_MULT = np.uint64(0x9E3779B97F4A7C15)
@@ -205,7 +207,14 @@ _STRATEGIES = {
 def partition_graph(
     graph: Graph, num_machines: int, strategy: str = "hash"
 ) -> Partition:
-    """Partition ``graph`` with the named strategy (hash/range/edge-cut)."""
+    """Partition ``graph`` with the named strategy (hash/range/edge-cut).
+
+    Results are memoised in the shared artifact cache keyed by the
+    graph's content fingerprint, so every engine bound to the same
+    (graph, machine count, strategy) triple reuses one partition. All
+    partitioners are pure functions of that key, and :class:`Partition`
+    is frozen, so sharing is safe.
+    """
     try:
         fn = _STRATEGIES[strategy]
     except KeyError:
@@ -213,4 +222,13 @@ def partition_graph(
         raise PartitionError(
             f"unknown partition strategy {strategy!r}; known: {known}"
         ) from None
-    return fn(graph, num_machines)
+    if num_machines <= 0:
+        raise PartitionError("num_machines must be positive")
+
+    def build() -> Partition:
+        with timings.span("partition"):
+            return fn(graph, num_machines)
+
+    return get_cache().get_or_build(
+        ("partition", graph.fingerprint, int(num_machines), strategy), build
+    )

@@ -1,0 +1,36 @@
+"""Performance subsystem: artifact caching, parallel fan-out, timings.
+
+Three coordinated layers added on top of the simulator:
+
+* :mod:`repro.perf.cache` — a content-addressed artifact cache
+  (in-memory LRU + optional on-disk ``.npz`` store) shared by dataset
+  instantiation, partitioning, mirror planning, and whole engine runs.
+* :mod:`repro.perf.parallel` — ``ProcessPoolExecutor``-backed fan-out
+  for independent experiments and ``(engine, batch_count)`` runs, with
+  deterministic per-run seeding and graceful serial fallback.
+* :mod:`repro.perf.timings` — phase-timing spans (graph-gen /
+  partition / kernel / cost-model) surfaced by ``vcrepro report`` and
+  dumped as ``BENCH_perf.json``.
+"""
+
+from repro.perf import timings
+from repro.perf.cache import (
+    ArtifactCache,
+    ArraySerializer,
+    clear_cache,
+    configure_cache,
+    get_cache,
+)
+from repro.perf.parallel import parallel_map, parallel_map_fork, resolve_jobs
+
+__all__ = [
+    "ArtifactCache",
+    "ArraySerializer",
+    "clear_cache",
+    "configure_cache",
+    "get_cache",
+    "parallel_map",
+    "parallel_map_fork",
+    "resolve_jobs",
+    "timings",
+]

@@ -1,0 +1,267 @@
+"""Content-addressed artifact cache (in-memory LRU + optional on-disk npz).
+
+Experiment sweeps regenerate the same artifacts over and over: the same
+Chung-Lu graph for every experiment touching a dataset, the same hash
+partition for every engine bound to the same cluster, the same mirror
+plan, and — across figures that share settings — the same engine run.
+This module provides one process-wide :class:`ArtifactCache` that all of
+them share, so repeated sweeps reuse bit-identical artifacts instead of
+recomputing them.
+
+Keys are flat tuples of primitives, content-addressed where graph
+identity matters (see :meth:`repro.graph.csr.Graph.fingerprint`).
+Values are cached in an in-memory LRU; artifact kinds that provide an
+array serializer are additionally persisted to an on-disk ``.npz``
+store, enabled by the ``REPRO_CACHE_DIR`` environment variable or the
+``--cache-dir`` CLI flag, which makes the expensive stand-ins (Twitter,
+Friendster) load in milliseconds across processes.
+
+Determinism contract: every builder routed through the cache is a pure
+function of its key, so cached and uncached results are bit-identical —
+tests assert this (``tests/perf/test_cache.py``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.perf import timings
+
+__all__ = [
+    "ArtifactCache",
+    "ArraySerializer",
+    "CacheStats",
+    "get_cache",
+    "configure_cache",
+    "clear_cache",
+]
+
+#: Default in-memory LRU capacity (entries). Artifacts are small at the
+#: default simulation scale (the largest graph is ~25 MB), so a couple
+#: hundred entries stay well under typical memory budgets.
+DEFAULT_CAPACITY = 256
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters, surfaced in ``vcrepro report``."""
+
+    hits: int = 0
+    misses: int = 0
+    disk_hits: int = 0
+    evictions: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        """Plain-dict form for reports and ``BENCH_perf.json``."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "disk_hits": self.disk_hits,
+            "evictions": self.evictions,
+        }
+
+    def merge(self, delta: Dict[str, int]) -> None:
+        """Fold another process's counter deltas into this one."""
+        self.hits += int(delta.get("hits", 0))
+        self.misses += int(delta.get("misses", 0))
+        self.disk_hits += int(delta.get("disk_hits", 0))
+        self.evictions += int(delta.get("evictions", 0))
+
+
+@dataclass(frozen=True)
+class ArraySerializer:
+    """Adapter persisting one artifact kind as a dict of numpy arrays.
+
+    ``pack`` maps the value to ``{name: array}`` (plain scalars allowed;
+    they round-trip as 0-d arrays); ``unpack`` rebuilds the value.
+    """
+
+    pack: Callable[[Any], Dict[str, np.ndarray]] = field(repr=False)
+    unpack: Callable[[Dict[str, np.ndarray]], Any] = field(repr=False)
+
+
+class ArtifactCache:
+    """Thread-safe LRU keyed by primitive tuples, with optional npz spill."""
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        directory: Optional[str] = None,
+    ) -> None:
+        self.capacity = int(capacity)
+        self.directory = directory
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[Tuple, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Core API
+    # ------------------------------------------------------------------
+    def get_or_build(
+        self,
+        key: Tuple,
+        build: Callable[[], Any],
+        serializer: Optional[ArraySerializer] = None,
+        use_memory: bool = True,
+        directory: Optional[str] = None,
+        stem: Optional[str] = None,
+    ) -> Any:
+        """Return the cached value for ``key``, building it on a miss.
+
+        Lookup order: in-memory LRU (unless ``use_memory`` is False),
+        then the on-disk store (when a ``serializer`` is given and a
+        cache directory is configured), then ``build()``. Disk loads and
+        fresh builds are inserted into the LRU; fresh builds are also
+        persisted to disk.
+
+        ``directory`` overrides the cache-wide disk directory for this
+        artifact; ``stem`` overrides the on-disk filename prefix
+        (default: ``key[0]``).
+        """
+        if use_memory:
+            with self._lock:
+                if key in self._entries:
+                    self._entries.move_to_end(key)
+                    self.stats.hits += 1
+                    return self._entries[key]
+        path = self._disk_path(key, serializer, directory, stem)
+        if path is not None and os.path.exists(path):
+            value = self._load(path, serializer)
+            if value is not None:
+                self.stats.disk_hits += 1
+                if use_memory:
+                    self._insert(key, value)
+                return value
+        self.stats.misses += 1
+        value = build()
+        if use_memory:
+            self._insert(key, value)
+        if path is not None:
+            self._store(path, value, serializer)
+        return value
+
+    def put(self, key: Tuple, value: Any) -> None:
+        """Insert ``value`` under ``key`` (memory only)."""
+        self._insert(key, value)
+
+    def get(self, key: Tuple) -> Optional[Any]:
+        """Value for ``key`` or None (memory only; counts hit/miss)."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return self._entries[key]
+        self.stats.misses += 1
+        return None
+
+    def clear(self) -> None:
+        """Drop every in-memory entry (the disk store is left intact)."""
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _insert(self, key: Tuple, value: Any) -> None:
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def _disk_path(
+        self,
+        key: Tuple,
+        serializer: Optional[ArraySerializer],
+        directory: Optional[str] = None,
+        stem: Optional[str] = None,
+    ) -> Optional[str]:
+        directory = directory or self.directory
+        if serializer is None or not directory:
+            return None
+        digest = hashlib.blake2b(
+            repr(key).encode("utf-8"), digest_size=16
+        ).hexdigest()
+        kind = stem or (str(key[0]) if key else "artifact")
+        return os.path.join(directory, f"{kind}-{digest}.npz")
+
+    def _store(
+        self, path: str, value: Any, serializer: ArraySerializer
+    ) -> None:
+        try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            arrays = serializer.pack(value)
+            tmp = f"{path}.tmp-{os.getpid()}"
+            with open(tmp, "wb") as fh:
+                np.savez_compressed(fh, **arrays)
+            os.replace(tmp, path)
+        except OSError:  # disk store is best-effort
+            pass
+
+    def _load(
+        self, path: str, serializer: ArraySerializer
+    ) -> Optional[Any]:
+        try:
+            with timings.span("cache-load"):
+                with np.load(path, allow_pickle=False) as data:
+                    arrays = {name: data[name] for name in data.files}
+                return serializer.unpack(arrays)
+        except (OSError, ValueError, KeyError):
+            return None  # corrupt/foreign file: fall through to rebuild
+
+
+# ----------------------------------------------------------------------
+# Process-wide cache instance
+# ----------------------------------------------------------------------
+_GLOBAL: Optional[ArtifactCache] = None
+
+
+def get_cache() -> ArtifactCache:
+    """The process-wide cache (created on first use from environment).
+
+    ``REPRO_CACHE_DIR`` enables the on-disk store; ``REPRO_CACHE_SIZE``
+    overrides the in-memory LRU capacity. The legacy
+    ``REPRO_DATASET_CACHE`` variable is honoured as a fallback
+    directory for backwards compatibility.
+    """
+    global _GLOBAL
+    if _GLOBAL is None:
+        directory = os.environ.get("REPRO_CACHE_DIR") or os.environ.get(
+            "REPRO_DATASET_CACHE"
+        )
+        capacity = int(os.environ.get("REPRO_CACHE_SIZE", DEFAULT_CAPACITY))
+        _GLOBAL = ArtifactCache(capacity=capacity, directory=directory)
+    return _GLOBAL
+
+
+def configure_cache(
+    directory: Optional[str] = None,
+    capacity: Optional[int] = None,
+) -> ArtifactCache:
+    """(Re)configure the process-wide cache (CLI ``--cache-dir``).
+
+    Existing in-memory entries are kept; only the disk directory and
+    capacity change.
+    """
+    cache = get_cache()
+    if directory is not None:
+        cache.directory = directory or None
+    if capacity is not None:
+        cache.capacity = int(capacity)
+    return cache
+
+
+def clear_cache() -> None:
+    """Drop all in-memory entries of the process-wide cache."""
+    get_cache().clear()

@@ -1,0 +1,158 @@
+"""Process-pool fan-out with deterministic results and serial fallback.
+
+Experiments and batch sweeps are embarrassingly parallel: every
+``(engine, batch_count)`` run and every experiment derives its RNG
+stream from an explicit seed (:func:`repro.rng.derive_seed`), so
+executing them in a pool produces byte-identical results to the serial
+loop — the only thing that changes is wall-clock. Tests assert this
+(``tests/perf/test_parallel_determinism.py``).
+
+Two entry points:
+
+* :func:`parallel_map` — for picklable ``fn``/items (experiment fan-out
+  in :func:`repro.experiments.runner.run_all`).
+* :func:`parallel_map_fork` — for closures (the task factories passed
+  to ``sweep_batches``): the callable is stashed in a module global
+  *before* the pool forks, so workers inherit it through fork semantics
+  and only integer indices cross the pipe. Falls back to the serial
+  loop on platforms without ``fork``.
+
+Both degrade gracefully to serial execution when a pool cannot be
+created or a payload cannot be pickled, and both fold the workers'
+phase timings (:mod:`repro.perf.timings`) back into the parent.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.perf import timings
+
+__all__ = ["resolve_jobs", "parallel_map", "parallel_map_fork"]
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalise a ``--jobs`` value: None/1 -> serial, 0 -> cpu count."""
+    if jobs is None:
+        return 1
+    jobs = int(jobs)
+    if jobs < 0:
+        raise ValueError("jobs must be >= 0")
+    if jobs == 0:
+        return max(os.cpu_count() or 1, 1)
+    return jobs
+
+
+def _timed_call(fn: Callable, args: tuple) -> tuple:
+    """Worker-side wrapper: run ``fn`` and ship its timing and
+    cache-counter deltas home for the parent to fold in."""
+    from repro.perf.cache import get_cache
+
+    timings.reset()
+    before = get_cache().stats.to_dict()
+    result = fn(*args)
+    after = get_cache().stats.to_dict()
+    delta = {key: after[key] - before[key] for key in after}
+    return result, timings.snapshot(), delta
+
+
+def _fork_entry(index: int) -> tuple:
+    """Fork-inherited worker entry for :func:`parallel_map_fork`."""
+    fn = _FORK_STATE["fn"]
+    return _timed_call(fn, (index,))
+
+
+#: Closure stash read by forked workers (set before the pool submits).
+_FORK_STATE: dict = {}
+
+
+def _run_serial(fn: Callable, arg_tuples: Sequence[tuple]) -> List[Any]:
+    return [fn(*args) for args in arg_tuples]
+
+
+def _pool_map(
+    worker: Callable,
+    payloads: Sequence[tuple],
+    jobs: int,
+    require_fork: bool,
+) -> Optional[List[Any]]:
+    """Run ``worker`` over ``payloads`` in a pool; None -> use serial."""
+    import concurrent.futures
+    import multiprocessing
+
+    try:
+        if require_fork:
+            if "fork" not in multiprocessing.get_all_start_methods():
+                return None
+            context = multiprocessing.get_context("fork")
+        else:
+            context = multiprocessing.get_context()
+        executor = concurrent.futures.ProcessPoolExecutor(
+            max_workers=min(jobs, max(len(payloads), 1)),
+            mp_context=context,
+        )
+    except (OSError, ValueError, ImportError):
+        return None
+    try:
+        with executor:
+            outputs = list(executor.map(worker, *zip(*payloads)))
+    except (OSError, ValueError, concurrent.futures.process.BrokenProcessPool,
+            AttributeError, TypeError, ImportError):
+        # Unpicklable payloads, a dead pool, or a sandboxed platform:
+        # the serial path computes the same results.
+        return None
+    from repro.perf.cache import get_cache
+
+    results = []
+    for result, worker_timings, stats_delta in outputs:
+        timings.merge(worker_timings)
+        get_cache().stats.merge(stats_delta)
+        results.append(result)
+    return results
+
+
+def parallel_map(
+    fn: Callable,
+    arg_tuples: Sequence[tuple],
+    jobs: Optional[int] = None,
+) -> List[Any]:
+    """``[fn(*args) for args in arg_tuples]``, fanned out over processes.
+
+    Order is preserved. ``fn`` and every argument must be picklable;
+    when they are not (or a pool cannot be created), the serial loop
+    runs instead and produces identical results.
+    """
+    workers = resolve_jobs(jobs)
+    if workers <= 1 or len(arg_tuples) <= 1:
+        return _run_serial(fn, arg_tuples)
+    payloads = [(fn, args) for args in arg_tuples]
+    results = _pool_map(_timed_call, payloads, workers, require_fork=False)
+    if results is None:
+        return _run_serial(fn, arg_tuples)
+    return results
+
+
+def parallel_map_fork(
+    fn: Callable[[int], Any],
+    count: int,
+    jobs: Optional[int] = None,
+) -> List[Any]:
+    """``[fn(i) for i in range(count)]`` fanned out via fork inheritance.
+
+    ``fn`` may be any closure: it never crosses a pipe. Workers inherit
+    it through the module global set here, so this path requires the
+    ``fork`` start method (Linux/macOS); elsewhere it runs serially.
+    """
+    workers = resolve_jobs(jobs)
+    if workers <= 1 or count <= 1:
+        return [fn(i) for i in range(count)]
+    _FORK_STATE["fn"] = fn
+    try:
+        payloads = [(i,) for i in range(count)]
+        results = _pool_map(_fork_entry, payloads, workers, require_fork=True)
+    finally:
+        _FORK_STATE.pop("fn", None)
+    if results is None:
+        return [fn(i) for i in range(count)]
+    return results

@@ -12,9 +12,15 @@ Three levels mirror the paper's reporting granularity:
 
 from __future__ import annotations
 
+import copy
+import dataclasses
+import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+import numpy as np
+
+from repro.perf.cache import ArraySerializer
 from repro.units import (
     OVERLOAD_CUTOFF_SECONDS,
     format_bytes,
@@ -306,3 +312,59 @@ class JobMetrics:
             f"msgs/round={format_count(self.messages_per_round)}, "
             f"peak_mem={format_bytes(self.peak_memory_bytes)}"
         )
+
+
+# ----------------------------------------------------------------------
+# Fast copies and artifact-cache persistence
+# ----------------------------------------------------------------------
+def clone_job(job: JobMetrics) -> JobMetrics:
+    """Independent copy of ``job``.
+
+    Every metric field is a scalar, so three levels of shallow copies
+    suffice — orders of magnitude cheaper than :func:`copy.deepcopy`,
+    which recurses into each of the tens of thousands of per-round
+    records an experiment sweep keeps in the run cache.
+    """
+    clone = copy.copy(job)
+    clone.batch_sizes = list(job.batch_sizes)
+    clone.extras = dict(job.extras)
+    clone.batches = []
+    for batch in job.batches:
+        batch_clone = copy.copy(batch)
+        batch_clone.rounds = [copy.copy(r) for r in batch.rounds]
+        clone.batches.append(batch_clone)
+    return clone
+
+
+def _json_safe(obj):
+    """Unwrap stray numpy scalars so metric payloads JSON-serialise."""
+    if isinstance(obj, np.generic):
+        return obj.item()
+    raise TypeError(f"not JSON-serialisable: {type(obj)!r}")
+
+
+def pack_job(job: JobMetrics) -> Dict[str, np.ndarray]:
+    """Pack a job into a byte array for the on-disk artifact cache."""
+    payload = dataclasses.asdict(job)
+    data = json.dumps(payload, default=_json_safe).encode("utf-8")
+    return {"payload": np.frombuffer(data, dtype=np.uint8)}
+
+
+def unpack_job(arrays: Dict[str, np.ndarray]) -> JobMetrics:
+    """Rebuild a job packed by :func:`pack_job`.
+
+    JSON renders floats with ``repr`` (shortest round-trip form), so
+    the rebuilt metrics are bit-identical to the originals.
+    """
+    payload = json.loads(bytes(arrays["payload"]).decode("utf-8"))
+    batches = []
+    for batch_payload in payload.pop("batches"):
+        rounds = [
+            RoundMetrics(**r) for r in batch_payload.pop("rounds")
+        ]
+        batches.append(BatchMetrics(rounds=rounds, **batch_payload))
+    return JobMetrics(batches=batches, **payload)
+
+
+#: Serializer persisting whole engine runs in the shared artifact cache.
+JOB_SERIALIZER = ArraySerializer(pack=pack_job, unpack=unpack_job)

@@ -16,7 +16,13 @@ from typing import Optional
 import numpy as np
 
 from repro.errors import TaskError
-from repro.graph.csr import Graph
+from repro.graph.csr import (
+    FrontierScratch,
+    Graph,
+    dedup_pairs,
+    dedup_pairs_dense,
+    expand_frontier,
+)
 from repro.messages.routing import MessageRouter
 from repro.tasks.base import (
     RoundSummary,
@@ -49,7 +55,8 @@ class BKHSKernel(TaskKernel):
         self.k = int(k)
         self.rng = rng
         self.sample_limit = sample_limit
-        self._degrees = np.diff(graph.indptr).astype(np.int64)
+        self._degrees = graph.degrees
+        self._scratch = FrontierScratch()
 
     def _initialise(self, workload: float) -> None:
         sampled = choose_sources(
@@ -61,6 +68,7 @@ class BKHSKernel(TaskKernel):
         s = self._sources.size
         self._visited = np.zeros((s, n), dtype=bool)
         self._visited[np.arange(s), self._sources] = True
+        self._pair_mask = np.zeros((s, n), dtype=bool)
         self._frontier_rows = np.arange(s, dtype=np.int64)
         self._frontier_verts = self._sources.copy()
 
@@ -82,36 +90,30 @@ class BKHSKernel(TaskKernel):
             )
 
         rows, verts = self._frontier_rows, self._frontier_verts
-        counts = self._degrees[verts]
-        total = int(counts.sum())
-        if total > 0:
-            starts = graph.indptr[verts]
-            base = np.repeat(starts, counts)
-            shifts = np.arange(total) - np.repeat(
-                np.cumsum(counts) - counts, counts
-            )
-            nbr = graph.indices[base + shifts]
-            msg_rows = np.repeat(rows, counts)
-            fresh = ~self._visited[msg_rows, nbr]
-            if fresh.any():
-                pair_keys = msg_rows[fresh] * np.int64(
-                    graph.num_vertices
-                ) + nbr[fresh]
-                unique_keys = np.unique(pair_keys)
-                new_rows = (unique_keys // graph.num_vertices).astype(
-                    np.int64
-                )
-                new_verts = (unique_keys % graph.num_vertices).astype(
-                    np.int64
-                )
-                self._visited[new_rows, new_verts] = True
-                self._frontier_rows, self._frontier_verts = (
-                    new_rows,
-                    new_verts,
+        arc_pos, counts, kept = expand_frontier(graph, verts, self._scratch)
+        if arc_pos.size > 0:
+            src_rows = rows if kept is None else rows[kept]
+            nbr = graph.indices[arc_pos]
+            msg_rows = np.repeat(src_rows, counts)
+            # Deduplicate the touched (source, target) cells first, then
+            # probe the visited table only at the unique cells (the
+            # candidate list repeats each cell once per in-arc).
+            if msg_rows.size * 8 >= self._pair_mask.size:
+                cell_rows, cell_verts = dedup_pairs_dense(
+                    msg_rows, nbr, self._pair_mask
                 )
             else:
-                self._frontier_rows = np.empty(0, dtype=np.int64)
-                self._frontier_verts = np.empty(0, dtype=np.int64)
+                cell_rows, cell_verts = dedup_pairs(
+                    msg_rows, nbr, graph.num_vertices
+                )
+            fresh = ~self._visited[cell_rows, cell_verts]
+            if fresh.all():
+                new_rows, new_verts = cell_rows, cell_verts
+            else:
+                new_rows = cell_rows[fresh]
+                new_verts = cell_verts[fresh]
+            self._visited[new_rows, new_verts] = True
+            self._frontier_rows, self._frontier_verts = new_rows, new_verts
         else:
             self._frontier_rows = np.empty(0, dtype=np.int64)
             self._frontier_verts = np.empty(0, dtype=np.int64)

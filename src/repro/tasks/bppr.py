@@ -31,7 +31,7 @@ from typing import Optional
 import numpy as np
 
 from repro.errors import TaskError
-from repro.graph.csr import Graph
+from repro.graph.csr import Graph, propagate_mass
 from repro.messages.routing import MessageRouter
 from repro.tasks.base import RoundSummary, TaskKernel, TaskSpec
 
@@ -79,7 +79,7 @@ class BPPRKernel(TaskKernel):
         self.track_sources = bool(track_sources)
         self.max_rounds = int(max_rounds)
         self.rng = rng
-        self._degrees = np.diff(graph.indptr).astype(np.float64)
+        self._degrees = graph.degrees.astype(np.float64)
         self._dangling = self._degrees == 0
         self._stops_total = 0.0
         nonzero = self._degrees[self._degrees > 0]
@@ -194,10 +194,7 @@ class BPPRKernel(TaskKernel):
                 out=np.zeros_like(moving_per_vertex),
                 where=self._degrees > 0,
             )
-            per_arc = np.repeat(share, np.diff(graph.indptr))
-            self._mass_vec = np.bincount(
-                graph.indices, weights=per_arc, minlength=graph.num_vertices
-            )
+            self._mass_vec = propagate_mass(graph, share)
             remaining = float(self._mass_vec.sum())
 
         if not self.track_sources:
@@ -439,6 +436,7 @@ def bppr_task(
             "alpha": alpha,
             "mode": mode,
             "track_sources": track_sources,
+            "max_rounds": max_rounds,
         },
         # A walk message carries the walk's source id: 8 bytes on the
         # wire (Figure 6's bytes-per-message calibration).

@@ -19,7 +19,7 @@ from typing import Optional
 import numpy as np
 
 from repro.errors import TaskError
-from repro.graph.csr import Graph
+from repro.graph.csr import Graph, propagate_mass
 
 
 def exact_ppr(
@@ -53,8 +53,7 @@ def exact_ppr(
         share = np.divide(
             moving, degrees, out=np.zeros_like(moving), where=degrees > 0
         )
-        per_arc = np.repeat(share, np.diff(graph.indptr))
-        mass = np.bincount(graph.indices, weights=per_arc, minlength=n)
+        mass = propagate_mass(graph, share)
         if mass.sum() < tolerance:
             break
     stopped += mass  # attribute any tail to its current location
@@ -145,8 +144,7 @@ def exact_pagerank(
         share = np.divide(
             rank, degrees, out=np.zeros_like(rank), where=degrees > 0
         )
-        per_arc = np.repeat(share, np.diff(graph.indptr))
-        incoming = np.bincount(graph.indices, weights=per_arc, minlength=n)
+        incoming = propagate_mass(graph, share)
         dangling_mass = float(rank[dangling].sum())
         new_rank = (1.0 - damping) / n + damping * (
             incoming + dangling_mass / n

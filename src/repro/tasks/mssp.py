@@ -20,7 +20,13 @@ from typing import Optional
 
 import numpy as np
 
-from repro.graph.csr import Graph
+from repro.graph.csr import (
+    FrontierScratch,
+    Graph,
+    dedup_pairs,
+    dedup_pairs_dense,
+    expand_frontier,
+)
 from repro.messages.routing import MessageRouter
 from repro.tasks.base import (
     RoundSummary,
@@ -51,7 +57,8 @@ class MSSPKernel(TaskKernel):
         self.rng = rng
         self.sample_limit = sample_limit
         self.max_rounds = int(max_rounds)
-        self._degrees = np.diff(graph.indptr).astype(np.int64)
+        self._degrees = graph.degrees
+        self._scratch = FrontierScratch()
 
     def _initialise(self, workload: float) -> None:
         sampled = choose_sources(
@@ -63,6 +70,7 @@ class MSSPKernel(TaskKernel):
         s = self._sources.size
         self._dist = np.full((s, n), np.inf, dtype=np.float64)
         self._dist[np.arange(s), self._sources] = 0.0
+        self._pair_mask = np.zeros((s, n), dtype=bool)
         # Frontier: (source-row, vertex) pairs improved last round.
         self._frontier_rows = np.arange(s, dtype=np.int64)
         self._frontier_verts = self._sources.copy()
@@ -71,45 +79,51 @@ class MSSPKernel(TaskKernel):
         graph = self.graph
         rows, verts = self._frontier_rows, self._frontier_verts
 
-        counts = self._degrees[verts]
-        total = int(counts.sum())
-        if total == 0:
+        # Expand every frontier pair to all out-neighbours (shared
+        # CSR gather, scratch arange reused across rounds).
+        arc_pos, counts, kept = expand_frontier(graph, verts, self._scratch)
+        if arc_pos.size == 0:
             return self._summary_for(
                 np.empty(0, dtype=np.int64), np.empty(0), done=True
             )
-
-        # Expand every frontier pair to all out-neighbours (CSR gather).
-        starts = graph.indptr[verts]
-        base = np.repeat(starts, counts)
-        shifts = np.arange(total) - np.repeat(
-            np.cumsum(counts) - counts, counts
-        )
-        arc_pos = base + shifts
+        src_rows = rows if kept is None else rows[kept]
+        src_verts = verts if kept is None else verts[kept]
         nbr = graph.indices[arc_pos]
-        msg_rows = np.repeat(rows, counts)
-        step = (
-            graph.weights[arc_pos]
-            if graph.weights is not None
-            else np.ones(total, dtype=np.float64)
-        )
-        cand = np.repeat(self._dist[rows, verts], counts) + step
+        msg_rows = np.repeat(src_rows, counts)
+        cand = np.repeat(self._dist[src_rows, src_verts], counts)
+        if graph.weights is not None:
+            cand += graph.weights[arc_pos]
+        else:
+            cand += 1.0
 
         # In-round aggregation: keep the minimum per (source, target).
-        before = self._dist[msg_rows, nbr]
+        # Deduplicate the touched cells *first* (the dense scan wins on
+        # big frontiers, the sort-based reduction on sparse ones; both
+        # emit row-major order), then compare distances only at the
+        # unique cells — candidate lists carry many duplicates per cell,
+        # so this replaces two candidate-length gathers and a
+        # candidate-length boolean index with unique-cell-sized ones.
+        if msg_rows.size * 8 >= self._pair_mask.size:
+            cell_rows, cell_verts = dedup_pairs_dense(
+                msg_rows, nbr, self._pair_mask
+            )
+        else:
+            cell_rows, cell_verts = dedup_pairs(
+                msg_rows, nbr, graph.num_vertices
+            )
+        before = self._dist[cell_rows, cell_verts]
         np.minimum.at(self._dist, (msg_rows, nbr), cand)
-        after = self._dist[msg_rows, nbr]
+        after = self._dist[cell_rows, cell_verts]
         improved = after < before
         if improved.any():
-            pair_keys = msg_rows[improved] * np.int64(
-                graph.num_vertices
-            ) + nbr[improved]
-            unique_keys = np.unique(pair_keys)
-            self._frontier_rows = (
-                unique_keys // graph.num_vertices
-            ).astype(np.int64)
-            self._frontier_verts = (
-                unique_keys % graph.num_vertices
-            ).astype(np.int64)
+            if improved.all():
+                # Every touched cell improved: the unique-cell arrays
+                # already are the next frontier.
+                self._frontier_rows = cell_rows
+                self._frontier_verts = cell_verts
+            else:
+                self._frontier_rows = cell_rows[improved]
+                self._frontier_verts = cell_verts[improved]
             done = self._round >= self.max_rounds
         else:
             self._frontier_rows = np.empty(0, dtype=np.int64)
@@ -206,7 +220,7 @@ def mssp_task(
         graph=graph,
         workload=workload,
         kernel_factory=factory,
-        params={"sample_limit": sample_limit},
+        params={"sample_limit": sample_limit, "max_rounds": max_rounds},
         message_bytes=20.0,
         residual_record_bytes=RESIDUAL_RECORD_BYTES,
     )

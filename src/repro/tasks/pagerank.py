@@ -16,7 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import TaskError
-from repro.graph.csr import Graph
+from repro.graph.csr import Graph, propagate_mass
 from repro.messages.routing import MessageRouter
 from repro.tasks.base import RoundSummary, TaskKernel, TaskSpec
 
@@ -48,7 +48,7 @@ class PageRankKernel(TaskKernel):
         self.tolerance = float(tolerance)
         self.max_iterations = int(max_iterations)
         self.rng = rng
-        self._degrees = np.diff(graph.indptr).astype(np.float64)
+        self._degrees = graph.degrees.astype(np.float64)
         self._dangling = self._degrees == 0
 
     def _initialise(self, workload: float) -> None:
@@ -64,10 +64,7 @@ class PageRankKernel(TaskKernel):
             out=np.zeros_like(self._rank),
             where=self._degrees > 0,
         )
-        per_arc = np.repeat(share, np.diff(graph.indptr))
-        incoming = np.bincount(
-            graph.indices, weights=per_arc, minlength=n
-        )
+        incoming = propagate_mass(graph, share)
         dangling_mass = float(self._rank[self._dangling].sum())
         new_rank = (
             (1.0 - self.damping) / n

@@ -1,0 +1,80 @@
+"""Parallel fan-out: determinism vs the serial loop, fallback, jobs."""
+
+import dataclasses
+
+import pytest
+
+from repro.cluster.cluster import galaxy8
+from repro.experiments.base import ExperimentConfig
+from repro.experiments.common import sweep_batches, task_for
+from repro.experiments.runner import run_experiment
+from repro.graph.datasets import load_dataset
+from repro.perf.parallel import parallel_map, parallel_map_fork, resolve_jobs
+
+#: Small stand-in scale for fast sweeps.
+SCALE = 4000
+
+
+def _square(x):
+    """Module-level (picklable) worker for ``parallel_map``."""
+    return x * x
+
+
+class TestResolveJobs:
+    def test_values(self):
+        assert resolve_jobs(None) == 1
+        assert resolve_jobs(1) == 1
+        assert resolve_jobs(3) == 3
+        assert resolve_jobs(0) >= 1  # cpu count
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_jobs(-1)
+
+
+class TestParallelMap:
+    def test_preserves_order(self):
+        args = [(i,) for i in range(7)]
+        assert parallel_map(_square, args, jobs=2) == [
+            i * i for i in range(7)
+        ]
+
+    def test_serial_path(self):
+        args = [(i,) for i in range(4)]
+        assert parallel_map(_square, args, jobs=1) == [0, 1, 4, 9]
+
+    def test_fork_closures(self):
+        base = 10
+        result = parallel_map_fork(lambda i: base + i, 5, jobs=2)
+        assert result == [10, 11, 12, 13, 14]
+
+    def test_unpicklable_falls_back_to_serial(self):
+        # Lambdas cannot cross a spawn/pickle boundary; parallel_map
+        # must still produce the right answer via the serial loop.
+        result = parallel_map(lambda x: x + 1, [(1,), (2,)], jobs=2)
+        assert result == [2, 3]
+
+
+class TestSweepDeterminism:
+    def test_sweep_batches_parallel_identical(self):
+        graph = load_dataset("web-st", scale=SCALE)
+        cluster = galaxy8(scale=SCALE)
+        factory = lambda: task_for(graph, "bppr", 64.0, quick=True)
+        serial = sweep_batches(
+            "pregel+", cluster, factory, [1, 2, 4], seed=7
+        )
+        fanned = sweep_batches(
+            "pregel+", cluster, factory, [1, 2, 4], seed=7, jobs=2
+        )
+        assert [dataclasses.asdict(m) for m in serial] == [
+            dataclasses.asdict(m) for m in fanned
+        ]
+
+    def test_experiment_parallel_identical(self):
+        serial = run_experiment(
+            "fig8", ExperimentConfig(quick=True, scale=SCALE, jobs=1)
+        )
+        fanned = run_experiment(
+            "fig8", ExperimentConfig(quick=True, scale=SCALE, jobs=2)
+        )
+        assert serial.to_markdown() == fanned.to_markdown()
