@@ -8,11 +8,18 @@ together — the entry point most examples and experiments use:
 
 Batches run sequentially through the engine; results roll up into
 :class:`~repro.sim.metrics.JobMetrics`.
+
+:meth:`MultiProcessingJob.run_with_recovery` adds the closed loop: an
+OVERLOADED batch is aborted (paying the elapsed time plus an abort
+overhead instead of the 6000 s cutoff stamp), the remaining workload is
+re-split into smaller front-loaded batches per the
+:class:`~repro.faults.recovery.OverloadRecovery` policy, and every
+attempt is recorded in ``JobMetrics.retry_history``.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Union
+from typing import Callable, List, Optional, Sequence, Union
 
 from repro.batching.schemes import (
     doubling_batch_counts,
@@ -22,9 +29,11 @@ from repro.batching.schemes import (
 from repro.cluster.cluster import ClusterSpec
 from repro.engines.base import SimulatedEngine
 from repro.engines.registry import create_engine
-from repro.errors import BatchingError
+from repro.errors import BatchingError, RecoveryError
+from repro.faults.plan import FaultPlan
+from repro.faults.recovery import OverloadRecovery
 from repro.rng import SeedLike
-from repro.sim.metrics import JobMetrics
+from repro.sim.metrics import BatchMetrics, JobMetrics
 from repro.tasks.base import TaskSpec
 
 
@@ -55,9 +64,17 @@ class MultiProcessingJob:
         num_batches: Optional[int] = None,
         batch_sizes: Optional[Sequence[float]] = None,
         seed: SeedLike = None,
+        fault_plan: Optional[FaultPlan] = None,
+        checkpoint_every: Optional[int] = None,
+        on_overload: str = "report",
     ) -> JobMetrics:
         """Run ``task`` with either ``num_batches`` equal batches or an
-        explicit ``batch_sizes`` schedule (exactly one must be given)."""
+        explicit ``batch_sizes`` schedule (exactly one must be given).
+
+        ``fault_plan``/``checkpoint_every``/``on_overload`` pass through
+        to :meth:`SimulatedEngine.run_job` (fault injection, Pregel
+        checkpointing, strict overload handling).
+        """
         if (num_batches is None) == (batch_sizes is None):
             raise BatchingError(
                 "specify exactly one of num_batches or batch_sizes"
@@ -72,7 +89,123 @@ class MultiProcessingJob:
                     f"schedule sums to {total:g}, task workload is "
                     f"{task.workload:g}"
                 )
-        return self.engine.run_job(task, sizes, seed=seed)
+        return self.engine.run_job(
+            task,
+            sizes,
+            seed=seed,
+            fault_plan=fault_plan,
+            checkpoint_every=checkpoint_every,
+            on_overload=on_overload,
+        )
+
+    def run_with_recovery(
+        self,
+        task_factory: Callable[[float], TaskSpec],
+        workload: float,
+        num_batches: Optional[int] = None,
+        batch_sizes: Optional[Sequence[float]] = None,
+        seed: SeedLike = None,
+        recovery: Optional[OverloadRecovery] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        checkpoint_every: Optional[int] = None,
+    ) -> JobMetrics:
+        """Run ``workload`` with graceful overload degradation.
+
+        The initial schedule comes from ``num_batches`` equal batches or
+        an explicit ``batch_sizes`` list (default: one batch, i.e.
+        Full-Parallelism). Whenever a batch OVERLOADS, it is aborted —
+        its metrics keep the real elapsed time plus the policy's abort
+        overhead instead of the 6000 s cutoff — and the remaining
+        workload (the aborted batch's units included) is re-split into
+        smaller front-loaded batches and retried, carrying the residual
+        memory of the batches that did complete. Each attempt is
+        recorded in the returned ``JobMetrics.retry_history``.
+
+        Raises :class:`~repro.errors.RecoveryError` (with the history
+        attached) once ``recovery.max_retries`` re-splits have been
+        exhausted.
+
+        ``task_factory`` must build a task for any positive workload —
+        retries run the engine on the *remaining* units only, so
+        completed batches are never re-executed.
+        """
+        recovery = recovery or OverloadRecovery()
+        if workload <= 0:
+            raise BatchingError("workload must be positive")
+        if num_batches is not None and batch_sizes is not None:
+            raise BatchingError(
+                "specify at most one of num_batches or batch_sizes"
+            )
+        if batch_sizes is not None:
+            sizes = explicit_batches(batch_sizes)
+            total = sum(sizes)
+            if abs(total - workload) > 1e-6 * max(workload, 1.0):
+                raise BatchingError(
+                    f"schedule sums to {total:g}, workload is {workload:g}"
+                )
+        else:
+            sizes = equal_batches(workload, num_batches or 1)
+
+        done_batches: List[BatchMetrics] = []
+        history: List[dict] = []
+        residual = 0.0
+        final_job: Optional[JobMetrics] = None
+        while True:
+            task = task_factory(sum(sizes))
+            job = self.engine.run_job(
+                task,
+                sizes,
+                seed=seed,
+                fault_plan=fault_plan,
+                checkpoint_every=checkpoint_every,
+                initial_residual_bytes=residual,
+            )
+            if not job.overloaded:
+                final_job = job
+                break
+            failed_index = next(
+                i for i, b in enumerate(job.batches) if b.overloaded
+            )
+            completed = job.batches[:failed_index]
+            failed = job.batches[failed_index]
+            failed.aborted = True
+            failed.abort_seconds = recovery.abort_overhead_seconds
+            # The aborted batch's partial results are discarded; it
+            # leaves no residual behind.
+            failed.residual_memory_after_bytes = failed.residual_memory_bytes
+            done_batches.extend(completed)
+            done_batches.append(failed)
+            residual = failed.residual_memory_bytes
+            remaining = failed.workload + sum(sizes[failed_index + 1 :])
+            attempt = {
+                "attempt": len(history) + 1,
+                "schedule": [float(s) for s in sizes],
+                "failed_batch_workload": float(failed.workload),
+                "reason": failed.overload_reason,
+                "seconds_lost": float(failed.seconds),
+                "remaining_workload": float(remaining),
+            }
+            history.append(attempt)
+            if len(history) > recovery.max_retries:
+                raise RecoveryError(
+                    f"overload recovery exhausted {recovery.max_retries} "
+                    f"retries with {remaining:g} units unprocessed "
+                    f"(last failure: {failed.overload_reason})",
+                    history=history,
+                )
+            sizes = recovery.resplit(remaining, failed.workload)
+            attempt["resplit"] = [float(s) for s in sizes]
+
+        # Stitch the attempts into one job record: aborted batches stay
+        # in the trace (their time counts), re-indexed sequentially.
+        final_job.batches = done_batches + final_job.batches
+        for index, batch in enumerate(final_job.batches):
+            batch.batch_index = index
+        final_job.batch_sizes = [b.workload for b in final_job.batches]
+        final_job.total_workload = float(workload)
+        final_job.retry_history = history
+        final_job.extras["overload_retries"] = float(len(history))
+        return final_job
 
     def sweep_batches(
         self,

@@ -70,6 +70,13 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "engine runs persist as .npz across invocations); defaults to "
         "the REPRO_CACHE_DIR environment variable",
     )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        help="isolated retries for an item whose pool worker died "
+        "(default 2; 0 disables crash isolation)",
+    )
 
 
 def _add_setting(parser: argparse.ArgumentParser) -> None:
@@ -93,9 +100,13 @@ def _add_setting(parser: argparse.ArgumentParser) -> None:
 
 
 def _apply_cache_dir(args) -> None:
-    """Point the artifact cache at ``--cache-dir`` when given."""
+    """Apply ``--cache-dir`` / ``--max-retries`` runtime knobs."""
     if getattr(args, "cache_dir", None):
         configure_cache(directory=args.cache_dir)
+    if getattr(args, "max_retries", None) is not None:
+        from repro.perf.parallel import configure_retries
+
+        configure_retries(max_retries=args.max_retries)
 
 
 def _build_setting(args):
@@ -119,9 +130,21 @@ def cmd_list(args) -> int:
 
 def cmd_run(args) -> int:
     """``vcrepro run``: execute one job and print (or JSON-dump) metrics."""
+    from repro.faults.plan import mixed_fault_plan
+
     cluster, _graph, task = _build_setting(args)
     job = MultiProcessingJob(args.engine, cluster)
-    metrics = job.run(task, num_batches=args.batches, seed=args.seed)
+    plan = None
+    if args.faults:
+        plan = mixed_fault_plan(args.seed, cluster.num_machines, args.faults)
+    metrics = job.run(
+        task,
+        num_batches=args.batches,
+        seed=args.seed,
+        fault_plan=plan,
+        checkpoint_every=args.checkpoint_every or None,
+        on_overload=args.on_overload,
+    )
     if args.json:
         import json
 
@@ -134,6 +157,15 @@ def cmd_run(args) -> int:
             f"  batch {batch.batch_index}: W={batch.workload:g} "
             f"rounds={batch.num_rounds} time={batch.seconds:.1f}s "
             f"overloaded={batch.overloaded}"
+        )
+    if plan or args.checkpoint_every:
+        print(
+            f"  recovery: {metrics.fault_events} fault events, "
+            f"{metrics.crashes} crashes, "
+            f"{metrics.rounds_replayed} rounds replayed "
+            f"({metrics.replay_seconds:.1f}s), "
+            f"{metrics.checkpoints_written} checkpoints "
+            f"({metrics.checkpoint_seconds:.1f}s)"
         )
     return 0
 
@@ -255,6 +287,30 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p_run)
     _add_setting(p_run)
     p_run.add_argument("--batches", type=int, default=1)
+    p_run.add_argument(
+        "--faults",
+        type=float,
+        default=0.0,
+        metavar="RATE",
+        help="inject a seeded fault plan: per-round crash probability "
+        "(stragglers/message loss at half the rate, disk-full at a "
+        "quarter)",
+    )
+    p_run.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        metavar="K",
+        help="write a checkpoint every K rounds (Pregel model); crash "
+        "replay is then bounded by K rounds (0 = no checkpoints)",
+    )
+    p_run.add_argument(
+        "--on-overload",
+        choices=["report", "raise"],
+        default="report",
+        help="report: mark overloaded runs at the 6000 s cutoff (paper "
+        "behaviour); raise: fail fast with machine/peak context",
+    )
     p_run.add_argument(
         "--json", action="store_true", help="emit metrics as JSON"
     )

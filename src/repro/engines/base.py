@@ -33,7 +33,13 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.cluster.cluster import ClusterSpec
-from repro.errors import BatchingError, EngineError
+from repro.errors import (
+    BatchingError,
+    ConfigurationError,
+    EngineError,
+    OverloadError,
+)
+from repro.faults.plan import FaultKind, FaultPlan
 from repro.graph.csr import Graph
 from repro.graph.mirrors import MirrorPlan, build_mirror_plan
 from repro.graph.partition import Partition, partition_graph
@@ -60,6 +66,20 @@ from repro.units import OVERLOAD_CUTOFF_SECONDS
 
 #: Hard cap on rounds per batch, guarding against non-terminating kernels.
 MAX_ROUNDS_PER_BATCH = 5000
+
+#: Fixed coordination cost of writing one checkpoint (barrier piggyback,
+#: metadata commit), on top of streaming the state to disk.
+CHECKPOINT_BASE_SECONDS = 0.05
+
+#: Asynchronous engines have no superstep barrier to piggyback the
+#: checkpoint on; a consistent snapshot needs Chandy-Lamport-style
+#: marker coordination, paid as a multiplier on the write cost.
+ASYNC_CHECKPOINT_FACTOR = 1.5
+
+#: Base stall when a disk-full event hits an out-of-core spill (space
+#: reclamation before the write can be retried), scaled by the event
+#: magnitude on top of re-paying the round's disk time.
+DISK_FULL_BASE_STALL_SECONDS = 0.5
 
 #: For engines that aggregate results into vertex state (GraphLab's GAS
 #: model), the residual per vertex is bounded by the number of distinct
@@ -171,6 +191,11 @@ class SimulatedEngine:
         task: TaskSpec,
         batch_sizes: Sequence[float],
         seed: SeedLike = None,
+        *,
+        fault_plan: Optional[FaultPlan] = None,
+        checkpoint_every: Optional[int] = None,
+        on_overload: str = "report",
+        initial_residual_bytes: float = 0.0,
     ) -> JobMetrics:
         """Run a multi-processing job split into ``batch_sizes``.
 
@@ -178,6 +203,19 @@ class SimulatedEngine:
         reported at the paper's 6000 s cutoff) if any machine exceeds
         its overload memory limit or the simulated time passes the
         cutoff.
+
+        ``fault_plan`` injects the plan's crash/straggler/message-loss/
+        disk-full events round by round (rounds counted consecutively
+        across batches). ``checkpoint_every=k`` enables Pregel-style
+        checkpointing every ``k`` rounds: checkpoint writes cost
+        simulated time, and an injected crash rolls back to the last
+        checkpoint instead of the start of the batch — ``JobMetrics``
+        records checkpoints written, rounds replayed, and time lost.
+        ``on_overload="raise"`` opts out of the paper's
+        report-at-cutoff treatment and raises :class:`OverloadError`
+        (with machine/peak context) instead. ``initial_residual_bytes``
+        seeds the residual-memory accumulator, letting overload
+        recovery resume a job behind already-completed batches.
         """
         sizes = [float(s) for s in batch_sizes]
         if not sizes or any(s <= 0 for s in sizes):
@@ -186,6 +224,21 @@ class SimulatedEngine:
             raise BatchingError(
                 f"batch sizes sum to {sum(sizes):g}, expected workload "
                 f"{task.workload:g}"
+            )
+        if checkpoint_every is not None:
+            checkpoint_every = int(checkpoint_every)
+            if checkpoint_every <= 0:
+                raise ConfigurationError(
+                    "checkpoint_every must be a positive round count"
+                )
+        if on_overload not in ("report", "raise"):
+            raise ConfigurationError(
+                f"on_overload must be 'report' or 'raise', "
+                f"got {on_overload!r}"
+            )
+        if initial_residual_bytes < 0:
+            raise ConfigurationError(
+                "initial_residual_bytes must be non-negative"
             )
 
         # Whole runs are pure functions of (engine profile, cluster,
@@ -209,17 +262,59 @@ class SimulatedEngine:
                 repr(sorted(task.params.items())),
                 tuple(sizes),
                 None if seed is None else int(seed),
+                None if fault_plan is None else fault_plan.fingerprint,
+                checkpoint_every,
+                float(initial_residual_bytes),
             )
             job = get_cache().get_or_build(
                 cache_key,
-                lambda: self._run_job_uncached(task, sizes, seed),
+                lambda: self._run_job_uncached(
+                    task,
+                    sizes,
+                    seed,
+                    fault_plan=fault_plan,
+                    checkpoint_every=checkpoint_every,
+                    initial_residual_bytes=initial_residual_bytes,
+                ),
                 serializer=JOB_SERIALIZER,
             )
-            return clone_job(job)
-        return self._run_job_uncached(task, sizes, seed)
+            job = clone_job(job)
+        else:
+            job = self._run_job_uncached(
+                task,
+                sizes,
+                seed,
+                fault_plan=fault_plan,
+                checkpoint_every=checkpoint_every,
+                initial_residual_bytes=initial_residual_bytes,
+            )
+        if on_overload == "raise" and job.overloaded:
+            failed = next(
+                b for b in job.batches if b.overloaded and not b.aborted
+            )
+            machine = self.cluster.scaled_machine
+            raise OverloadError(
+                f"{self.name}/{task.name} on {self.cluster.name}: batch "
+                f"{failed.batch_index} overloaded "
+                f"({failed.overload_reason}); peak "
+                f"{failed.peak_memory_bytes:.4g} B vs overload limit "
+                f"{machine.overload_limit_bytes:.4g} B per machine",
+                machine=self.cluster.name,
+                peak_memory_bytes=failed.peak_memory_bytes,
+                limit_bytes=machine.overload_limit_bytes,
+                batch_index=failed.batch_index,
+                reason=failed.overload_reason,
+            )
+        return job
 
     def _run_job_uncached(
-        self, task: TaskSpec, sizes: List[float], seed: SeedLike
+        self,
+        task: TaskSpec,
+        sizes: List[float],
+        seed: SeedLike,
+        fault_plan: Optional[FaultPlan] = None,
+        checkpoint_every: Optional[int] = None,
+        initial_residual_bytes: float = 0.0,
     ) -> JobMetrics:
         prep = self._prepare(task)
         cost_model = self._make_cost_model()
@@ -234,8 +329,9 @@ class SimulatedEngine:
             total_workload=task.workload,
             batch_sizes=sizes,
         )
-        residual_bytes = 0.0
+        residual_bytes = float(initial_residual_bytes)
         elapsed = 0.0
+        global_round = 0
         for index, batch_workload in enumerate(sizes):
             batch = BatchMetrics(
                 batch_index=index,
@@ -246,6 +342,11 @@ class SimulatedEngine:
             batch.startup_seconds = self.profile.per_batch_overhead_seconds
             elapsed += batch.startup_seconds
             overloaded = False
+            # Rollback window: seconds of the rounds executed since the
+            # last checkpoint — what a crash forces the engine to replay.
+            since_checkpoint: List[float] = []
+            last_checkpoint_cost: Optional[float] = None
+            disk_full_pending = 0.0
             for round_index in range(MAX_ROUNDS_PER_BATCH):
                 tick = time.perf_counter()
                 summary = kernel.step()
@@ -265,6 +366,37 @@ class SimulatedEngine:
                     overloaded = True
                     batch.overload_reason = "memory"
                     break
+                since_checkpoint.append(metrics.seconds)
+                if fault_plan is not None:
+                    extra, disk_full = self._apply_faults(
+                        fault_plan.events_at(global_round),
+                        batch,
+                        metrics,
+                        since_checkpoint,
+                        last_checkpoint_cost,
+                    )
+                    elapsed += extra
+                    disk_full_pending = max(disk_full_pending, disk_full)
+                global_round += 1
+                if (
+                    checkpoint_every
+                    and not summary.done
+                    and len(since_checkpoint) >= checkpoint_every
+                ):
+                    ckpt_seconds = self._checkpoint_seconds(
+                        metrics.peak_memory_bytes
+                    )
+                    if disk_full_pending:
+                        # A disk-full event between checkpoints: the
+                        # write fails once and is retried after space
+                        # reclamation.
+                        ckpt_seconds *= 1.0 + disk_full_pending
+                        disk_full_pending = 0.0
+                    batch.checkpoints_written += 1
+                    batch.checkpoint_seconds += ckpt_seconds
+                    elapsed += ckpt_seconds
+                    last_checkpoint_cost = ckpt_seconds
+                    since_checkpoint = []
                 if elapsed > OVERLOAD_CUTOFF_SECONDS:
                     overloaded = True
                     batch.overload_reason = "timeout"
@@ -355,6 +487,115 @@ class SimulatedEngine:
             overload_policy=OverloadPolicy(),
             memory_capped=self.profile.out_of_core,
         )
+
+    # ------------------------------------------------------------------
+    # Fault tolerance
+    # ------------------------------------------------------------------
+    def _checkpoint_seconds(self, state_bytes: float) -> float:
+        """Simulated cost of writing one checkpoint.
+
+        Pregel checkpoints vertex values, in-flight messages, and
+        aggregator state to persistent storage at a superstep barrier;
+        machines write in parallel, so the cost is the bottleneck
+        machine's state streamed at the disk's bandwidth plus a fixed
+        coordination base. Asynchronous engines pay the snapshot
+        coordination factor on top (no barrier to piggyback on).
+        """
+        disk = self.cluster.scaled_disk
+        seconds = (
+            CHECKPOINT_BASE_SECONDS
+            + disk.seek_overhead_seconds
+            + state_bytes / disk.bandwidth_bytes_per_second
+        )
+        if self.profile.is_async:
+            seconds *= ASYNC_CHECKPOINT_FACTOR
+        return seconds
+
+    def _apply_faults(
+        self,
+        events,
+        batch: BatchMetrics,
+        metrics,
+        since_checkpoint: List[float],
+        last_checkpoint_cost: Optional[float],
+    ) -> "tuple[float, float]":
+        """Price this round's injected faults.
+
+        Returns ``(extra_seconds, disk_full_magnitude)`` — the simulated
+        time the events cost, and the magnitude of a disk-full event
+        that must instead be charged to the next checkpoint write (0.0
+        when none). Crash events roll the batch back to the last
+        checkpoint: the rounds in ``since_checkpoint`` (including the
+        current one, whose work is lost mid-round) are replayed and the
+        checkpoint is restored — or, without checkpointing, the batch
+        restarts from scratch and pays its startup cost again.
+        """
+        extra = 0.0
+        disk_full_pending = 0.0
+        for event in events:
+            if event.kind is FaultKind.STRAGGLER:
+                # The synchronous barrier makes every machine wait for
+                # the slow one; async engines still stall on its locks
+                # but less severely (half the slowdown).
+                slowdown = max(event.magnitude - 1.0, 0.0)
+                if self.profile.is_async:
+                    slowdown *= 0.5
+                lost = metrics.seconds * slowdown
+                batch.fault_events += 1
+                batch.fault_seconds += lost
+                extra += lost
+                batch.fault_log.append(
+                    f"{event.describe()}: +{lost:.3f}s barrier wait"
+                )
+            elif event.kind is FaultKind.MESSAGE_LOSS:
+                # The lost fraction of this round's traffic is detected
+                # at the barrier and retransmitted.
+                lost = metrics.network_seconds * min(event.magnitude, 1.0)
+                batch.fault_events += 1
+                batch.fault_seconds += lost
+                extra += lost
+                batch.fault_log.append(
+                    f"{event.describe()}: +{lost:.3f}s retransmission"
+                )
+            elif event.kind is FaultKind.DISK_FULL:
+                if metrics.spilled_bytes > 0:
+                    lost = (
+                        metrics.disk_seconds + DISK_FULL_BASE_STALL_SECONDS
+                    ) * event.magnitude
+                    batch.fault_events += 1
+                    batch.fault_seconds += lost
+                    extra += lost
+                    batch.fault_log.append(
+                        f"{event.describe()}: +{lost:.3f}s spill stall"
+                    )
+                else:
+                    # No spill this round: the event lands on the next
+                    # checkpoint write instead (if checkpointing is on).
+                    batch.fault_events += 1
+                    disk_full_pending = max(
+                        disk_full_pending, event.magnitude
+                    )
+                    batch.fault_log.append(
+                        f"{event.describe()}: checkpoint write will retry"
+                    )
+            elif event.kind is FaultKind.CRASH:
+                replay_rounds = len(since_checkpoint)
+                if last_checkpoint_cost is not None:
+                    # Restoring reads the checkpoint back (≈ the write
+                    # cost) before replay starts.
+                    restore = last_checkpoint_cost
+                else:
+                    restore = self.profile.per_batch_overhead_seconds
+                lost = sum(since_checkpoint) + restore
+                batch.crashes += 1
+                batch.rounds_replayed += replay_rounds
+                batch.replay_seconds += lost
+                extra += lost
+                batch.fault_log.append(
+                    f"{event.describe()}: replayed {replay_rounds} "
+                    f"rounds (+{lost:.3f}s)"
+                )
+        return extra, disk_full_pending
 
     # ------------------------------------------------------------------
     # Per-round translation

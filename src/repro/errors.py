@@ -8,6 +8,8 @@ conditions such as a simulated cluster overload.
 
 from __future__ import annotations
 
+from typing import Optional
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the repro library."""
@@ -46,7 +48,71 @@ class OverloadError(ReproError):
 
     Engines usually *report* overload through metrics rather than raising,
     mirroring the paper's treatment (results are marked "overload" at the
-    6000 s cutoff); this exception exists for strict-mode callers.
+    6000 s cutoff); this exception exists for strict-mode callers
+    (``run_job(..., on_overload="raise")``). The instance carries the
+    context of the failure: which machine spec overloaded, the peak
+    memory that broke it, and where in the job it happened.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        machine: Optional[str] = None,
+        peak_memory_bytes: Optional[float] = None,
+        limit_bytes: Optional[float] = None,
+        batch_index: Optional[int] = None,
+        reason: Optional[str] = None,
+    ) -> None:
+        super().__init__(message)
+        self.machine = machine
+        self.peak_memory_bytes = peak_memory_bytes
+        self.limit_bytes = limit_bytes
+        self.batch_index = batch_index
+        self.reason = reason
+
+
+class FaultError(ReproError):
+    """A fault-injection plan or event was configured incorrectly."""
+
+
+class RecoveryError(ReproError):
+    """Overload recovery exhausted its retry budget without completing.
+
+    ``history`` holds the retry attempts made before giving up (the same
+    records a successful run stores in ``JobMetrics.retry_history``).
+    """
+
+    def __init__(self, message: str, history: Optional[list] = None) -> None:
+        super().__init__(message)
+        self.history = list(history or [])
+
+
+class WorkerCrashError(ReproError):
+    """A pool worker process kept dying while computing one item.
+
+    Raised by :mod:`repro.perf.parallel` after the isolated retry
+    budget is exhausted. ``item_index`` identifies the offending item;
+    ``attempts`` is how many isolated retries were made.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        item_index: Optional[int] = None,
+        attempts: Optional[int] = None,
+    ) -> None:
+        super().__init__(message)
+        self.item_index = item_index
+        self.attempts = attempts
+
+
+class CacheCorruptionError(ReproError):
+    """An on-disk cache artifact failed checksum/format validation.
+
+    The cache quarantines and rebuilds corrupt entries instead of
+    propagating this error; it surfaces only through strict helpers.
     """
 
 

@@ -1,0 +1,192 @@
+"""Faults — time-to-completion vs checkpoint interval vs failure rate.
+
+The paper evaluates multi-processing on healthy clusters; real
+deployments of the systems it studies (Pregel, Giraph, GraphD) run
+with checkpoint-and-restart fault tolerance. This experiment measures
+the interplay on the simulated cluster: how much a crash costs without
+checkpoints (replay from the batch start), how a checkpoint interval
+``k`` bounds the replay to at most ``k`` rounds, and what the
+checkpoint writes themselves cost when nothing fails. A final row
+exercises the overload-recovery loop of Section 4.5: a workload that
+would be stamped "overload" at the 6000 s cutoff completes by aborting
+the oversized batch and re-splitting the remainder into smaller
+front-loaded batches.
+"""
+
+from __future__ import annotations
+
+from repro.batching.executor import MultiProcessingJob
+from repro.cluster.cluster import galaxy8
+from repro.experiments.base import ExperimentConfig, ExperimentResult
+from repro.experiments.common import dataset, task_for
+from repro.faults.plan import mixed_fault_plan
+from repro.faults.recovery import OverloadRecovery
+
+EXPERIMENT_ID = "faults"
+TITLE = "Fault injection: checkpoint interval vs failure rate (DBLP, Galaxy-8)"
+
+WORKLOAD = 1024
+BATCHES = 2
+CHECKPOINT_INTERVALS = (0, 2, 4, 8)
+CRASH_RATES = (0.0, 0.05, 0.15)
+QUICK_INTERVALS = (0, 4)
+QUICK_RATES = (0.0, 0.1)
+
+#: The overload-recovery row: a workload whose 1-batch run overloads
+#: (Figure 6's congestion blowup) but completes once re-split.
+RECOVERY_WORKLOAD = 10240
+
+
+def run(config: ExperimentConfig = ExperimentConfig()) -> ExperimentResult:
+    """Run the experiment and check its robustness claims."""
+    graph = dataset(config, "dblp")
+    cluster = galaxy8(scale=config.scale)
+    job = MultiProcessingJob("pregel+", cluster)
+    intervals = QUICK_INTERVALS if config.quick else CHECKPOINT_INTERVALS
+    rates = QUICK_RATES if config.quick else CRASH_RATES
+
+    result = ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        columns=[
+            "mode",
+            "ckpt",
+            "rate",
+            "time",
+            "crashes",
+            "replayed",
+            "replay-s",
+            "ckpt-s",
+            "retries",
+            "overloaded",
+        ],
+        paper_summary=(
+            "Pregel-style checkpointing every k rounds bounds crash "
+            "replay to <=k rounds; without checkpoints a crash replays "
+            "the whole batch prefix. Overloaded batches recover by "
+            "aborting and re-splitting front-loaded (Section 4.5)."
+        ),
+        notes=(
+            "every (rate, ckpt) cell at the same rate shares one seeded "
+            "fault plan, so the checkpoint comparison sees identical "
+            "fault sequences; 'recovery' row re-splits a workload that "
+            "overloads at 1 batch"
+        ),
+    )
+
+    measured = {}
+    for rate in rates:
+        # One plan per rate: the checkpoint axis must see the same
+        # crash/straggler sequence for the comparison to be fair.
+        plan = mixed_fault_plan(config.seed, cluster.num_machines, rate)
+        for interval in intervals:
+            metrics = job.run(
+                task_for(graph, "bppr", WORKLOAD, config.quick),
+                num_batches=BATCHES,
+                seed=config.seed,
+                fault_plan=plan if rate else None,
+                checkpoint_every=interval or None,
+            )
+            measured[(rate, interval)] = metrics
+            result.add_row(
+                mode="faults",
+                ckpt=interval or "-",
+                rate=rate,
+                time=metrics.time_label(),
+                crashes=metrics.crashes,
+                replayed=metrics.rounds_replayed,
+                **{
+                    "replay-s": round(metrics.replay_seconds, 1),
+                    "ckpt-s": round(metrics.checkpoint_seconds, 1),
+                },
+                retries=0,
+                overloaded=metrics.overloaded,
+            )
+
+    recovered = job.run_with_recovery(
+        lambda w: task_for(graph, "bppr", w, config.quick),
+        RECOVERY_WORKLOAD,
+        num_batches=1,
+        seed=config.seed,
+        recovery=OverloadRecovery(max_retries=6),
+    )
+    result.add_row(
+        mode="recovery",
+        ckpt="-",
+        rate="-",
+        time=recovered.time_label(),
+        crashes=recovered.crashes,
+        replayed=recovered.rounds_replayed,
+        **{
+            "replay-s": round(recovered.replay_seconds, 1),
+            "ckpt-s": round(recovered.checkpoint_seconds, 1),
+        },
+        retries=recovered.overload_retries,
+        overloaded=recovered.overloaded,
+    )
+
+    # ------------------------------------------------------------------
+    # Claims
+    # ------------------------------------------------------------------
+    faulty_rates = [r for r in rates if r > 0]
+    top_rate = max(faulty_rates)
+    baseline = measured[(0.0, 0)]
+    no_ckpt = measured[(top_rate, 0)]
+    ckpt_runs = [
+        (k, measured[(top_rate, k)]) for k in intervals if k > 0
+    ]
+
+    result.claim(
+        "crashes at the highest rate actually hit the run",
+        no_ckpt.crashes > 0,
+    )
+    result.claim(
+        "checkpointing every k rounds bounds replay to <=k rounds per "
+        "crash",
+        all(
+            m.rounds_replayed <= m.crashes * k
+            for k, m in ckpt_runs
+            if m.crashes
+        ),
+    )
+    result.claim(
+        "checkpointed runs lose strictly less replay time than the "
+        "no-checkpoint run under the same fault sequence",
+        all(
+            m.replay_seconds < no_ckpt.replay_seconds
+            for _k, m in ckpt_runs
+        )
+        and no_ckpt.replay_seconds > 0,
+    )
+    zero_ckpt = measured[(0.0, min(k for k in intervals if k > 0))]
+    result.claim(
+        "at zero failure rate checkpointing adds only its write cost",
+        zero_ckpt.crashes == 0
+        and zero_ckpt.replay_seconds == 0.0
+        and zero_ckpt.checkpoint_seconds > 0.0
+        and abs(
+            zero_ckpt.seconds
+            - (baseline.seconds + zero_ckpt.checkpoint_seconds)
+        )
+        <= 1e-6 * max(baseline.seconds, 1.0),
+    )
+    plan_a = mixed_fault_plan(config.seed, cluster.num_machines, top_rate)
+    plan_b = mixed_fault_plan(config.seed, cluster.num_machines, top_rate)
+    result.claim(
+        "the same seed generates an identical fault plan",
+        plan_a.fingerprint == plan_b.fingerprint and plan_a == plan_b,
+    )
+    one_batch = job.run(
+        task_for(graph, "bppr", RECOVERY_WORKLOAD, config.quick),
+        num_batches=1,
+        seed=config.seed,
+    )
+    result.claim(
+        "overload recovery completes a workload the 1-batch run cuts "
+        "off, with its retry history recorded",
+        one_batch.overloaded
+        and not recovered.overloaded
+        and recovered.overload_retries > 0
+        and len(recovered.retry_history) == recovered.overload_retries,
+    )
+    return result

@@ -7,6 +7,7 @@ from typing import Callable, Dict, Iterable, List, Optional
 from repro.errors import ConfigurationError
 from repro.experiments import (
     ablations,
+    faults,
     fig2,
     fig3,
     fig4,
@@ -41,6 +42,7 @@ EXPERIMENTS: Dict[str, Callable[[ExperimentConfig], ExperimentResult]] = {
     "fig10": fig10.run,
     "fig11": fig11.run,
     "fig12": fig12.run,
+    "faults": faults.run,
     "ablations": ablations.run,
 }
 

@@ -1,0 +1,33 @@
+"""Fault injection and recovery policies (the robustness subsystem).
+
+The paper's Section 4.3 narrative is about what happens when
+multi-processing pushes a vertex-centric system *past* its limits; the
+real systems it evaluates answer with Pregel-style checkpointing and
+restart. This package models that answer:
+
+* :mod:`repro.faults.plan` — a seeded, fully deterministic
+  :class:`FaultPlan` (machine crashes, stragglers, message loss,
+  disk-full events) that :class:`~repro.engines.base.SimulatedEngine`
+  consumes round by round;
+* :mod:`repro.faults.recovery` — the :class:`OverloadRecovery` policy
+  the batching executor and auto-tuner use to abort an overloaded
+  batch, re-split the remaining workload into smaller front-loaded
+  batches, and record the retry history.
+"""
+
+from repro.faults.plan import (
+    FaultEvent,
+    FaultKind,
+    FaultPlan,
+    mixed_fault_plan,
+)
+from repro.faults.recovery import OverloadRecovery, front_loaded_split
+
+__all__ = [
+    "FaultEvent",
+    "FaultKind",
+    "FaultPlan",
+    "OverloadRecovery",
+    "front_loaded_split",
+    "mixed_fault_plan",
+]

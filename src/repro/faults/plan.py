@@ -1,0 +1,257 @@
+"""Seeded fault plans consumed by the simulated engine.
+
+A :class:`FaultPlan` is a fixed list of :class:`FaultEvent` records,
+each pinned to a *global round index* (rounds counted consecutively
+across all batches of a job). The engine looks events up per round and
+prices their consequences — crash rollback/replay, straggler slowdown,
+message retransmission, disk stalls — so experiments can measure
+multi-processing *under failures*.
+
+Determinism contract: :meth:`FaultPlan.generate` is a pure function of
+``(seed, rates, horizon, num_machines)``. The same seed always yields
+the same event list, and :attr:`FaultPlan.fingerprint` content-addresses
+the plan so faulty runs participate in the artifact cache without ever
+mixing results across different plans.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import FaultError
+from repro.rng import make_rng
+
+
+class FaultKind(enum.Enum):
+    """The failure classes of Section 4.3's overload narrative.
+
+    ``CRASH``
+        a machine fails mid-round; the job rolls back to the last
+        checkpoint (Pregel's checkpoint-and-restart model) and replays.
+    ``STRAGGLER``
+        one machine runs slow for a round; the synchronous barrier makes
+        the whole round wait (magnitude = slowdown factor).
+    ``MESSAGE_LOSS``
+        a fraction of the round's network traffic is lost (magnitude =
+        lost fraction; 1.0 models a transient network partition) and
+        must be retransmitted.
+    ``DISK_FULL``
+        the spill/checkpoint volume cannot be written; out-of-core
+        engines stall while space is reclaimed, checkpoint writes pay
+        the cost twice.
+    """
+
+    CRASH = "crash"
+    STRAGGLER = "straggler"
+    MESSAGE_LOSS = "message-loss"
+    DISK_FULL = "disk-full"
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault, pinned to a global round index."""
+
+    round_index: int
+    kind: FaultKind
+    #: machine the fault hits (crash/straggler); cosmetic for the
+    #: cluster-wide kinds but always recorded for the fault log.
+    machine: int = 0
+    #: kind-specific intensity: slowdown factor (straggler), lost
+    #: fraction (message loss), stall multiplier (disk full). Ignored
+    #: for crashes.
+    magnitude: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.round_index < 0:
+            raise FaultError("fault round_index must be non-negative")
+        if self.machine < 0:
+            raise FaultError("fault machine must be non-negative")
+        if self.magnitude < 0:
+            raise FaultError("fault magnitude must be non-negative")
+
+    def describe(self) -> str:
+        """One-line human-readable form, e.g. ``crash@r5 m2 x1``."""
+        return (
+            f"{self.kind.value}@r{self.round_index} m{self.machine} "
+            f"x{self.magnitude:g}"
+        )
+
+
+#: Straggler slowdown factors are drawn uniformly from this range —
+#: "a few times slower", not catastrophically so (a dying machine is a
+#: crash, not a straggler).
+STRAGGLER_SLOWDOWN_RANGE = (2.0, 6.0)
+
+#: Disk-full stall multipliers (fraction of the round's disk time lost
+#: to reclaiming space before the write can be retried).
+DISK_FULL_STALL_RANGE = (0.5, 2.0)
+
+
+def _check_rate(name: str, rate: float) -> float:
+    rate = float(rate)
+    if not 0.0 <= rate <= 1.0:
+        raise FaultError(f"{name} must be in [0, 1], got {rate:g}")
+    return rate
+
+
+def mixed_fault_plan(
+    seed: Optional[int],
+    num_machines: int,
+    rate: float,
+    horizon_rounds: int = 512,
+) -> "FaultPlan":
+    """The standard fault mix used by the CLI and the faults experiment:
+    crashes at ``rate`` per round, stragglers and message loss at half
+    that, disk-full events at a quarter."""
+    rate = _check_rate("rate", rate)
+    return FaultPlan.generate(
+        seed,
+        num_machines,
+        horizon_rounds=horizon_rounds,
+        crash_rate=rate,
+        straggler_rate=rate / 2,
+        message_loss_rate=rate / 2,
+        disk_full_rate=rate / 4,
+    )
+
+
+class FaultPlan:
+    """An immutable schedule of fault events for one job."""
+
+    def __init__(
+        self,
+        events: Sequence[FaultEvent] = (),
+        seed: Optional[int] = None,
+    ) -> None:
+        self.events: Tuple[FaultEvent, ...] = tuple(
+            sorted(events, key=lambda e: (e.round_index, e.kind.value, e.machine))
+        )
+        self.seed = seed
+        by_round: Dict[int, List[FaultEvent]] = {}
+        for event in self.events:
+            by_round.setdefault(event.round_index, []).append(event)
+        self._by_round: Dict[int, Tuple[FaultEvent, ...]] = {
+            r: tuple(evs) for r, evs in by_round.items()
+        }
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def generate(
+        cls,
+        seed: Optional[int],
+        num_machines: int,
+        horizon_rounds: int = 512,
+        crash_rate: float = 0.0,
+        straggler_rate: float = 0.0,
+        message_loss_rate: float = 0.0,
+        disk_full_rate: float = 0.0,
+    ) -> "FaultPlan":
+        """Draw a deterministic plan from per-round event probabilities.
+
+        Each rate is the independent per-round probability of that fault
+        kind occurring within ``horizon_rounds`` rounds. The draw order
+        is fixed, so the same seed always produces the same plan.
+        """
+        if num_machines < 1:
+            raise FaultError("num_machines must be at least 1")
+        if horizon_rounds < 1:
+            raise FaultError("horizon_rounds must be at least 1")
+        crash_rate = _check_rate("crash_rate", crash_rate)
+        straggler_rate = _check_rate("straggler_rate", straggler_rate)
+        message_loss_rate = _check_rate("message_loss_rate", message_loss_rate)
+        disk_full_rate = _check_rate("disk_full_rate", disk_full_rate)
+
+        rng = make_rng(seed, label="fault-plan")
+        events: List[FaultEvent] = []
+        for round_index in range(horizon_rounds):
+            # One fixed-size block of draws per round keeps the stream
+            # aligned regardless of which events fire.
+            draws = rng.random(4)
+            picks = rng.integers(0, num_machines, size=4)
+            intensities = rng.random(2)
+            if draws[0] < crash_rate:
+                events.append(
+                    FaultEvent(round_index, FaultKind.CRASH, int(picks[0]))
+                )
+            if draws[1] < straggler_rate:
+                low, high = STRAGGLER_SLOWDOWN_RANGE
+                events.append(
+                    FaultEvent(
+                        round_index,
+                        FaultKind.STRAGGLER,
+                        int(picks[1]),
+                        magnitude=low + (high - low) * float(intensities[0]),
+                    )
+                )
+            if draws[2] < message_loss_rate:
+                events.append(
+                    FaultEvent(
+                        round_index,
+                        FaultKind.MESSAGE_LOSS,
+                        int(picks[2]),
+                        # Lost fraction; occasionally a full partition.
+                        magnitude=min(1.0, 0.05 + float(intensities[1])),
+                    )
+                )
+            if draws[3] < disk_full_rate:
+                low, high = DISK_FULL_STALL_RANGE
+                events.append(
+                    FaultEvent(
+                        round_index,
+                        FaultKind.DISK_FULL,
+                        int(picks[3]),
+                        magnitude=low
+                        + (high - low) * float(intensities[1]),
+                    )
+                )
+        return cls(events, seed=None if seed is None else int(seed))
+
+    @classmethod
+    def none(cls) -> "FaultPlan":
+        """The empty plan (no faults)."""
+        return cls(())
+
+    # ------------------------------------------------------------------
+    def events_at(self, round_index: int) -> Tuple[FaultEvent, ...]:
+        """Events scheduled for one global round (possibly empty)."""
+        return self._by_round.get(int(round_index), ())
+
+    def count(self, kind: Optional[FaultKind] = None) -> int:
+        """Number of events, optionally restricted to one kind."""
+        if kind is None:
+            return len(self.events)
+        return sum(1 for e in self.events if e.kind is kind)
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable content address (cache-key component)."""
+        digest = hashlib.blake2b(digest_size=16)
+        for event in self.events:
+            digest.update(
+                f"{event.round_index}:{event.kind.value}:"
+                f"{event.machine}:{event.magnitude!r};".encode("utf-8")
+            )
+        return digest.hexdigest()
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FaultPlan):
+            return NotImplemented
+        return self.events == other.events
+
+    def __hash__(self) -> int:
+        return hash(self.events)
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultPlan(seed={self.seed!r}, events={len(self.events)}, "
+            f"fingerprint={self.fingerprint[:8]})"
+        )

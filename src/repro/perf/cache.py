@@ -32,6 +32,7 @@ from typing import Any, Callable, Dict, Optional, Tuple
 
 import numpy as np
 
+from repro.errors import CacheCorruptionError
 from repro.perf import timings
 
 __all__ = [
@@ -48,6 +49,26 @@ __all__ = [
 #: hundred entries stay well under typical memory budgets.
 DEFAULT_CAPACITY = 256
 
+#: Reserved array name holding the artifact's own checksum inside the
+#: ``.npz``. Legacy artifacts without it are still accepted.
+CHECKSUM_KEY = "_repro_checksum"
+
+
+def _checksum_array(arrays: Dict[str, np.ndarray]) -> np.ndarray:
+    """Content digest of an artifact's arrays (names, dtypes, shapes,
+    bytes), stored alongside them so torn/bit-rotted files are caught
+    at load time."""
+    digest = hashlib.blake2b(digest_size=16)
+    for name in sorted(arrays):
+        array = np.asarray(arrays[name])
+        digest.update(name.encode("utf-8"))
+        digest.update(str(array.dtype).encode("utf-8"))
+        digest.update(repr(array.shape).encode("utf-8"))
+        digest.update(np.ascontiguousarray(array).tobytes())
+    return np.frombuffer(
+        digest.hexdigest().encode("ascii"), dtype=np.uint8
+    ).copy()
+
 
 @dataclass
 class CacheStats:
@@ -57,6 +78,9 @@ class CacheStats:
     misses: int = 0
     disk_hits: int = 0
     evictions: int = 0
+    #: on-disk artifacts that failed checksum/format validation and were
+    #: quarantined (renamed to ``*.corrupt``) then rebuilt.
+    corruptions: int = 0
 
     def to_dict(self) -> Dict[str, int]:
         """Plain-dict form for reports and ``BENCH_perf.json``."""
@@ -65,6 +89,7 @@ class CacheStats:
             "misses": self.misses,
             "disk_hits": self.disk_hits,
             "evictions": self.evictions,
+            "corruptions": self.corruptions,
         }
 
     def merge(self, delta: Dict[str, int]) -> None:
@@ -73,6 +98,7 @@ class CacheStats:
         self.misses += int(delta.get("misses", 0))
         self.disk_hits += int(delta.get("disk_hits", 0))
         self.evictions += int(delta.get("evictions", 0))
+        self.corruptions += int(delta.get("corruptions", 0))
 
 
 @dataclass(frozen=True)
@@ -201,7 +227,10 @@ class ArtifactCache:
     ) -> None:
         try:
             os.makedirs(os.path.dirname(path), exist_ok=True)
-            arrays = serializer.pack(value)
+            arrays = dict(serializer.pack(value))
+            arrays[CHECKSUM_KEY] = _checksum_array(arrays)
+            # Write-then-rename: a crash mid-write leaves only a stale
+            # tmp file, never a truncated artifact under the real name.
             tmp = f"{path}.tmp-{os.getpid()}"
             with open(tmp, "wb") as fh:
                 np.savez_compressed(fh, **arrays)
@@ -212,13 +241,38 @@ class ArtifactCache:
     def _load(
         self, path: str, serializer: ArraySerializer
     ) -> Optional[Any]:
+        import zipfile
+        import zlib
+
         try:
             with timings.span("cache-load"):
                 with np.load(path, allow_pickle=False) as data:
                     arrays = {name: data[name] for name in data.files}
+                stored = arrays.pop(CHECKSUM_KEY, None)
+                if stored is not None and not np.array_equal(
+                    stored, _checksum_array(arrays)
+                ):
+                    raise CacheCorruptionError(
+                        f"checksum mismatch in cache artifact {path}"
+                    )
                 return serializer.unpack(arrays)
-        except (OSError, ValueError, KeyError):
-            return None  # corrupt/foreign file: fall through to rebuild
+        except (
+            OSError,
+            ValueError,
+            KeyError,
+            zipfile.BadZipFile,
+            zlib.error,
+            CacheCorruptionError,
+        ):
+            # Corrupt or foreign file: quarantine it so the rebuild's
+            # fresh copy cannot collide with the bad bytes, and fall
+            # through to rebuild.
+            self.stats.corruptions += 1
+            try:
+                os.replace(path, f"{path}.corrupt")
+            except OSError:
+                pass
+            return None
 
 
 # ----------------------------------------------------------------------

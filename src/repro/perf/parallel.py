@@ -5,7 +5,7 @@ Experiments and batch sweeps are embarrassingly parallel: every
 stream from an explicit seed (:func:`repro.rng.derive_seed`), so
 executing them in a pool produces byte-identical results to the serial
 loop — the only thing that changes is wall-clock. Tests assert this
-(``tests/perf/test_parallel_determinism.py``).
+(``tests/perf/test_parallel.py``).
 
 Two entry points:
 
@@ -18,18 +18,65 @@ Two entry points:
   loop on platforms without ``fork``.
 
 Both degrade gracefully to serial execution when a pool cannot be
-created or a payload cannot be pickled, and both fold the workers'
-phase timings (:mod:`repro.perf.timings`) back into the parent.
+created or a payload cannot be pickled — with a :class:`RuntimeWarning`
+naming the cause, never silently — and both fold the workers' phase
+timings (:mod:`repro.perf.timings`) back into the parent.
+
+Crash isolation: a worker process dying (OOM-killed, segfault) breaks
+the whole ``ProcessPoolExecutor`` — every in-flight future raises
+``BrokenProcessPool``, so one bad item would normally take the batch
+down with it. Items caught in a broken pool are therefore retried in
+fresh single-worker pools with exponential backoff: collateral victims
+succeed on their first isolated attempt, while an item that keeps
+killing its worker exhausts the retry budget and raises
+:class:`~repro.errors.WorkerCrashError` naming the item. Configure the
+budget with :func:`configure_retries` (CLI ``--max-retries``).
 """
 
 from __future__ import annotations
 
 import os
-from typing import Any, Callable, List, Optional, Sequence
+import time
+import warnings
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
+from repro.errors import ConfigurationError, WorkerCrashError
 from repro.perf import timings
 
-__all__ = ["resolve_jobs", "parallel_map", "parallel_map_fork"]
+__all__ = [
+    "resolve_jobs",
+    "parallel_map",
+    "parallel_map_fork",
+    "configure_retries",
+]
+
+#: Per-item crash-retry budget and backoff base, shared by both entry
+#: points. ``max_retries`` counts the *isolated* re-attempts after an
+#: item was caught in a broken pool; attempt ``n`` sleeps
+#: ``backoff_seconds * 2**(n-1)`` first.
+_RETRY: Dict[str, float] = {"max_retries": 2, "backoff_seconds": 0.05}
+
+
+def configure_retries(
+    max_retries: Optional[int] = None,
+    backoff_seconds: Optional[float] = None,
+) -> Dict[str, float]:
+    """Set the process-wide crash-retry policy; returns the live config.
+
+    ``max_retries=0`` disables isolated retries entirely: any item in a
+    broken pool fails immediately (collateral victims included).
+    """
+    if max_retries is not None:
+        max_retries = int(max_retries)
+        if max_retries < 0:
+            raise ConfigurationError("max_retries must be >= 0")
+        _RETRY["max_retries"] = max_retries
+    if backoff_seconds is not None:
+        backoff_seconds = float(backoff_seconds)
+        if backoff_seconds < 0:
+            raise ConfigurationError("backoff_seconds must be >= 0")
+        _RETRY["backoff_seconds"] = backoff_seconds
+    return _RETRY
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:
@@ -42,6 +89,26 @@ def resolve_jobs(jobs: Optional[int]) -> int:
     if jobs == 0:
         return max(os.cpu_count() or 1, 1)
     return jobs
+
+
+def _warn_serial(reason: str) -> None:
+    """Name the cause whenever the pool path degrades to the serial loop."""
+    warnings.warn(
+        f"parallel execution unavailable, falling back to serial: {reason}",
+        RuntimeWarning,
+        stacklevel=4,
+    )
+
+
+def _is_pickling_error(exc: BaseException) -> bool:
+    """A payload failed to cross the pipe (closure, lambda, local class)."""
+    import pickle
+
+    if isinstance(exc, pickle.PicklingError):
+        return True
+    return isinstance(exc, (TypeError, AttributeError)) and "pickle" in str(
+        exc
+    ).lower()
 
 
 def _timed_call(fn: Callable, args: tuple) -> tuple:
@@ -71,19 +138,65 @@ def _run_serial(fn: Callable, arg_tuples: Sequence[tuple]) -> List[Any]:
     return [fn(*args) for args in arg_tuples]
 
 
+def _run_isolated(worker: Callable, payload: tuple, index: int, context):
+    """Retry one crashed item in fresh single-worker pools.
+
+    Items caught in a broken shared pool land here: a collateral victim
+    (its neighbour crashed the worker) succeeds on the first isolated
+    attempt; an item that keeps killing its own worker exhausts
+    ``max_retries`` and raises :class:`WorkerCrashError`.
+    """
+    import concurrent.futures
+    from concurrent.futures.process import BrokenProcessPool
+
+    budget = int(_RETRY["max_retries"])
+    backoff = float(_RETRY["backoff_seconds"])
+    last: Optional[BaseException] = None
+    for attempt in range(1, budget + 1):
+        if attempt > 1:
+            time.sleep(backoff * 2 ** (attempt - 2))
+        try:
+            with concurrent.futures.ProcessPoolExecutor(
+                max_workers=1, mp_context=context
+            ) as solo:
+                return solo.submit(worker, *payload).result()
+        except BrokenProcessPool as exc:
+            last = exc
+    raise WorkerCrashError(
+        f"worker process died while computing item {index} and kept dying "
+        f"through {budget} isolated retries; the item appears to crash its "
+        f"worker (e.g. OOM or segfault)",
+        item_index=index,
+        attempts=budget,
+    ) from last
+
+
 def _pool_map(
     worker: Callable,
     payloads: Sequence[tuple],
     jobs: int,
     require_fork: bool,
 ) -> Optional[List[Any]]:
-    """Run ``worker`` over ``payloads`` in a pool; None -> use serial."""
+    """Run ``worker`` over ``payloads`` in a pool; None -> use serial.
+
+    Futures are submitted individually so a dying worker fails only the
+    items caught in the broken pool — those are re-run via
+    :func:`_run_isolated` rather than dragging the whole map down.
+    Exceptions raised *by the worker function itself* propagate
+    unchanged.
+    """
     import concurrent.futures
+    from concurrent.futures.process import BrokenProcessPool
+
     import multiprocessing
 
     try:
         if require_fork:
             if "fork" not in multiprocessing.get_all_start_methods():
+                _warn_serial(
+                    "the fork start method is unavailable on this platform "
+                    "(closures cannot be pickled across spawn)"
+                )
                 return None
             context = multiprocessing.get_context("fork")
         else:
@@ -92,16 +205,40 @@ def _pool_map(
             max_workers=min(jobs, max(len(payloads), 1)),
             mp_context=context,
         )
-    except (OSError, ValueError, ImportError):
+    except (OSError, ValueError, ImportError) as exc:
+        _warn_serial(f"could not create a process pool ({exc})")
         return None
+
+    outputs: List[Optional[tuple]] = [None] * len(payloads)
+    crashed: List[int] = []
     try:
         with executor:
-            outputs = list(executor.map(worker, *zip(*payloads)))
-    except (OSError, ValueError, concurrent.futures.process.BrokenProcessPool,
-            AttributeError, TypeError, ImportError):
-        # Unpicklable payloads, a dead pool, or a sandboxed platform:
-        # the serial path computes the same results.
+            futures = {
+                executor.submit(worker, *payload): index
+                for index, payload in enumerate(payloads)
+            }
+            for future, index in futures.items():
+                try:
+                    outputs[index] = future.result()
+                except BrokenProcessPool:
+                    crashed.append(index)
+                except Exception as exc:
+                    if _is_pickling_error(exc):
+                        _warn_serial(
+                            f"payload for item {index} could not be "
+                            f"pickled ({exc})"
+                        )
+                        return None
+                    raise  # the worker function's own error: propagate
+    except (OSError, BrokenProcessPool) as exc:
+        # The pool itself collapsed outside a result() call (e.g. a
+        # sandboxed platform killing the management thread).
+        _warn_serial(f"process pool collapsed ({exc})")
         return None
+
+    for index in crashed:
+        outputs[index] = _run_isolated(worker, payloads[index], index, context)
+
     from repro.perf.cache import get_cache
 
     results = []
@@ -120,8 +257,11 @@ def parallel_map(
     """``[fn(*args) for args in arg_tuples]``, fanned out over processes.
 
     Order is preserved. ``fn`` and every argument must be picklable;
-    when they are not (or a pool cannot be created), the serial loop
-    runs instead and produces identical results.
+    when they are not (or a pool cannot be created), a
+    :class:`RuntimeWarning` names the cause and the serial loop runs
+    instead, producing identical results. A worker process dying fails
+    only its own item — after the isolated retry budget is exhausted it
+    raises :class:`~repro.errors.WorkerCrashError` for that item.
     """
     workers = resolve_jobs(jobs)
     if workers <= 1 or len(arg_tuples) <= 1:
@@ -142,7 +282,9 @@ def parallel_map_fork(
 
     ``fn`` may be any closure: it never crosses a pipe. Workers inherit
     it through the module global set here, so this path requires the
-    ``fork`` start method (Linux/macOS); elsewhere it runs serially.
+    ``fork`` start method (Linux/macOS); elsewhere a
+    :class:`RuntimeWarning` is emitted and the loop runs serially.
+    Crash isolation matches :func:`parallel_map`.
     """
     workers = resolve_jobs(jobs)
     if workers <= 1 or count <= 1:

@@ -16,7 +16,7 @@ import copy
 import dataclasses
 import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
@@ -77,6 +77,27 @@ class BatchMetrics:
     residual_memory_after_bytes: float = 0.0
     #: fixed batch startup cost (engine-dependent).
     startup_seconds: float = 0.0
+    #: checkpoints written during this batch (Pregel's every-k-rounds
+    #: model) and the simulated time spent writing them.
+    checkpoints_written: int = 0
+    checkpoint_seconds: float = 0.0
+    #: injected machine crashes survived by rollback-replay, the rounds
+    #: replayed to recover, and the time lost doing so (replayed round
+    #: time plus checkpoint restore).
+    crashes: int = 0
+    rounds_replayed: int = 0
+    replay_seconds: float = 0.0
+    #: non-crash fault events applied (stragglers, message loss,
+    #: disk-full stalls) and the extra time they cost.
+    fault_events: int = 0
+    fault_seconds: float = 0.0
+    #: overload recovery aborted this batch: it still counts as
+    #: overloaded, but its time is the real elapsed time until the abort
+    #: (plus abort overhead) instead of the 6000 s cutoff stamp.
+    aborted: bool = False
+    abort_seconds: float = 0.0
+    #: human-readable log of the faults applied during this batch.
+    fault_log: List[str] = field(default_factory=list)
 
     @property
     def num_rounds(self) -> int:
@@ -84,9 +105,20 @@ class BatchMetrics:
 
     @property
     def seconds(self) -> float:
-        if self.overloaded:
+        if self.overloaded and not self.aborted:
             return OVERLOAD_CUTOFF_SECONDS
-        return self.startup_seconds + sum(r.seconds for r in self.rounds)
+        elapsed = (
+            self.startup_seconds
+            + sum(r.seconds for r in self.rounds)
+            + self.checkpoint_seconds
+            + self.replay_seconds
+            + self.fault_seconds
+        )
+        if self.aborted:
+            # A supervised abort fires no later than the cutoff — the
+            # batch never thrashes to completion, so cap the charge.
+            elapsed = min(elapsed, OVERLOAD_CUTOFF_SECONDS)
+        return elapsed + self.abort_seconds
 
     @property
     def network_messages(self) -> float:
@@ -128,6 +160,9 @@ class JobMetrics:
     batches: List[BatchMetrics] = field(default_factory=list)
     aggregation_seconds: float = 0.0
     extras: Dict[str, float] = field(default_factory=dict)
+    #: overload-recovery attempts (one record per aborted-and-re-split
+    #: schedule), recorded by the batching executor's closed loop.
+    retry_history: List[Dict[str, Any]] = field(default_factory=list)
 
     # ------------------------------------------------------------------
     # Aggregates the experiment tables print
@@ -138,7 +173,13 @@ class JobMetrics:
 
     @property
     def overloaded(self) -> bool:
-        return any(b.overloaded for b in self.batches)
+        """Terminal overload: a batch overloaded and was *not* recovered.
+
+        Batches aborted by overload recovery still record their failure
+        (``overloaded=True, aborted=True``) but do not mark the job
+        overloaded — the re-split batches completed the workload.
+        """
+        return any(b.overloaded and not b.aborted for b in self.batches)
 
     @property
     def seconds(self) -> float:
@@ -171,6 +212,49 @@ class JobMetrics:
         if not self.batches:
             return 0.0
         return max(b.peak_memory_bytes for b in self.batches)
+
+    # -- fault-tolerance aggregates ------------------------------------
+    @property
+    def checkpoints_written(self) -> int:
+        return sum(b.checkpoints_written for b in self.batches)
+
+    @property
+    def checkpoint_seconds(self) -> float:
+        return sum(b.checkpoint_seconds for b in self.batches)
+
+    @property
+    def crashes(self) -> int:
+        return sum(b.crashes for b in self.batches)
+
+    @property
+    def rounds_replayed(self) -> int:
+        return sum(b.rounds_replayed for b in self.batches)
+
+    @property
+    def replay_seconds(self) -> float:
+        return sum(b.replay_seconds for b in self.batches)
+
+    @property
+    def fault_events(self) -> int:
+        return sum(b.fault_events for b in self.batches)
+
+    @property
+    def fault_seconds(self) -> float:
+        return sum(b.fault_seconds for b in self.batches)
+
+    @property
+    def time_lost_seconds(self) -> float:
+        """Simulated time lost to faults: replay plus slowdown extras."""
+        return self.replay_seconds + self.fault_seconds
+
+    @property
+    def overload_retries(self) -> int:
+        """Overload-recovery attempts recorded by the executor."""
+        return len(self.retry_history)
+
+    @property
+    def aborted_batches(self) -> int:
+        return sum(1 for b in self.batches if b.aborted)
 
     @property
     def network_overuse_seconds(self) -> float:
@@ -215,9 +299,15 @@ class JobMetrics:
             "barrier": 0.0,
             "startup": 0.0,
             "thrash": 0.0,
+            "checkpoint": 0.0,
+            "replay": 0.0,
+            "faults": 0.0,
         }
         for batch in self.batches:
             parts["startup"] += batch.startup_seconds
+            parts["checkpoint"] += batch.checkpoint_seconds
+            parts["replay"] += batch.replay_seconds
+            parts["faults"] += batch.fault_seconds + batch.abort_seconds
             for r in batch.rounds:
                 parts["compute"] += r.compute_seconds
                 parts["network"] += r.network_seconds
@@ -270,6 +360,15 @@ class JobMetrics:
             "max_disk_utilization": self.max_disk_utilization,
             "aggregation_seconds": self.aggregation_seconds,
             "time_breakdown": self.time_breakdown(),
+            "checkpoints_written": self.checkpoints_written,
+            "checkpoint_seconds": self.checkpoint_seconds,
+            "crashes": self.crashes,
+            "rounds_replayed": self.rounds_replayed,
+            "replay_seconds": self.replay_seconds,
+            "fault_events": self.fault_events,
+            "fault_seconds": self.fault_seconds,
+            "overload_retries": self.overload_retries,
+            "retry_history": [dict(r) for r in self.retry_history],
             "batches": [
                 {
                     "index": b.batch_index,
@@ -278,10 +377,16 @@ class JobMetrics:
                     "seconds": b.seconds,
                     "overloaded": b.overloaded,
                     "overload_reason": b.overload_reason,
+                    "aborted": b.aborted,
                     "peak_memory_bytes": b.peak_memory_bytes,
                     "residual_memory_after_bytes": (
                         b.residual_memory_after_bytes
                     ),
+                    "checkpoints_written": b.checkpoints_written,
+                    "crashes": b.crashes,
+                    "rounds_replayed": b.rounds_replayed,
+                    "replay_seconds": b.replay_seconds,
+                    "fault_log": list(b.fault_log),
                 }
                 for b in self.batches
             ],
@@ -328,10 +433,12 @@ def clone_job(job: JobMetrics) -> JobMetrics:
     clone = copy.copy(job)
     clone.batch_sizes = list(job.batch_sizes)
     clone.extras = dict(job.extras)
+    clone.retry_history = [dict(r) for r in job.retry_history]
     clone.batches = []
     for batch in job.batches:
         batch_clone = copy.copy(batch)
         batch_clone.rounds = [copy.copy(r) for r in batch.rounds]
+        batch_clone.fault_log = list(batch.fault_log)
         clone.batches.append(batch_clone)
     return clone
 

@@ -130,6 +130,7 @@ class TestRunner:
             "fig10",
             "fig11",
             "fig12",
+            "faults",
             "ablations",
         }
 

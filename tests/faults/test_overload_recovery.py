@@ -1,0 +1,134 @@
+"""Graceful overload degradation: abort, re-split, retry history."""
+
+import pytest
+
+from repro.batching.executor import MultiProcessingJob
+from repro.cluster.cluster import galaxy8
+from repro.errors import ConfigurationError, RecoveryError
+from repro.faults.recovery import (
+    MAX_RESPLIT_BATCHES,
+    OverloadRecovery,
+    front_loaded_split,
+)
+from repro.graph.datasets import load_dataset
+from repro.tasks.bppr import bppr_task
+from repro.units import OVERLOAD_CUTOFF_SECONDS
+
+#: A workload whose 1-batch run overloads on memory but completes once
+#: split (see the faults experiment / Figure 6's congestion regime).
+OVERLOADING_WORKLOAD = 15000
+
+
+class TestFrontLoadedSplit:
+    def test_sums_and_decreases(self):
+        sizes = front_loaded_split(1000, 4)
+        assert sum(sizes) == 1000
+        assert sizes == sorted(sizes, reverse=True)
+        assert all(s >= 1 for s in sizes)
+
+    def test_integral_workloads_stay_integral(self):
+        sizes = front_loaded_split(97, 5)
+        assert all(float(s).is_integer() for s in sizes)
+        assert sum(sizes) == 97
+
+    def test_more_batches_than_units_clamped(self):
+        sizes = front_loaded_split(3, 10)
+        assert sizes == [1.0, 1.0, 1.0]
+
+    def test_decay_one_gives_equal_batches(self):
+        sizes = front_loaded_split(100, 4, decay=1.0)
+        assert sizes == [25.0, 25.0, 25.0, 25.0]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            front_loaded_split(0, 2)
+        with pytest.raises(ConfigurationError):
+            front_loaded_split(10, 0)
+        with pytest.raises(ConfigurationError):
+            front_loaded_split(10, 2, decay=0.0)
+
+
+class TestPolicy:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            OverloadRecovery(max_retries=-1)
+        with pytest.raises(ConfigurationError):
+            OverloadRecovery(split_factor=1)
+        with pytest.raises(ConfigurationError):
+            OverloadRecovery(decay=1.5)
+        with pytest.raises(ConfigurationError):
+            OverloadRecovery(abort_overhead_seconds=-1.0)
+
+    def test_resplit_shrinks_batches(self):
+        policy = OverloadRecovery(split_factor=2)
+        sizes = policy.resplit(1000, 1000)
+        assert sum(sizes) == 1000
+        assert max(sizes) < 1000
+        assert len(sizes) >= 2
+        assert len(sizes) <= MAX_RESPLIT_BATCHES
+
+
+class TestRecoveryLoop:
+    def test_completes_a_cutoff_workload(self):
+        graph = load_dataset("dblp")
+        job = MultiProcessingJob("pregel+", galaxy8())
+        direct = job.run(
+            bppr_task(graph, OVERLOADING_WORKLOAD), num_batches=1, seed=7
+        )
+        assert direct.overloaded
+        assert direct.seconds == OVERLOAD_CUTOFF_SECONDS
+
+        recovered = job.run_with_recovery(
+            lambda w: bppr_task(graph, w),
+            OVERLOADING_WORKLOAD,
+            num_batches=1,
+            seed=7,
+            recovery=OverloadRecovery(max_retries=6),
+        )
+        assert not recovered.overloaded
+        assert recovered.overload_retries > 0
+        assert len(recovered.retry_history) == recovered.overload_retries
+        # Every unit is processed exactly once by a non-aborted batch.
+        processed = sum(
+            b.workload for b in recovered.batches if not b.aborted
+        )
+        assert processed == OVERLOADING_WORKLOAD
+        assert recovered.total_workload == OVERLOADING_WORKLOAD
+        # Aborted batches stay in the trace with their (capped) cost.
+        assert recovered.aborted_batches == recovered.overload_retries
+        for batch in recovered.batches:
+            if batch.aborted:
+                assert batch.seconds <= OVERLOAD_CUTOFF_SECONDS + 1.0
+        # History records what failed and how it was re-split.
+        for attempt in recovered.retry_history:
+            assert attempt["failed_batch_workload"] > 0
+            assert attempt["reason"] in ("memory", "timeout")
+            assert sum(attempt["resplit"]) == attempt["remaining_workload"]
+        assert recovered.extras["overload_retries"] == float(
+            recovered.overload_retries
+        )
+
+    def test_exhausted_budget_raises_with_history(self):
+        graph = load_dataset("dblp")
+        job = MultiProcessingJob("pregel+", galaxy8())
+        with pytest.raises(RecoveryError) as excinfo:
+            job.run_with_recovery(
+                lambda w: bppr_task(graph, w),
+                OVERLOADING_WORKLOAD,
+                num_batches=1,
+                seed=7,
+                recovery=OverloadRecovery(max_retries=0),
+            )
+        assert len(excinfo.value.history) == 1
+        assert "retries" in str(excinfo.value)
+
+    def test_healthy_workload_needs_no_retries(self):
+        graph = load_dataset("dblp")
+        job = MultiProcessingJob("pregel+", galaxy8())
+        metrics = job.run_with_recovery(
+            lambda w: bppr_task(graph, w), 1024, num_batches=2, seed=7
+        )
+        assert not metrics.overloaded
+        assert metrics.overload_retries == 0
+        assert metrics.retry_history == []
+        assert metrics.aborted_batches == 0

@@ -1,0 +1,105 @@
+"""FaultPlan generation: determinism, validation, round lookup."""
+
+import pytest
+
+from repro.errors import FaultError
+from repro.faults.plan import (
+    FaultEvent,
+    FaultKind,
+    FaultPlan,
+    STRAGGLER_SLOWDOWN_RANGE,
+    mixed_fault_plan,
+)
+
+RATES = dict(
+    crash_rate=0.1,
+    straggler_rate=0.2,
+    message_loss_rate=0.1,
+    disk_full_rate=0.05,
+)
+
+
+class TestGeneration:
+    def test_same_seed_same_plan(self):
+        a = FaultPlan.generate(42, 8, horizon_rounds=256, **RATES)
+        b = FaultPlan.generate(42, 8, horizon_rounds=256, **RATES)
+        assert a == b
+        assert a.fingerprint == b.fingerprint
+        assert a.events == b.events
+
+    def test_different_seed_different_plan(self):
+        a = FaultPlan.generate(42, 8, horizon_rounds=256, **RATES)
+        b = FaultPlan.generate(43, 8, horizon_rounds=256, **RATES)
+        assert a != b
+        assert a.fingerprint != b.fingerprint
+
+    def test_zero_rates_empty_plan(self):
+        plan = FaultPlan.generate(42, 8)
+        assert len(plan) == 0
+        assert not plan
+        assert plan == FaultPlan.none()
+
+    def test_rates_scale_event_counts(self):
+        low = FaultPlan.generate(42, 8, crash_rate=0.02)
+        high = FaultPlan.generate(42, 8, crash_rate=0.3)
+        assert high.count(FaultKind.CRASH) > low.count(FaultKind.CRASH)
+
+    def test_events_within_bounds(self):
+        plan = FaultPlan.generate(7, 4, horizon_rounds=128, **RATES)
+        assert plan.count() > 0
+        for event in plan.events:
+            assert 0 <= event.round_index < 128
+            assert 0 <= event.machine < 4
+        for event in plan.events:
+            if event.kind is FaultKind.STRAGGLER:
+                low, high = STRAGGLER_SLOWDOWN_RANGE
+                assert low <= event.magnitude <= high
+            if event.kind is FaultKind.MESSAGE_LOSS:
+                assert 0.0 < event.magnitude <= 1.0
+
+    def test_mixed_plan_deterministic(self):
+        a = mixed_fault_plan(11, 8, 0.2)
+        b = mixed_fault_plan(11, 8, 0.2)
+        assert a == b and a.fingerprint == b.fingerprint
+        assert a.count(FaultKind.CRASH) > 0
+
+    def test_events_at_round_lookup(self):
+        plan = FaultPlan.generate(3, 8, horizon_rounds=64, **RATES)
+        seen = 0
+        for round_index in range(64):
+            events = plan.events_at(round_index)
+            seen += len(events)
+            for event in events:
+                assert event.round_index == round_index
+        assert seen == len(plan)
+        assert plan.events_at(10_000) == ()
+
+
+class TestValidation:
+    @pytest.mark.parametrize("rate", [-0.1, 1.5])
+    def test_bad_rates_rejected(self, rate):
+        with pytest.raises(FaultError):
+            FaultPlan.generate(1, 8, crash_rate=rate)
+        with pytest.raises(FaultError):
+            mixed_fault_plan(1, 8, rate)
+
+    def test_bad_machine_count_rejected(self):
+        with pytest.raises(FaultError):
+            FaultPlan.generate(1, 0)
+
+    def test_bad_horizon_rejected(self):
+        with pytest.raises(FaultError):
+            FaultPlan.generate(1, 8, horizon_rounds=0)
+
+    def test_event_validation(self):
+        with pytest.raises(FaultError):
+            FaultEvent(-1, FaultKind.CRASH)
+        with pytest.raises(FaultError):
+            FaultEvent(0, FaultKind.CRASH, machine=-1)
+        with pytest.raises(FaultError):
+            FaultEvent(0, FaultKind.STRAGGLER, magnitude=-2.0)
+
+    def test_describe_mentions_kind_and_round(self):
+        event = FaultEvent(5, FaultKind.DISK_FULL, machine=2, magnitude=1.5)
+        text = event.describe()
+        assert "disk-full" in text and "r5" in text

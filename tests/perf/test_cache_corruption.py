@@ -1,0 +1,100 @@
+"""On-disk cache hardening: checksums, quarantine, transparent rebuild."""
+
+import glob
+import os
+
+import numpy as np
+import pytest
+
+from repro.perf.cache import ArtifactCache, ArraySerializer, CHECKSUM_KEY
+
+SERIALIZER = ArraySerializer(
+    pack=lambda v: {"data": np.asarray(v)},
+    unpack=lambda arrays: arrays["data"].copy(),
+)
+
+KEY = ("artifact", 1)
+
+
+def _build_counted(calls):
+    def build():
+        calls.append(1)
+        return np.arange(128, dtype=np.int64)
+
+    return build
+
+
+def _artifact_path(directory):
+    paths = glob.glob(os.path.join(directory, "*.npz"))
+    assert len(paths) == 1
+    return paths[0]
+
+
+class TestCorruptionRecovery:
+    def test_truncated_artifact_quarantined_and_recomputed(self, tmp_path):
+        calls = []
+        build = _build_counted(calls)
+        first = ArtifactCache(directory=str(tmp_path))
+        value = first.get_or_build(KEY, build, serializer=SERIALIZER)
+        path = _artifact_path(str(tmp_path))
+
+        with open(path, "rb") as fh:
+            payload = fh.read()
+        with open(path, "wb") as fh:
+            fh.write(payload[: len(payload) // 2])
+
+        fresh = ArtifactCache(directory=str(tmp_path))
+        rebuilt = fresh.get_or_build(KEY, build, serializer=SERIALIZER)
+        assert np.array_equal(value, rebuilt)
+        assert len(calls) == 2  # recomputed, not raised
+        assert fresh.stats.corruptions == 1
+        assert os.path.exists(path + ".corrupt")
+        assert os.path.exists(path)  # fresh copy re-persisted
+
+    def test_garbled_bytes_detected_by_checksum_or_zip(self, tmp_path):
+        calls = []
+        build = _build_counted(calls)
+        first = ArtifactCache(directory=str(tmp_path))
+        value = first.get_or_build(KEY, build, serializer=SERIALIZER)
+        path = _artifact_path(str(tmp_path))
+
+        payload = bytearray(open(path, "rb").read())
+        for offset in range(64, 96):
+            payload[offset] ^= 0xFF
+        with open(path, "wb") as fh:
+            fh.write(bytes(payload))
+
+        fresh = ArtifactCache(directory=str(tmp_path))
+        rebuilt = fresh.get_or_build(KEY, build, serializer=SERIALIZER)
+        assert np.array_equal(value, rebuilt)
+        assert fresh.stats.corruptions == 1
+
+    def test_legacy_artifact_without_checksum_accepted(self, tmp_path):
+        calls = []
+        build = _build_counted(calls)
+        first = ArtifactCache(directory=str(tmp_path))
+        first.get_or_build(KEY, build, serializer=SERIALIZER)
+        path = _artifact_path(str(tmp_path))
+        np.savez_compressed(path, data=np.arange(128, dtype=np.int64))
+
+        fresh = ArtifactCache(directory=str(tmp_path))
+        value = fresh.get_or_build(KEY, build, serializer=SERIALIZER)
+        assert np.array_equal(value, np.arange(128))
+        assert fresh.stats.corruptions == 0
+        assert fresh.stats.disk_hits == 1
+        assert len(calls) == 1  # the legacy file was trusted
+
+    def test_stored_artifacts_carry_checksum(self, tmp_path):
+        cache = ArtifactCache(directory=str(tmp_path))
+        cache.get_or_build(KEY, lambda: np.ones(8), serializer=SERIALIZER)
+        with np.load(_artifact_path(str(tmp_path))) as data:
+            assert CHECKSUM_KEY in data.files
+
+    def test_stats_round_trip_corruptions(self):
+        cache = ArtifactCache()
+        cache.stats.corruptions = 3
+        snapshot = cache.stats.to_dict()
+        assert snapshot["corruptions"] == 3
+        other = ArtifactCache()
+        other.stats.merge(snapshot)
+        assert other.stats.corruptions == 3

@@ -50,8 +50,10 @@ class TestParallelMap:
 
     def test_unpicklable_falls_back_to_serial(self):
         # Lambdas cannot cross a spawn/pickle boundary; parallel_map
-        # must still produce the right answer via the serial loop.
-        result = parallel_map(lambda x: x + 1, [(1,), (2,)], jobs=2)
+        # must still produce the right answer via the serial loop (and
+        # warn, rather than silently degrade — see test_parallel_faults).
+        with pytest.warns(RuntimeWarning, match="falling back to serial"):
+            result = parallel_map(lambda x: x + 1, [(1,), (2,)], jobs=2)
         assert result == [2, 3]
 
 

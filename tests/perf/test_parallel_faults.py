@@ -1,0 +1,112 @@
+"""Crash isolation and retry policy of the parallel fan-out."""
+
+import os
+import signal
+
+import pytest
+
+from repro.errors import ConfigurationError, ReproError, WorkerCrashError
+from repro.perf.parallel import (
+    configure_retries,
+    parallel_map,
+    parallel_map_fork,
+)
+
+
+def _square(x):
+    return x * x
+
+
+def _crash_once(x, flag_path):
+    """Kill the worker the first time it sees x == 3."""
+    if x == 3 and not os.path.exists(flag_path):
+        with open(flag_path, "w"):
+            pass
+        os.kill(os.getpid(), signal.SIGKILL)
+    return x * 10
+
+
+def _crash_always(x):
+    if x == 2:
+        os.kill(os.getpid(), signal.SIGKILL)
+    return x
+
+
+def _raise_value_error(x):
+    raise ValueError(f"bad item {x}")
+
+
+@pytest.fixture(autouse=True)
+def _restore_retry_config():
+    yield
+    configure_retries(max_retries=2, backoff_seconds=0.05)
+
+
+class TestCrashIsolation:
+    def test_transient_crash_fails_only_its_item(self, tmp_path):
+        flag = str(tmp_path / "crashed-once")
+        configure_retries(backoff_seconds=0.0)
+        args = [(i, flag) for i in range(6)]
+        assert parallel_map(_crash_once, args, jobs=2) == [
+            i * 10 for i in range(6)
+        ]
+        assert os.path.exists(flag)  # the crash really happened
+
+    def test_persistent_crash_exhausts_budget(self):
+        configure_retries(max_retries=1, backoff_seconds=0.0)
+        with pytest.raises(WorkerCrashError) as excinfo:
+            parallel_map(_crash_always, [(i,) for i in range(4)], jobs=2)
+        error = excinfo.value
+        assert isinstance(error, ReproError)
+        assert error.item_index == 2
+        assert error.attempts == 1
+        assert "item 2" in str(error)
+
+    def test_zero_budget_fails_immediately(self):
+        configure_retries(max_retries=0)
+        with pytest.raises(WorkerCrashError):
+            parallel_map(_crash_always, [(i,) for i in range(4)], jobs=2)
+
+    def test_worker_exception_propagates(self):
+        with pytest.raises(ValueError, match="bad item"):
+            parallel_map(_raise_value_error, [(1,), (2,)], jobs=2)
+
+
+class TestSerialFallbackWarns:
+    def test_unpicklable_payload_warns_with_cause(self):
+        with pytest.warns(RuntimeWarning, match="pickle"):
+            result = parallel_map(lambda x: x + 1, [(1,), (2,)], jobs=2)
+        assert result == [2, 3]
+
+    def test_serial_path_stays_silent(self, recwarn):
+        assert parallel_map(_square, [(i,) for i in range(4)], jobs=1) == [
+            0,
+            1,
+            4,
+            9,
+        ]
+        assert not [
+            w for w in recwarn.list if issubclass(w.category, RuntimeWarning)
+        ]
+
+    def test_fork_path_still_works(self):
+        base = 5
+        assert parallel_map_fork(lambda i: base + i, 4, jobs=2) == [
+            5,
+            6,
+            7,
+            8,
+        ]
+
+
+class TestConfigureRetries:
+    def test_returns_live_config(self):
+        config = configure_retries(max_retries=7, backoff_seconds=0.01)
+        assert config["max_retries"] == 7
+        assert config["backoff_seconds"] == 0.01
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            configure_retries(max_retries=-1)
+        with pytest.raises(ConfigurationError):
+            configure_retries(backoff_seconds=-0.5)

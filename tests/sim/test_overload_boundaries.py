@@ -1,0 +1,57 @@
+"""Boundary behaviour of the thrash-penalty curve (satellite of PR 2)."""
+
+import math
+
+import pytest
+
+from repro.cluster.machine import MachineSpec
+from repro.errors import ConfigurationError
+from repro.sim.overload import OverloadPolicy
+
+MB = 1 << 20
+
+
+@pytest.fixture
+def machine():
+    return MachineSpec(
+        memory_bytes=100 * MB,
+        os_reserve_bytes=10 * MB,
+        cores=4,
+        compute_ops_per_second=1e9,
+        swap_allowance_fraction=0.5,
+    )
+
+
+class TestThrashBoundaries:
+    def test_peak_exactly_at_usable_is_free(self, machine):
+        policy = OverloadPolicy()
+        usable = machine.usable_memory_bytes
+        assert policy.thrash_multiplier(usable, machine) == 1.0
+        # One byte over leaves the free regime.
+        assert policy.thrash_multiplier(usable + 1, machine) > 1.0
+
+    def test_peak_at_overload_limit_hits_full_steepness(self, machine):
+        policy = OverloadPolicy(steepness=6.5)
+        limit = machine.overload_limit_bytes
+        assert policy.thrash_multiplier(limit, machine) == pytest.approx(
+            math.exp(6.5)
+        )
+
+    def test_overshoot_beyond_limit_saturates(self, machine):
+        # Past the hard limit the run is overloaded anyway; the
+        # multiplier must not blow up further.
+        policy = OverloadPolicy()
+        limit = machine.overload_limit_bytes
+        at_limit = policy.thrash_multiplier(limit, machine)
+        beyond = policy.thrash_multiplier(10 * limit, machine)
+        assert beyond == pytest.approx(at_limit)
+
+    def test_zero_steepness_disables_penalty(self, machine):
+        policy = OverloadPolicy(steepness=0.0)
+        limit = machine.overload_limit_bytes
+        assert policy.thrash_multiplier(limit, machine) == 1.0
+        assert policy.thrash_multiplier(limit / 2, machine) == 1.0
+
+    def test_negative_steepness_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OverloadPolicy(steepness=-1.0)

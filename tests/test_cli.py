@@ -104,3 +104,71 @@ class TestParser:
         content = out_file.read_text()
         assert "paper vs measured" in content
         assert "fig2" in content
+
+
+class TestFaultFlags:
+    def test_run_with_faults_and_checkpoints(self, capsys):
+        code = main(
+            [
+                "run",
+                "--workload",
+                "1024",
+                "--batches",
+                "2",
+                "--seed",
+                "42",
+                "--faults",
+                "0.2",
+                "--checkpoint-every",
+                "4",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "recovery:" in out
+        assert "crashes" in out and "checkpoints" in out
+
+    def test_checkpointing_alone_reports_recovery_line(self, capsys):
+        code = main(
+            ["run", "--workload", "256", "--checkpoint-every", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "recovery:" in out
+        assert "0 crashes" in out
+
+    def test_strict_overload_exits_nonzero(self, capsys):
+        code = main(
+            [
+                "run",
+                "--workload",
+                "15000",
+                "--batches",
+                "1",
+                "--on-overload",
+                "raise",
+            ]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_max_retries_flag_accepted(self, capsys):
+        from repro.perf.parallel import configure_retries
+
+        try:
+            code = main(
+                ["run", "--workload", "256", "--max-retries", "5"]
+            )
+            assert code == 0
+            from repro.perf.parallel import _RETRY
+
+            assert _RETRY["max_retries"] == 5
+        finally:
+            configure_retries(max_retries=2, backoff_seconds=0.05)
+
+    def test_experiment_faults_quick(self, capsys):
+        code = main(["experiment", "faults", "--quick"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "faults" in out
+        assert "HOLDS" in out
