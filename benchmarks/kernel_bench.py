@@ -1,0 +1,200 @@
+"""Kernel micro-benchmark: p50 step time vs a committed baseline.
+
+Run from the repo root (CI does)::
+
+    python benchmarks/kernel_bench.py              # compare to baseline
+    python benchmarks/kernel_bench.py --update     # rewrite the baseline
+    python benchmarks/kernel_bench.py --strict     # non-zero exit on drift
+    python benchmarks/kernel_bench.py --crossover  # dense/sparse sweep
+
+The default mode measures the median (p50) ``kernel.step()`` wall-clock
+per task on a fixed mid-size Chung-Lu graph and compares it against
+``benchmarks/kernel_baseline.json`` with a ±30% tolerance. Drift only
+*warns* by default — CI hardware is noisy and a micro-benchmark should
+flag, not block — but ``--strict`` turns warnings into a failing exit
+for local bisection.
+
+``--crossover`` empirically locates the candidates-per-cell density at
+which the dense (mask/accumulator) scatter overtakes the sort-based
+segment reduction, for sanity-checking
+``repro.graph.csr.DENSE_CANDIDATES_PER_CELL`` after a numpy upgrade.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.graph.generators import chung_lu  # noqa: E402
+from repro.graph.mirrors import build_mirror_plan  # noqa: E402
+from repro.graph.partition import hash_partition  # noqa: E402
+from repro.messages.routing import PointToPointRouter  # noqa: E402
+from repro.rng import make_rng  # noqa: E402
+from repro.tasks.base import make_task  # noqa: E402
+
+BASELINE_PATH = Path(__file__).resolve().parent / "kernel_baseline.json"
+
+#: (task name, workload, batches) — sized so the whole suite stays under
+#: ~20 s on CI hardware while giving every task tens of steps.
+SETTINGS = (
+    ("mssp", 48.0, 3),
+    ("bkhs", 48.0, 3),
+    ("bppr", 2048.0, 3),
+)
+
+TOLERANCE = 0.30  # fractional drift tolerated before warning
+
+GRAPH_NODES = 4000
+GRAPH_AVG_DEGREE = 8.0
+MAX_STEPS = 200
+
+
+def _bench_graph():
+    return chung_lu(
+        GRAPH_NODES, GRAPH_AVG_DEGREE, seed=1234, name="kernel-bench"
+    )
+
+
+def measure() -> dict:
+    """p50 step milliseconds per task on the fixed benchmark graph."""
+    graph = _bench_graph()
+    partition = hash_partition(graph, 4)
+    plan = build_mirror_plan(graph, partition)
+    results = {}
+    for task_name, workload, batches in SETTINGS:
+        step_seconds = []
+        for batch in range(batches):
+            spec = make_task(task_name, graph, workload)
+            router = PointToPointRouter(graph, plan)
+            kernel = spec.make_kernel(
+                router, workload, make_rng(97 + batch, label=task_name)
+            )
+            for _ in range(MAX_STEPS):
+                start = time.perf_counter()
+                summary = kernel.step()
+                step_seconds.append(time.perf_counter() - start)
+                if summary.done:
+                    break
+        results[task_name] = {
+            "p50_ms": round(statistics.median(step_seconds) * 1000.0, 4),
+            "steps": len(step_seconds),
+        }
+    return results
+
+
+def compare(current: dict, baseline: dict) -> list:
+    """Human-readable drift warnings (empty when within tolerance)."""
+    warnings = []
+    for task, entry in current.items():
+        base = baseline.get(task)
+        if base is None:
+            warnings.append(f"{task}: no baseline entry (run --update)")
+            continue
+        drift = entry["p50_ms"] / base["p50_ms"] - 1.0
+        if abs(drift) > TOLERANCE:
+            direction = "slower" if drift > 0 else "faster"
+            warnings.append(
+                f"{task}: p50 {entry['p50_ms']:.3f} ms vs baseline "
+                f"{base['p50_ms']:.3f} ms ({abs(drift) * 100:.0f}% "
+                f"{direction}, tolerance ±{TOLERANCE * 100:.0f}%)"
+            )
+    return warnings
+
+
+def run_crossover() -> int:
+    """Sweep candidate density; report where dense overtakes sparse."""
+    from repro.graph.csr import (
+        DENSE_CANDIDATES_PER_CELL,
+        scatter_min_dense,
+        segment_min,
+    )
+
+    rng = np.random.default_rng(5)
+    num_rows, num_cols = 48, 4000
+    cells = num_rows * num_cols
+    print(f"state matrix {num_rows}x{num_cols} ({cells} cells)")
+    print(f"{'cand/cell':>10}  {'sparse ms':>10}  {'dense ms':>10}  winner")
+    crossover = None
+    for density in (1 / 128, 1 / 64, 1 / 32, 1 / 16, 1 / 8, 1 / 4, 1 / 2, 1):
+        size = max(1, int(cells * density))
+        rows = rng.integers(0, num_rows, size=size, dtype=np.int64)
+        cols = rng.integers(0, num_cols, size=size, dtype=np.int64)
+        values = rng.random(size)
+        state = np.full((num_rows, num_cols), np.inf)
+        mask = np.zeros((num_rows, num_cols), dtype=bool)
+
+        start = time.perf_counter()
+        for _ in range(5):
+            segment_min(rows, cols, values, num_cols)
+        sparse_ms = (time.perf_counter() - start) / 5 * 1000
+
+        start = time.perf_counter()
+        for _ in range(5):
+            scatter_min_dense(rows, cols, values, state, mask)
+        dense_ms = (time.perf_counter() - start) / 5 * 1000
+
+        winner = "dense" if dense_ms < sparse_ms else "sparse"
+        if winner == "dense" and crossover is None:
+            crossover = density
+        print(
+            f"{density:>10.4f}  {sparse_ms:>10.3f}  {dense_ms:>10.3f}"
+            f"  {winner}"
+        )
+    print(
+        f"\nmeasured crossover ~{crossover}; committed "
+        f"DENSE_CANDIDATES_PER_CELL = {DENSE_CANDIDATES_PER_CELL}"
+    )
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--update", action="store_true", help="rewrite the baseline JSON"
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero on drift (default: warn only)",
+    )
+    parser.add_argument(
+        "--crossover",
+        action="store_true",
+        help="sweep the dense/sparse scatter crossover instead",
+    )
+    args = parser.parse_args(argv)
+
+    if args.crossover:
+        return run_crossover()
+
+    current = measure()
+    for task, entry in current.items():
+        print(f"{task}: p50 {entry['p50_ms']:.3f} ms over {entry['steps']} steps")
+
+    if args.update or not BASELINE_PATH.exists():
+        BASELINE_PATH.write_text(
+            json.dumps(current, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote baseline {BASELINE_PATH}")
+        return 0
+
+    baseline = json.loads(BASELINE_PATH.read_text(encoding="utf-8"))
+    warnings = compare(current, baseline)
+    for line in warnings:
+        print(f"WARNING: {line}")
+    if not warnings:
+        print(f"all tasks within ±{TOLERANCE * 100:.0f}% of baseline")
+    return 1 if (warnings and args.strict) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

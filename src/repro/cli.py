@@ -247,13 +247,23 @@ def cmd_report(args) -> int:
     config = ExperimentConfig(
         scale=args.scale, seed=args.seed, quick=args.quick, jobs=args.jobs
     )
+    from repro.perf.shm import shm_stats
+
     timings.reset()
     start = time.time()
     path = write_experiments_markdown(args.output, config)
     wall = time.time() - start
     print(f"wrote {path}")
     print()
-    print(timings.render_table())
+    print(timings.render_table(subphases=args.phases))
+    shm = shm_stats()
+    if shm["exported_graphs"]:
+        print(
+            f"shared graphs: {shm['exported_graphs']} exported "
+            f"({shm['exported_bytes'] / 1e6:.1f} MB), "
+            f"{shm['attaches']} worker attaches "
+            f"(+{shm['attach_reuses']} reuses)"
+        )
     bench_path = str(Path(args.output).parent / "BENCH_perf.json")
     timings.write_json(
         bench_path,
@@ -263,6 +273,7 @@ def cmd_report(args) -> int:
             "quick": config.quick,
             "jobs": config.jobs,
             "cache": get_cache().stats.to_dict(),
+            "shm": shm,
         },
     )
     print(f"wrote {bench_path} (wall {wall:.1f}s)")
@@ -341,6 +352,13 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p_rep)
     p_rep.add_argument("--output", default="EXPERIMENTS.md")
     p_rep.add_argument("--quick", action="store_true")
+    p_rep.add_argument(
+        "--phases",
+        action="store_true",
+        help="break the timing table down into kernel sub-phases "
+        "(expand/dedup/reduce/frontier); BENCH_perf.json always "
+        "contains the full breakdown",
+    )
     p_rep.set_defaults(fn=cmd_report)
 
     return parser

@@ -40,6 +40,7 @@ from repro.errors import (
     OverloadError,
 )
 from repro.faults.plan import FaultKind, FaultPlan
+from repro.graph.arena import ScratchArena
 from repro.graph.csr import Graph
 from repro.graph.mirrors import MirrorPlan, build_mirror_plan
 from repro.graph.partition import Partition, partition_graph
@@ -319,6 +320,10 @@ class SimulatedEngine:
         prep = self._prepare(task)
         cost_model = self._make_cost_model()
         rng = make_rng(seed, label=f"{self.name}/{task.name}")
+        # One scratch arena per job: every batch's kernel draws its
+        # per-round buffers from the same pool, so the steady state of
+        # the superstep loop allocates nothing.
+        arena = ScratchArena()
 
         job = JobMetrics(
             engine=self.name,
@@ -338,7 +343,9 @@ class SimulatedEngine:
                 workload=batch_workload,
                 residual_memory_bytes=residual_bytes,
             )
-            kernel = task.make_kernel(prep.router, batch_workload, rng)
+            kernel = task.make_kernel(
+                prep.router, batch_workload, rng, arena=arena
+            )
             batch.startup_seconds = self.profile.per_batch_overhead_seconds
             elapsed += batch.startup_seconds
             overloaded = False

@@ -18,6 +18,9 @@ import numpy as np
 
 from repro.errors import GraphFormatError
 
+if False:  # pragma: no cover - import cycle guard, typing only
+    from repro.graph.arena import ScratchArena
+
 
 class Graph:
     """A fixed, CSR-encoded directed multigraph view.
@@ -48,6 +51,7 @@ class Graph:
         "name",
         "_degrees",
         "_fingerprint",
+        "_spread",
     )
 
     def __init__(
@@ -85,6 +89,7 @@ class Graph:
         self.name = name
         self._degrees = None
         self._fingerprint = None
+        self._spread = None
         self.indptr.setflags(write=False)
         self.indices.setflags(write=False)
         if self.weights is not None:
@@ -248,6 +253,30 @@ class Graph:
             (self.num_vertices, self.num_arcs, self.directed, self.is_weighted)
         )
 
+    def __getstate__(self) -> dict:
+        # Derived caches (degrees, the spread operator) are dropped so
+        # pickles carry only the CSR arrays; the fingerprint rides along
+        # because recomputing it hashes every array.
+        return {
+            "indptr": self.indptr,
+            "indices": self.indices,
+            "weights": self.weights,
+            "directed": self.directed,
+            "name": self.name,
+            "_fingerprint": self._fingerprint,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        for slot in ("indptr", "indices", "weights", "directed", "name"):
+            object.__setattr__(self, slot, state[slot])
+        self._degrees = None
+        self._fingerprint = state.get("_fingerprint")
+        self._spread = None
+        self.indptr.setflags(write=False)
+        self.indices.setflags(write=False)
+        if self.weights is not None:
+            self.weights.setflags(write=False)
+
 
 # ----------------------------------------------------------------------
 # Shared frontier kernels
@@ -286,9 +315,12 @@ class FrontierScratch:
 def expand_frontier(
     graph: Graph,
     verts: np.ndarray,
-    scratch: Optional[FrontierScratch] = None,
+    scratch=None,
 ) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]:
     """Expand frontier vertices to all their out-arcs (vectorised gather).
+
+    ``scratch`` is anything exposing ``arange(size)`` — the legacy
+    :class:`FrontierScratch` or a :class:`repro.graph.arena.ScratchArena`.
 
     Returns ``(arc_positions, counts, kept)``:
 
@@ -330,44 +362,94 @@ def expand_frontier(
 
 
 def dedup_pairs(
-    rows: np.ndarray, cols: np.ndarray, num_cols: int
+    rows: np.ndarray,
+    cols: np.ndarray,
+    num_cols: int,
+    arena: "Optional[ScratchArena]" = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Distinct ``(row, col)`` pairs in row-major order, sort-based.
 
     Builds composite ``row * num_cols + col`` keys, sorts them in place
     and keeps boundary elements — an order of magnitude faster than
     ``np.unique`` on the same keys — then splits the unique keys back
-    with a single ``np.divmod``.
+    with a single ``np.divmod``. With ``arena``, the keys and boundary
+    mask live in pooled buffers and the returned arrays are
+    arena-backed.
     """
-    keys = rows * np.int64(num_cols) + cols
-    if keys.size == 0:
+    if rows.size == 0:
         empty = np.empty(0, dtype=np.int64)
         return empty, empty
+    keys = composite_keys(rows, cols, num_cols, arena)
+    boundary = (
+        np.empty(keys.size, dtype=bool)
+        if arena is None
+        else arena.take(keys.size, dtype=bool)
+    )
     keys.sort()
-    boundary = np.empty(keys.size, dtype=bool)
     boundary[0] = True
     np.not_equal(keys[1:], keys[:-1], out=boundary[1:])
-    unique_rows, unique_cols = np.divmod(keys[boundary], np.int64(num_cols))
-    return unique_rows, unique_cols
+    return _split_keys(keys[boundary], num_cols, arena)
 
 
 def dedup_pairs_dense(
-    rows: np.ndarray, cols: np.ndarray, mask: np.ndarray
+    rows: np.ndarray,
+    cols: np.ndarray,
+    mask: np.ndarray,
+    arena: "Optional[ScratchArena]" = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Distinct ``(row, col)`` pairs via a reusable dense boolean mask.
 
     For kernels that already hold an ``(s, n)`` state matrix the dense
-    scan beats sorting: mark, collect with ``np.nonzero`` (row-major —
-    the same order :func:`dedup_pairs` produces), then un-mark so the
-    mask is all-False again for the next round. ``mask`` must be
-    all-False on entry; no composite keys are constructed.
+    scan beats sorting once the candidate list is large enough
+    (:func:`use_dense_cells`): mark through *flat* composite keys (one
+    indexed store per candidate — measurably faster than 2-D fancy
+    indexing), collect with ``np.flatnonzero`` (row-major — the same
+    order :func:`dedup_pairs` produces), then un-mark so the mask is
+    all-False again for the next round. ``mask`` must be all-False on
+    entry.
     """
-    mask[rows, cols] = True
-    unique_rows, unique_cols = np.nonzero(mask)
-    unique_rows = unique_rows.astype(np.int64, copy=False)
-    unique_cols = unique_cols.astype(np.int64, copy=False)
-    mask[unique_rows, unique_cols] = False
-    return unique_rows, unique_cols
+    flat = mask.reshape(-1)
+    keys = composite_keys(rows, cols, mask.shape[1], arena)
+    flat[keys] = True
+    cells = np.flatnonzero(flat)
+    flat[cells] = False
+    return _split_keys(cells, mask.shape[1], arena)
+
+
+#: Sentinel cached on ``Graph._spread`` when scipy is unavailable, so
+#: the import is attempted once per graph rather than once per round.
+_NO_SPREAD = object()
+
+
+def _spread_operator(graph: Graph):
+    """Lazy per-graph ``A^T`` CSR operator for :func:`propagate_mass`.
+
+    Rows are in-neighbour lists sorted by original arc position (stable
+    sort), so a CSR matvec accumulates each target's contributions in
+    exactly the arc order ``np.bincount`` uses — bit-identical results,
+    at ~2-3x the throughput. Returns ``None`` when scipy is missing
+    (the bincount fallback then runs, producing the same bits).
+    """
+    op = graph._spread
+    if op is _NO_SPREAD:
+        return None
+    if op is None:
+        try:
+            from scipy import sparse
+        except ImportError:  # pragma: no cover - scipy is baked in
+            graph._spread = _NO_SPREAD
+            return None
+        n, m = graph.num_vertices, graph.num_arcs
+        order = np.argsort(graph.indices, kind="stable")
+        rev_src = graph.edge_sources()[order]
+        in_deg = np.bincount(graph.indices, minlength=n)
+        rev_indptr = np.concatenate(([0], np.cumsum(in_deg)))
+        op = sparse.csr_matrix(
+            (np.ones(m, dtype=np.float64), rev_src, rev_indptr),
+            shape=(n, n),
+        )
+        graph._spread = op
+    return op
 
 
 def propagate_mass(graph: Graph, per_vertex: np.ndarray) -> np.ndarray:
@@ -375,9 +457,239 @@ def propagate_mass(graph: Graph, per_vertex: np.ndarray) -> np.ndarray:
 
     The shared per-arc spreading step of BPPR/PageRank/exact-PPR:
     ``out[v] = sum(per_vertex[u] for every arc u -> v)``. Callers divide
-    by degree beforehand for random-walk semantics.
+    by degree beforehand for random-walk semantics. The hot path is a
+    cached CSR matvec (:func:`_spread_operator`); without scipy it
+    falls back to ``np.repeat`` + weighted ``np.bincount`` — a fused
+    sequential scatter-add with the identical accumulation order, so
+    both paths produce the same bits.
     """
+    op = _spread_operator(graph)
+    if op is not None:
+        return op @ per_vertex
     per_arc = np.repeat(per_vertex, graph.degrees)
     return np.bincount(
         graph.indices, weights=per_arc, minlength=graph.num_vertices
     )
+
+
+# ----------------------------------------------------------------------
+# Segment reduction scatters
+#
+# The kernels aggregate per-(row, col) cell with one of two strategies:
+#
+# * **sort-based** — sort the candidate list by composite cell key and
+#   reduce each run with ``ufunc.reduceat``; O(m log m) in candidates,
+#   touches nothing proportional to the state matrix. Wins for sparse
+#   frontiers.
+# * **dense** — scatter through *flat* composite keys into a reusable
+#   state-matrix-sized mask/accumulator and scan it once; O(m + cells).
+#   Wins once the candidate list is a noticeable fraction of the state
+#   matrix (the scan amortises, and numpy's 1-D indexed ``ufunc.at``
+#   fast path makes the scatter itself cheap).
+#
+# One measured constant decides between them for every kernel.
+# ----------------------------------------------------------------------
+
+#: Measured crossover for choosing the dense (boolean-mask / dense
+#: accumulator) strategy over the sort-based one: dense wins once the
+#: candidate list carries at least this many entries per state-matrix
+#: cell. Measured with ``benchmarks/kernel_bench.py --crossover`` on the
+#: reference machine (argsort+reduceat vs flat-key scatter + mask scan
+#: over s*n cells; the two cost curves cross between 1/32 and 1/16
+#: candidates per cell). The old per-task heuristic
+#: (``candidates * 8 >= cells``) hard-coded a ratio of 1/8 with no
+#: measurement behind it and compared message rows to mask *cells* —
+#: the constant now lives in one place, next to the benchmark that
+#: produced it.
+DENSE_CANDIDATES_PER_CELL = 1.0 / 16.0
+
+
+def use_dense_cells(num_candidates: int, num_cells: int) -> bool:
+    """True when the dense (mask/accumulator) scatter strategy should be
+    used for ``num_candidates`` updates into a ``num_cells`` state
+    matrix; the single decision point shared by the dedup and
+    segment-reduction paths of every kernel."""
+    return num_candidates >= DENSE_CANDIDATES_PER_CELL * num_cells
+
+
+def composite_keys(
+    rows: np.ndarray,
+    cols: np.ndarray,
+    num_cols: int,
+    arena: "Optional[ScratchArena]" = None,
+) -> np.ndarray:
+    """Flat ``row * num_cols + col`` cell keys (arena-pooled if given)."""
+    if arena is None:
+        keys = rows * np.int64(num_cols)
+    else:
+        keys = np.multiply(rows, np.int64(num_cols), out=arena.take(rows.size))
+    keys += cols
+    return keys
+
+
+def _sorted_segments(
+    rows: np.ndarray,
+    cols: np.ndarray,
+    num_cols: int,
+    arena: "Optional[ScratchArena]" = None,
+    stable: bool = True,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Sort candidates by composite ``(row, col)`` key.
+
+    Returns ``(order, sorted_keys, starts)`` where ``order`` is a
+    permutation grouping equal cells together and ``starts`` marks each
+    distinct cell's first position. ``stable=True`` preserves the
+    original candidate order within a cell (needed when the downstream
+    reduction is order-sensitive); order-independent reductions such as
+    ``min`` pass ``stable=False`` for the ~4x faster introsort.
+    """
+    size = rows.size
+    keys = composite_keys(rows, cols, num_cols, arena)
+    order = np.argsort(keys, kind="stable" if stable else None)
+    if arena is None:
+        sorted_keys = keys[order]
+    else:
+        sorted_keys = np.take(keys, order, out=arena.take(size))
+    boundary = (
+        np.empty(size, dtype=bool)
+        if arena is None
+        else arena.take(size, dtype=bool)
+    )
+    boundary[0] = True
+    np.not_equal(sorted_keys[1:], sorted_keys[:-1], out=boundary[1:])
+    starts = np.flatnonzero(boundary)
+    return order, sorted_keys, starts
+
+
+def _split_keys(
+    keys: np.ndarray,
+    num_cols: int,
+    arena: "Optional[ScratchArena]" = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Split composite keys back into ``(rows, cols)``."""
+    if arena is None:
+        return np.divmod(keys, np.int64(num_cols))
+    rows = np.floor_divide(keys, np.int64(num_cols), out=arena.take(keys.size))
+    cols = np.remainder(keys, np.int64(num_cols), out=arena.take(keys.size))
+    return rows, cols
+
+
+def segment_min(
+    rows: np.ndarray,
+    cols: np.ndarray,
+    values: np.ndarray,
+    num_cols: int,
+    arena: "Optional[ScratchArena]" = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Minimum of ``values`` per distinct ``(row, col)`` cell.
+
+    Returns ``(cell_rows, cell_cols, minima)`` in row-major cell order —
+    the same cells, in the same order, as :func:`dedup_pairs` on the
+    same input, with the per-cell minimum attached. Bit-identical to
+    ``np.minimum.at`` into an all-``inf`` accumulator followed by a
+    sparse collect (``min`` is order-independent, so the unstable — and
+    measurably faster — introsort is safe), but via one argsort and one
+    ``np.minimum.reduceat`` over the grouped candidates.
+
+    With ``arena``, every intermediate lives in pooled buffers and the
+    returned arrays are arena-backed (valid for the arena's keepalive
+    window — copy to persist longer).
+    """
+    if rows.size == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty, np.empty(0, dtype=values.dtype)
+    order, sorted_keys, starts = _sorted_segments(
+        rows, cols, num_cols, arena, stable=False
+    )
+    if arena is None:
+        sorted_values = values[order]
+        minima = np.minimum.reduceat(sorted_values, starts)
+    else:
+        sorted_values = np.take(
+            values, order, out=arena.take(values.size, dtype=values.dtype)
+        )
+        minima = np.minimum.reduceat(
+            sorted_values, starts, out=arena.take(starts.size, values.dtype)
+        )
+    cell_rows, cell_cols = _split_keys(sorted_keys[starts], num_cols, arena)
+    return cell_rows, cell_cols, minima
+
+
+def segment_sum(
+    rows: np.ndarray,
+    cols: np.ndarray,
+    values: np.ndarray,
+    num_cols: int,
+    arena: "Optional[ScratchArena]" = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Sum of ``values`` per distinct ``(row, col)`` cell.
+
+    Same contract as :func:`segment_min` with ``np.add.reduceat`` as the
+    reducer. The stable sort preserves each cell's original candidate
+    order, but ``np.add.reduceat`` reduces each run with *pairwise*
+    summation while ``np.add.at`` accumulates sequentially — for
+    general float inputs the per-cell sums can therefore differ in the
+    last ulp. Every in-repo call site keeps exactness anyway: the
+    summands per cell are either all-ones walk counts (integer-exact in
+    float64) or equal per-source shares on duplicate-free arc lists
+    (cells of size one). The equivalence tests assert bit-identity for
+    those regimes and ``allclose`` for arbitrary floats.
+    """
+    if rows.size == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty, np.empty(0, dtype=values.dtype)
+    order, sorted_keys, starts = _sorted_segments(rows, cols, num_cols, arena)
+    if arena is None:
+        sorted_values = values[order]
+        sums = np.add.reduceat(sorted_values, starts)
+    else:
+        sorted_values = np.take(
+            values, order, out=arena.take(values.size, dtype=values.dtype)
+        )
+        sums = np.add.reduceat(
+            sorted_values, starts, out=arena.take(starts.size, values.dtype)
+        )
+    cell_rows, cell_cols = _split_keys(sorted_keys[starts], num_cols, arena)
+    return cell_rows, cell_cols, sums
+
+
+def scatter_min_dense(
+    rows: np.ndarray,
+    cols: np.ndarray,
+    values: np.ndarray,
+    state: np.ndarray,
+    mask: np.ndarray,
+    arena: "Optional[ScratchArena]" = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Fused dense-strategy scatter: ``np.minimum.at`` of ``values``
+    directly into the 2-D ``state`` matrix, in place.
+
+    Returns ``(cells, before, after)`` where ``cells`` are the *flat*
+    row-major indices of every touched cell and ``before``/``after``
+    hold the cell's state value around the scatter (so callers diff
+    them to find improvements). Both the mark and the minimum run
+    through flat composite keys — numpy's 1-D indexed ``ufunc.at`` fast
+    path, several times faster than 2-D fancy-index scatters. ``mask``
+    must be all-False on entry and is restored before returning;
+    recover coordinates with ``divmod(cells, state.shape[1])``.
+    """
+    num_cols = state.shape[1]
+    keys = composite_keys(rows, cols, num_cols, arena)
+    flat_mask = mask.reshape(-1)
+    flat_state = state.reshape(-1)
+    flat_mask[keys] = True
+    cells = np.flatnonzero(flat_mask)
+    flat_mask[cells] = False
+    if arena is None:
+        before = flat_state[cells]
+        np.minimum.at(flat_state, keys, values)
+        after = flat_state[cells]
+    else:
+        before = np.take(
+            flat_state, cells, out=arena.take(cells.size, state.dtype)
+        )
+        np.minimum.at(flat_state, keys, values)
+        after = np.take(
+            flat_state, cells, out=arena.take(cells.size, state.dtype)
+        )
+    return cells, before, after

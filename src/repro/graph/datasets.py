@@ -175,6 +175,17 @@ def load_dataset(
         known = ", ".join(sorted(PAPER_DATASETS))
         raise ConfigurationError(f"unknown dataset {name!r}; known: {known}")
 
+    if cache:
+        # Pool workers: the parent may have exported this graph into
+        # shared memory (repro.perf.shm); attaching is a zero-copy mmap,
+        # so it beats even a warm LRU rebuild-from-disk. A miss falls
+        # through to the regular cache path.
+        from repro.perf.shm import lookup_shared
+
+        shared = lookup_shared(("dataset", key_name, scale, seed))
+        if shared is not None:
+            return shared
+
     def build() -> Graph:
         with timings.span("graph-gen"):
             return PAPER_DATASETS[key_name].instantiate(

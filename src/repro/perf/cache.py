@@ -233,10 +233,32 @@ class ArtifactCache:
             # tmp file, never a truncated artifact under the real name.
             tmp = f"{path}.tmp-{os.getpid()}"
             with open(tmp, "wb") as fh:
-                np.savez_compressed(fh, **arrays)
+                self._write_npz(fh, arrays)
             os.replace(tmp, path)
         except OSError:  # disk store is best-effort
             pass
+
+    @staticmethod
+    def _write_npz(fh, arrays: Dict[str, np.ndarray]) -> None:
+        """``np.savez_compressed`` with deflate level 1.
+
+        Cache artifacts are write-once scratch data; numpy's default
+        level 6 spends 3-5x the CPU for a marginally smaller file, and
+        the store happens on the critical path of every cold run.
+        ``np.load`` reads the archive unchanged.
+        """
+        import zipfile
+
+        with zipfile.ZipFile(
+            fh, "w", zipfile.ZIP_DEFLATED, compresslevel=1
+        ) as archive:
+            for name, array in arrays.items():
+                with archive.open(
+                    f"{name}.npy", "w", force_zip64=True
+                ) as entry:
+                    np.lib.format.write_array(
+                        entry, np.asanyarray(array), allow_pickle=False
+                    )
 
     def _load(
         self, path: str, serializer: ArraySerializer

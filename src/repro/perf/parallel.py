@@ -112,15 +112,25 @@ def _is_pickling_error(exc: BaseException) -> bool:
 
 
 def _timed_call(fn: Callable, args: tuple) -> tuple:
-    """Worker-side wrapper: run ``fn`` and ship its timing and
-    cache-counter deltas home for the parent to fold in."""
+    """Worker-side wrapper: run ``fn`` and ship its timing, cache- and
+    shm-counter deltas home for the parent to fold in (shm keys ride in
+    the same dict under a ``shm_`` prefix)."""
+    from repro.perf import shm
     from repro.perf.cache import get_cache
 
     timings.reset()
     before = get_cache().stats.to_dict()
+    shm_before = shm.shm_stats()
     result = fn(*args)
     after = get_cache().stats.to_dict()
+    shm_after = shm.shm_stats()
     delta = {key: after[key] - before[key] for key in after}
+    delta.update(
+        {
+            f"shm_{key}": shm_after[key] - shm_before[key]
+            for key in shm_after
+        }
+    )
     return result, timings.snapshot(), delta
 
 
@@ -138,7 +148,14 @@ def _run_serial(fn: Callable, arg_tuples: Sequence[tuple]) -> List[Any]:
     return [fn(*args) for args in arg_tuples]
 
 
-def _run_isolated(worker: Callable, payload: tuple, index: int, context):
+def _run_isolated(
+    worker: Callable,
+    payload: tuple,
+    index: int,
+    context,
+    initializer: Optional[Callable] = None,
+    initargs: tuple = (),
+):
     """Retry one crashed item in fresh single-worker pools.
 
     Items caught in a broken shared pool land here: a collateral victim
@@ -157,7 +174,10 @@ def _run_isolated(worker: Callable, payload: tuple, index: int, context):
             time.sleep(backoff * 2 ** (attempt - 2))
         try:
             with concurrent.futures.ProcessPoolExecutor(
-                max_workers=1, mp_context=context
+                max_workers=1,
+                mp_context=context,
+                initializer=initializer,
+                initargs=initargs,
             ) as solo:
                 return solo.submit(worker, *payload).result()
         except BrokenProcessPool as exc:
@@ -176,6 +196,8 @@ def _pool_map(
     payloads: Sequence[tuple],
     jobs: int,
     require_fork: bool,
+    initializer: Optional[Callable] = None,
+    initargs: tuple = (),
 ) -> Optional[List[Any]]:
     """Run ``worker`` over ``payloads`` in a pool; None -> use serial.
 
@@ -204,6 +226,8 @@ def _pool_map(
         executor = concurrent.futures.ProcessPoolExecutor(
             max_workers=min(jobs, max(len(payloads), 1)),
             mp_context=context,
+            initializer=initializer,
+            initargs=initargs,
         )
     except (OSError, ValueError, ImportError) as exc:
         _warn_serial(f"could not create a process pool ({exc})")
@@ -237,14 +261,24 @@ def _pool_map(
         return None
 
     for index in crashed:
-        outputs[index] = _run_isolated(worker, payloads[index], index, context)
+        outputs[index] = _run_isolated(
+            worker, payloads[index], index, context, initializer, initargs
+        )
 
+    from repro.perf import shm
     from repro.perf.cache import get_cache
 
     results = []
     for result, worker_timings, stats_delta in outputs:
         timings.merge(worker_timings)
         get_cache().stats.merge(stats_delta)
+        shm.merge_counters(
+            {
+                key[4:]: value
+                for key, value in stats_delta.items()
+                if key.startswith("shm_")
+            }
+        )
         results.append(result)
     return results
 
@@ -253,6 +287,8 @@ def parallel_map(
     fn: Callable,
     arg_tuples: Sequence[tuple],
     jobs: Optional[int] = None,
+    initializer: Optional[Callable] = None,
+    initargs: tuple = (),
 ) -> List[Any]:
     """``[fn(*args) for args in arg_tuples]``, fanned out over processes.
 
@@ -262,12 +298,24 @@ def parallel_map(
     instead, producing identical results. A worker process dying fails
     only its own item — after the isolated retry budget is exhausted it
     raises :class:`~repro.errors.WorkerCrashError` for that item.
+
+    ``initializer``/``initargs`` run once in every worker process before
+    any item (e.g. installing the shared-memory graph table,
+    :func:`repro.perf.shm.install_worker_table`); they are ignored on
+    the serial fallback, which shares the parent's state anyway.
     """
     workers = resolve_jobs(jobs)
     if workers <= 1 or len(arg_tuples) <= 1:
         return _run_serial(fn, arg_tuples)
     payloads = [(fn, args) for args in arg_tuples]
-    results = _pool_map(_timed_call, payloads, workers, require_fork=False)
+    results = _pool_map(
+        _timed_call,
+        payloads,
+        workers,
+        require_fork=False,
+        initializer=initializer,
+        initargs=initargs,
+    )
     if results is None:
         return _run_serial(fn, arg_tuples)
     return results

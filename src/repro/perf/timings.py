@@ -84,9 +84,19 @@ def reset() -> None:
     _TIMINGS.clear()
 
 
-def render_table(timings: Optional[Dict[str, Dict[str, float]]] = None) -> str:
-    """Aligned text table of phase totals, slowest first."""
+def render_table(
+    timings: Optional[Dict[str, Dict[str, float]]] = None,
+    subphases: bool = True,
+) -> str:
+    """Aligned text table of phase totals, slowest first.
+
+    Dotted names (``kernel.expand``, ``kernel.reduce``, ...) are
+    sub-phases of their prefix; ``subphases=False`` hides them for the
+    compact top-level view (``vcrepro report`` without ``--phases``).
+    """
     data = timings if timings is not None else snapshot()
+    if not subphases:
+        data = {name: total for name, total in data.items() if "." not in name}
     if not data:
         return "(no timing spans recorded)"
     rows = sorted(data.items(), key=lambda kv: -kv[1]["seconds"])

@@ -22,6 +22,7 @@ from typing import Any, Callable, Dict, Optional
 import numpy as np
 
 from repro.errors import TaskError
+from repro.graph.arena import ScratchArena
 from repro.graph.csr import Graph
 from repro.messages.routing import MessageRouter, RoutedMessages
 
@@ -73,11 +74,20 @@ class TaskKernel(ABC):
     def __init__(self, graph: Graph, router: MessageRouter) -> None:
         self.graph = graph
         self.router = router
+        self.arena = ScratchArena()
         self._started = False
         self._finished = False
         self._round = 0
 
     # -- lifecycle ------------------------------------------------------
+    def use_arena(self, arena: ScratchArena) -> None:
+        """Adopt a shared scratch arena (engine-injected, one per job, so
+        batch boundaries reuse the same buffer pool). Must happen before
+        :meth:`start_batch`."""
+        if self._started:
+            raise TaskError("use_arena() must be called before start_batch()")
+        self.arena = arena
+
     def start_batch(self, workload: float) -> None:
         """Initialise the batch for ``workload`` unit tasks."""
         if self._started:
@@ -183,9 +193,16 @@ class TaskSpec:
         router: MessageRouter,
         batch_workload: float,
         rng: np.random.Generator,
+        arena: Optional[ScratchArena] = None,
     ) -> TaskKernel:
-        """Instantiate a kernel for one batch of this job."""
+        """Instantiate a kernel for one batch of this job.
+
+        ``arena`` (engine-provided) shares one scratch-buffer pool across
+        every batch of a job, so steady-state rounds allocate nothing.
+        """
         kernel = self.kernel_factory(self.graph, router, batch_workload, rng)
+        if arena is not None:
+            kernel.use_arena(arena)
         kernel.start_batch(batch_workload)
         return kernel
 

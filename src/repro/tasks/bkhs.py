@@ -11,19 +11,21 @@ and scaled like MSSP.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Optional
 
 import numpy as np
 
 from repro.errors import TaskError
 from repro.graph.csr import (
-    FrontierScratch,
     Graph,
     dedup_pairs,
     dedup_pairs_dense,
     expand_frontier,
+    use_dense_cells,
 )
 from repro.messages.routing import MessageRouter
+from repro.perf import timings
 from repro.tasks.base import (
     RoundSummary,
     TaskKernel,
@@ -56,7 +58,6 @@ class BKHSKernel(TaskKernel):
         self.rng = rng
         self.sample_limit = sample_limit
         self._degrees = graph.degrees
-        self._scratch = FrontierScratch()
 
     def _initialise(self, workload: float) -> None:
         sampled = choose_sources(
@@ -89,23 +90,34 @@ class BKHSKernel(TaskKernel):
                 done=True,
             )
 
+        arena = self.arena
+        arena.new_round()
         rows, verts = self._frontier_rows, self._frontier_verts
-        arc_pos, counts, kept = expand_frontier(graph, verts, self._scratch)
+        tick = perf_counter()
+        arc_pos, counts, kept = expand_frontier(graph, verts, arena)
         if arc_pos.size > 0:
             src_rows = rows if kept is None else rows[kept]
-            nbr = graph.indices[arc_pos]
+            nbr = np.take(
+                graph.indices, arc_pos, out=arena.take(arc_pos.size)
+            )
             msg_rows = np.repeat(src_rows, counts)
+            tock = perf_counter()
+            timings.add("kernel.expand", tock - tick)
             # Deduplicate the touched (source, target) cells first, then
             # probe the visited table only at the unique cells (the
-            # candidate list repeats each cell once per in-arc).
-            if msg_rows.size * 8 >= self._pair_mask.size:
+            # candidate list repeats each cell once per in-arc). Strategy
+            # choice shares the measured crossover with the segment
+            # reductions (:func:`use_dense_cells`).
+            if use_dense_cells(msg_rows.size, self._pair_mask.size):
                 cell_rows, cell_verts = dedup_pairs_dense(
-                    msg_rows, nbr, self._pair_mask
+                    msg_rows, nbr, self._pair_mask, arena
                 )
             else:
                 cell_rows, cell_verts = dedup_pairs(
-                    msg_rows, nbr, graph.num_vertices
+                    msg_rows, nbr, graph.num_vertices, arena
                 )
+            tick = perf_counter()
+            timings.add("kernel.dedup", tick - tock)
             fresh = ~self._visited[cell_rows, cell_verts]
             if fresh.all():
                 new_rows, new_verts = cell_rows, cell_verts
@@ -114,6 +126,7 @@ class BKHSKernel(TaskKernel):
                 new_verts = cell_verts[fresh]
             self._visited[new_rows, new_verts] = True
             self._frontier_rows, self._frontier_verts = new_rows, new_verts
+            timings.add("kernel.frontier", perf_counter() - tick)
         else:
             self._frontier_rows = np.empty(0, dtype=np.int64)
             self._frontier_verts = np.empty(0, dtype=np.int64)

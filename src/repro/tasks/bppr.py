@@ -26,13 +26,15 @@ identical, which is all the cost experiments need.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Optional
 
 import numpy as np
 
 from repro.errors import TaskError
-from repro.graph.csr import Graph, propagate_mass
+from repro.graph.csr import Graph, propagate_mass, segment_sum
 from repro.messages.routing import MessageRouter
+from repro.perf import timings
 from repro.tasks.base import RoundSummary, TaskKernel, TaskSpec
 
 #: The α-decay parameter; 0.15 is the PageRank-standard choice.
@@ -181,6 +183,7 @@ class BPPRKernel(TaskKernel):
         combined = self._combined_estimate(moving_per_vertex, active, sources)
 
         # Move phase: uniform split over out-neighbours.
+        tick = perf_counter()
         if self.track_sources:
             self._stopped += self._mass * stop_fraction[None, :]
             moving = self._mass * (1.0 - stop_fraction)[None, :]
@@ -196,6 +199,7 @@ class BPPRKernel(TaskKernel):
             )
             self._mass_vec = propagate_mass(graph, share)
             remaining = float(self._mass_vec.sum())
+        timings.add("kernel.reduce", perf_counter() - tick)
 
         if not self.track_sources:
             self._maybe_stabilize(routed, combined, active.size)
@@ -280,6 +284,7 @@ class BPPRKernel(TaskKernel):
 
     def _advance_montecarlo(self) -> RoundSummary:
         graph = self.graph
+        self.arena.new_round()
         alive_idx = np.flatnonzero(self._alive)
         cur = self._cur[alive_idx]
 
@@ -287,11 +292,20 @@ class BPPRKernel(TaskKernel):
         stop_draw = self.rng.random(alive_idx.size) < self.alpha
         stop_mask = stop_draw | self._dangling[cur]
         stopping = alive_idx[stop_mask]
-        np.add.at(
-            self._stop_counts,
-            (self._src[stopping], self._cur[stopping]),
-            1.0,
-        )
+        if stopping.size:
+            # Segment reduction instead of the unbuffered np.add.at
+            # scatter: per-cell counts are exact integers, so summation
+            # order cannot change the result.
+            tick = perf_counter()
+            stop_rows, stop_cols, stop_sums = segment_sum(
+                self._src[stopping],
+                self._cur[stopping],
+                np.ones(stopping.size, dtype=np.float64),
+                self.graph.num_vertices,
+                self.arena,
+            )
+            self._stop_counts[stop_rows, stop_cols] += stop_sums
+            timings.add("kernel.reduce", perf_counter() - tick)
         self._alive[stopping] = False
         self._stops_total += float(stopping.size)
 
@@ -333,7 +347,13 @@ class BPPRKernel(TaskKernel):
         )
 
     def _dense_transition(self) -> np.ndarray:
-        """Dense random-walk transition matrix (tracked mode only)."""
+        """Dense random-walk transition matrix (tracked mode only).
+
+        Parallel arcs sum their shares per (src, dst) cell; the
+        segment reduction's stable sort preserves arc order, so the
+        result is bit-identical to the ``np.add.at`` scatter it
+        replaces.
+        """
         n = self.graph.num_vertices
         transition = np.zeros((n, n), dtype=np.float64)
         arc_src = self.graph.edge_sources()
@@ -343,7 +363,11 @@ class BPPRKernel(TaskKernel):
             out=np.zeros_like(self._degrees),
             where=self._degrees > 0,
         )
-        np.add.at(transition, (arc_src, self.graph.indices), share[arc_src])
+        if arc_src.size:
+            rows, cols, sums = segment_sum(
+                arc_src, self.graph.indices, share[arc_src], n
+            )
+            transition[rows, cols] = sums
         return transition
 
     def _combined_estimate(

@@ -64,11 +64,14 @@ class BPPRQueryKernel(BPPRKernel):
         n = self.graph.num_vertices
         # Walk mass only at the sampled query sources (duplicates from
         # with-replacement sampling stack up, as they should).
-        mass = np.zeros(n, dtype=np.float64)
-        np.add.at(
-            mass,
+        # ``np.bincount`` accumulates weights in input order — the same
+        # sequence the old ``np.add.at`` scatter used, through the fast
+        # buffered loop.
+        per_query = float(self.walks_per_query) * self._query_scale
+        mass = np.bincount(
             self._sources,
-            float(self.walks_per_query) * self._query_scale,
+            weights=np.full(self._sources.size, per_query),
+            minlength=n,
         )
         self._mass_vec = mass
         self._stopped_vec = np.zeros(n, dtype=np.float64)

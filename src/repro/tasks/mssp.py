@@ -16,18 +16,20 @@ simulated and scales all counts — see
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Optional
 
 import numpy as np
 
 from repro.graph.csr import (
-    FrontierScratch,
     Graph,
-    dedup_pairs,
-    dedup_pairs_dense,
     expand_frontier,
+    scatter_min_dense,
+    segment_min,
+    use_dense_cells,
 )
 from repro.messages.routing import MessageRouter
+from repro.perf import timings
 from repro.tasks.base import (
     RoundSummary,
     TaskKernel,
@@ -58,7 +60,6 @@ class MSSPKernel(TaskKernel):
         self.sample_limit = sample_limit
         self.max_rounds = int(max_rounds)
         self._degrees = graph.degrees
-        self._scratch = FrontierScratch()
 
     def _initialise(self, workload: float) -> None:
         sampled = choose_sources(
@@ -77,58 +78,94 @@ class MSSPKernel(TaskKernel):
 
     def _advance(self) -> RoundSummary:
         graph = self.graph
+        arena = self.arena
+        arena.new_round()
         rows, verts = self._frontier_rows, self._frontier_verts
 
         # Expand every frontier pair to all out-neighbours (shared
-        # CSR gather, scratch arange reused across rounds).
-        arc_pos, counts, kept = expand_frontier(graph, verts, self._scratch)
+        # CSR gather, arena buffers reused across rounds).
+        tick = perf_counter()
+        arc_pos, counts, kept = expand_frontier(graph, verts, arena)
         if arc_pos.size == 0:
             return self._summary_for(
                 np.empty(0, dtype=np.int64), np.empty(0), done=True
             )
         src_rows = rows if kept is None else rows[kept]
         src_verts = verts if kept is None else verts[kept]
-        nbr = graph.indices[arc_pos]
+        nbr = np.take(graph.indices, arc_pos, out=arena.take(arc_pos.size))
         msg_rows = np.repeat(src_rows, counts)
         cand = np.repeat(self._dist[src_rows, src_verts], counts)
         if graph.weights is not None:
-            cand += graph.weights[arc_pos]
+            weights = np.take(
+                graph.weights, arc_pos, out=arena.take(arc_pos.size, np.float64)
+            )
+            cand += weights
         else:
             cand += 1.0
+        timings.add("kernel.expand", perf_counter() - tick)
 
-        # In-round aggregation: keep the minimum per (source, target).
-        # Deduplicate the touched cells *first* (the dense scan wins on
-        # big frontiers, the sort-based reduction on sparse ones; both
-        # emit row-major order), then compare distances only at the
-        # unique cells — candidate lists carry many duplicates per cell,
-        # so this replaces two candidate-length gathers and a
-        # candidate-length boolean index with unique-cell-sized ones.
-        if msg_rows.size * 8 >= self._pair_mask.size:
-            cell_rows, cell_verts = dedup_pairs_dense(
-                msg_rows, nbr, self._pair_mask
+        # In-round aggregation: keep the minimum per (source, target)
+        # cell. The strategy pivots on the shared measured crossover
+        # (:func:`use_dense_cells`): big frontiers amortise the fused
+        # flat-key scatter straight into the distance matrix, sparse
+        # ones win with the sort-based segment reduction. Both emit
+        # cells in row-major order and both produce bit-identical
+        # distance tables (min is order-independent).
+        n = graph.num_vertices
+        if use_dense_cells(msg_rows.size, self._pair_mask.size):
+            tick = perf_counter()
+            cells, before, best = scatter_min_dense(
+                msg_rows, nbr, cand, self._dist, self._pair_mask, arena
             )
-        else:
-            cell_rows, cell_verts = dedup_pairs(
-                msg_rows, nbr, graph.num_vertices
-            )
-        before = self._dist[cell_rows, cell_verts]
-        np.minimum.at(self._dist, (msg_rows, nbr), cand)
-        after = self._dist[cell_rows, cell_verts]
-        improved = after < before
-        if improved.any():
-            if improved.all():
-                # Every touched cell improved: the unique-cell arrays
-                # already are the next frontier.
-                self._frontier_rows = cell_rows
-                self._frontier_verts = cell_verts
+            improved = best < before
+            tock = perf_counter()
+            timings.add("kernel.reduce", tock - tick)
+            # The scatter already wrote the minima in place; only the
+            # frontier coordinates remain to be derived.
+            if improved.any():
+                winners = cells if improved.all() else cells[improved]
+                self._frontier_rows = np.floor_divide(
+                    winners, np.int64(n), out=arena.take(winners.size)
+                )
+                self._frontier_verts = np.remainder(
+                    winners, np.int64(n), out=arena.take(winners.size)
+                )
+                done = self._round >= self.max_rounds
             else:
-                self._frontier_rows = cell_rows[improved]
-                self._frontier_verts = cell_verts[improved]
-            done = self._round >= self.max_rounds
+                self._frontier_rows = np.empty(0, dtype=np.int64)
+                self._frontier_verts = np.empty(0, dtype=np.int64)
+                done = True
+            timings.add("kernel.frontier", perf_counter() - tock)
         else:
-            self._frontier_rows = np.empty(0, dtype=np.int64)
-            self._frontier_verts = np.empty(0, dtype=np.int64)
-            done = True
+            tick = perf_counter()
+            cell_rows, cell_verts, best = segment_min(
+                msg_rows, nbr, cand, n, arena
+            )
+            current = self._dist[cell_rows, cell_verts]
+            improved = best < current
+            tock = perf_counter()
+            timings.add("kernel.reduce", tock - tick)
+            if improved.any():
+                if improved.all():
+                    # Every touched cell improved: the unique-cell
+                    # arrays already are the next frontier
+                    # (arena-backed: valid through the next round by
+                    # the keepalive contract).
+                    self._dist[cell_rows, cell_verts] = best
+                    self._frontier_rows = cell_rows
+                    self._frontier_verts = cell_verts
+                else:
+                    improved_rows = cell_rows[improved]
+                    improved_verts = cell_verts[improved]
+                    self._dist[improved_rows, improved_verts] = best[improved]
+                    self._frontier_rows = improved_rows
+                    self._frontier_verts = improved_verts
+                done = self._round >= self.max_rounds
+            else:
+                self._frontier_rows = np.empty(0, dtype=np.int64)
+                self._frontier_verts = np.empty(0, dtype=np.int64)
+                done = True
+            timings.add("kernel.frontier", perf_counter() - tock)
 
         # Emission accounting for *this* round's sends.
         updates_per_vertex = np.bincount(

@@ -1,0 +1,93 @@
+"""Lifecycle tests for :class:`repro.graph.arena.ScratchArena`.
+
+The arena's contract is the load-bearing part: arrays handed out in one
+round must stay un-aliased for that round **and** the next (KEEPALIVE),
+because kernels build their next frontier into arena buffers while
+still reading the previous one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.arena import ScratchArena
+
+
+class TestNoAliasing:
+    def test_takes_within_a_round_never_alias(self):
+        arena = ScratchArena()
+        arena.new_round()
+        arrays = [arena.take(100) for _ in range(8)]
+        for i, a in enumerate(arrays):
+            a[:] = i
+        for i, a in enumerate(arrays):
+            assert (a == i).all()
+            for b in arrays[i + 1 :]:
+                assert not np.shares_memory(a, b)
+
+    def test_keepalive_spans_the_next_round(self):
+        arena = ScratchArena()
+        arena.new_round()
+        held = arena.take(64)
+        held[:] = 42
+        arena.new_round()  # round N + 1: `held` must survive
+        fresh = arena.take(64)
+        assert not np.shares_memory(held, fresh)
+        assert (held == 42).all()
+
+    def test_buffers_recycle_after_keepalive(self):
+        arena = ScratchArena()
+        arena.new_round()
+        first = arena.take(64)
+        for _ in range(ScratchArena.KEEPALIVE + 1):
+            arena.new_round()
+        recycled = arena.take(64)
+        assert np.shares_memory(first, recycled)
+
+    def test_mixed_dtypes_share_size_classes_without_aliasing(self):
+        arena = ScratchArena()
+        arena.new_round()
+        ints = arena.take(32, dtype=np.int64)
+        floats = arena.take(32, dtype=np.float64)
+        bools = arena.take(200, dtype=bool)
+        ints[:] = 7
+        floats[:] = 1.5
+        bools[:] = True
+        assert (ints == 7).all() and (floats == 1.5).all() and bools.all()
+        assert not np.shares_memory(ints, floats)
+        assert not np.shares_memory(ints, bools)
+
+
+class TestSteadyState:
+    def test_no_allocations_after_warmup(self):
+        arena = ScratchArena()
+        sizes = (100, 250, 100, 33)
+
+        def round_of_takes():
+            arena.new_round()
+            for size in sizes:
+                arena.take(size)[:] = 0
+
+        for _ in range(ScratchArena.KEEPALIVE + 1):
+            round_of_takes()  # warmup fills the pool
+        settled = arena.allocations
+        for _ in range(20):
+            round_of_takes()
+        assert arena.allocations == settled  # steady state allocates nothing
+        assert arena.reuses > 0
+
+    def test_zero_size_take_is_fresh_and_free(self):
+        arena = ScratchArena()
+        arena.new_round()
+        empty = arena.take(0)
+        assert empty.size == 0
+        assert arena.allocations == 0
+
+    def test_arange_is_shared_and_correct(self):
+        arena = ScratchArena()
+        small = arena.arange(10)
+        np.testing.assert_array_equal(small, np.arange(10))
+        big = arena.arange(50)
+        np.testing.assert_array_equal(big, np.arange(50))
+        again = arena.arange(20)
+        assert np.shares_memory(big, again)
