@@ -77,6 +77,17 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="isolated retries for an item whose pool worker died "
         "(default 2; 0 disables crash isolation)",
     )
+    parser.add_argument(
+        "--numa",
+        choices=["auto", "off", "replicate", "interleave"],
+        default="auto",
+        help="NUMA policy for --jobs pools: auto pins workers to nodes "
+        "round-robin and replicates shared graphs per node above a size "
+        "threshold (interleaving below it); replicate/interleave force "
+        "the segment policy; off restores unpinned behaviour. "
+        "Single-node machines are an automatic no-op; results are "
+        "byte-identical in every mode",
+    )
 
 
 def _add_setting(parser: argparse.ArgumentParser) -> None:
@@ -99,18 +110,26 @@ def _add_setting(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _apply_cache_dir(args) -> None:
-    """Apply ``--cache-dir`` / ``--max-retries`` runtime knobs."""
+def _apply_runtime_knobs(args) -> None:
+    """Apply ``--cache-dir`` / ``--max-retries`` / ``--numa`` knobs."""
     if getattr(args, "cache_dir", None):
         configure_cache(directory=args.cache_dir)
     if getattr(args, "max_retries", None) is not None:
         from repro.perf.parallel import configure_retries
 
         configure_retries(max_retries=args.max_retries)
+    if getattr(args, "numa", None) is not None:
+        from repro.perf import numa
+
+        numa.configure_numa(mode=args.numa)
+
+
+# Backwards-compatible alias (pre-NUMA name).
+_apply_cache_dir = _apply_runtime_knobs
 
 
 def _build_setting(args):
-    _apply_cache_dir(args)
+    _apply_runtime_knobs(args)
     cluster = cluster_by_name(args.cluster, scale=args.scale)
     if args.machines:
         cluster = cluster.with_machines(args.machines)
@@ -197,7 +216,7 @@ def cmd_sweep(args) -> int:
 
 def cmd_experiment(args) -> int:
     """``vcrepro experiment``: regenerate paper figures/tables."""
-    _apply_cache_dir(args)
+    _apply_runtime_knobs(args)
     config = ExperimentConfig(
         scale=args.scale, seed=args.seed, quick=args.quick, jobs=args.jobs
     )
@@ -243,10 +262,11 @@ def cmd_report(args) -> int:
     """
     from repro.experiments.report import write_experiments_markdown
 
-    _apply_cache_dir(args)
+    _apply_runtime_knobs(args)
     config = ExperimentConfig(
         scale=args.scale, seed=args.seed, quick=args.quick, jobs=args.jobs
     )
+    from repro.perf import numa
     from repro.perf.shm import shm_stats
 
     timings.reset()
@@ -264,6 +284,29 @@ def cmd_report(args) -> int:
             f"{shm['attaches']} worker attaches "
             f"(+{shm['attach_reuses']} reuses)"
         )
+        if shm.get("replica_segments"):
+            print(
+                f"  node-local replicas: {shm['replica_segments']} segments "
+                f"({shm['replica_bytes'] / 1e6:.1f} MB), "
+                f"{shm['node_local_attaches']} node-local attaches"
+            )
+    numa_info = numa.numa_stats()
+    if numa_info["workers"]:
+        per_node = ", ".join(
+            f"node {node}: {count}"
+            for node, count in sorted(numa_info["per_node_workers"].items())
+        )
+        print(
+            f"numa ({numa_info['mode']}, {numa_info['nodes']} "
+            f"node(s) via {numa_info['source']}): "
+            f"{numa_info['workers_pinned']} workers pinned"
+            + (f" [{per_node}]" if per_node else "")
+            + (
+                f", {numa_info['workers_unpinned']} unpinned"
+                if numa_info["workers_unpinned"]
+                else ""
+            )
+        )
     bench_path = str(Path(args.output).parent / "BENCH_perf.json")
     timings.write_json(
         bench_path,
@@ -274,6 +317,7 @@ def cmd_report(args) -> int:
             "jobs": config.jobs,
             "cache": get_cache().stats.to_dict(),
             "shm": shm,
+            "numa": numa_info,
         },
     )
     print(f"wrote {bench_path} (wall {wall:.1f}s)")

@@ -11,6 +11,11 @@ Three coordinated layers added on top of the simulator:
 * :mod:`repro.perf.timings` — phase-timing spans (graph-gen /
   partition / kernel / cost-model) surfaced by ``vcrepro report`` and
   dumped as ``BENCH_perf.json``.
+* :mod:`repro.perf.numa` — topology discovery, round-robin worker
+  pinning and node-local shared-graph placement for the pools
+  (``--numa {auto,off,replicate,interleave}``), with named
+  :class:`~repro.perf.numa.NumaWarning` fallbacks on platforms that
+  cannot pin.
 """
 
 from repro.perf import timings
@@ -21,16 +26,32 @@ from repro.perf.cache import (
     configure_cache,
     get_cache,
 )
+from repro.perf.numa import (
+    NumaNode,
+    NumaTopology,
+    NumaWarning,
+    configure_numa,
+    numa_mode,
+    numa_stats,
+    reset_numa_state,
+)
 from repro.perf.parallel import parallel_map, parallel_map_fork, resolve_jobs
 
 __all__ = [
     "ArtifactCache",
     "ArraySerializer",
+    "NumaNode",
+    "NumaTopology",
+    "NumaWarning",
     "clear_cache",
     "configure_cache",
+    "configure_numa",
     "get_cache",
+    "numa_mode",
+    "numa_stats",
     "parallel_map",
     "parallel_map_fork",
     "resolve_jobs",
+    "reset_numa_state",
     "timings",
 ]

@@ -316,7 +316,11 @@ def get_cache() -> ArtifactCache:
         directory = os.environ.get("REPRO_CACHE_DIR") or os.environ.get(
             "REPRO_DATASET_CACHE"
         )
-        capacity = int(os.environ.get("REPRO_CACHE_SIZE", DEFAULT_CAPACITY))
+        raw_size = os.environ.get("REPRO_CACHE_SIZE", "").strip()
+        try:
+            capacity = int(raw_size) if raw_size else DEFAULT_CAPACITY
+        except ValueError:
+            capacity = DEFAULT_CAPACITY
         _GLOBAL = ArtifactCache(capacity=capacity, directory=directory)
     return _GLOBAL
 

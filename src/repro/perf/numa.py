@@ -1,0 +1,473 @@
+"""NUMA topology discovery and worker placement for the process pools.
+
+The ``--jobs N`` pools (:mod:`repro.perf.parallel`) used to spread
+workers wherever the scheduler dropped them, so on multi-socket hosts a
+worker reading a shared-memory graph segment (:mod:`repro.perf.shm`)
+routinely crossed NUMA nodes — adding exactly the per-worker timing
+noise the round–congestion measurements are most sensitive to. This
+module makes placement explicit:
+
+* :func:`discover` reads the node topology from
+  ``/sys/devices/system/node`` (one :class:`NumaNode` per ``nodeK``
+  directory), intersects every node's CPU list with the process's
+  cpuset (``os.sched_getaffinity``), and degrades along first-class
+  fallback paths: no sysfs (macOS, minimal containers) or a cpuset
+  that empties every node collapses to a single synthetic node built
+  from the affinity mask — each degradation announced once with a
+  :class:`NumaWarning`, never silently.
+* :func:`plan_placement` assigns pool workers to nodes round-robin;
+  the pool initializer claims a slot and calls
+  :func:`apply_placement`, which pins the worker with
+  ``os.sched_setaffinity``. A platform without that call, or a
+  ``PermissionError`` from a restricted runtime, warns once and the
+  worker proceeds unpinned (today's behaviour).
+* :mod:`repro.perf.shm` consults :func:`segment_placement` to decide
+  per-graph segment handling: first-touch per-node **replication**
+  above :data:`REPLICATE_THRESHOLD_BYTES`, a single **interleaved**
+  segment below it, forced either way by ``--numa
+  replicate``/``--numa interleave`` (``--numa off`` disables the whole
+  layer).
+
+Determinism contract: placement changes *where* work runs, never what
+it computes — the differential suite
+(``tests/perf/test_determinism.py``) asserts byte-identical outputs
+with the layer on, off, and degraded.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import warnings
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "NumaWarning",
+    "NumaNode",
+    "NumaTopology",
+    "MODES",
+    "REPLICATE_THRESHOLD_BYTES",
+    "parse_cpu_list",
+    "discover",
+    "configure_numa",
+    "numa_mode",
+    "active_topology",
+    "plan_placement",
+    "plan_for",
+    "apply_placement",
+    "current_worker_node",
+    "worker_placement",
+    "record_worker",
+    "replication_nodes",
+    "segment_placement",
+    "numa_stats",
+    "reset_numa_state",
+]
+
+#: Where Linux exposes the node topology.
+SYSFS_NODE_ROOT = "/sys/devices/system/node"
+
+#: Valid ``--numa`` modes. ``auto`` pins workers and picks segment
+#: placement by size; ``replicate``/``interleave`` force the segment
+#: policy; ``off`` restores pre-NUMA behaviour entirely.
+MODES = ("auto", "off", "replicate", "interleave")
+
+#: ``auto`` mode replicates a graph segment per node once it exceeds
+#: this many bytes; smaller segments stay interleaved — the copy cost
+#: would exceed the cross-node read traffic it saves.
+REPLICATE_THRESHOLD_BYTES = 4 << 20
+
+_NODE_DIR = re.compile(r"^node(\d+)$")
+
+
+class NumaWarning(RuntimeWarning):
+    """A NUMA feature degraded to a fallback path (named, never silent)."""
+
+
+@dataclass(frozen=True)
+class NumaNode:
+    """One NUMA node: its id and the CPUs usable by this process."""
+
+    node_id: int
+    cpus: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class NumaTopology:
+    """The discovered node layout plus where it came from.
+
+    ``source`` is ``"sysfs"`` for a real discovery, ``"affinity"`` for
+    the single-synthetic-node fallback, or ``"override"`` for a
+    topology injected via :func:`configure_numa` (tests, benchmarks).
+    """
+
+    nodes: Tuple[NumaNode, ...]
+    source: str
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def cpus(self) -> Tuple[int, ...]:
+        return tuple(cpu for node in self.nodes for cpu in node.cpus)
+
+    def node_ids(self) -> Tuple[int, ...]:
+        """The node ids in discovery order."""
+        return tuple(node.node_id for node in self.nodes)
+
+
+@dataclass(frozen=True)
+class WorkerPlacement:
+    """One pool worker's assignment: its slot, node and CPU set."""
+
+    slot: int
+    node_id: int
+    cpus: Tuple[int, ...]
+
+
+def parse_cpu_list(text: str) -> Tuple[int, ...]:
+    """Parse a sysfs CPU list (``"0-3,8,10-11"``) into sorted CPU ids."""
+    cpus = []
+    for chunk in text.strip().split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        if "-" in chunk:
+            lo, hi = chunk.split("-", 1)
+            cpus.extend(range(int(lo), int(hi) + 1))
+        else:
+            cpus.append(int(chunk))
+    return tuple(sorted(set(cpus)))
+
+
+def _process_affinity() -> FrozenSet[int]:
+    """CPUs this process may run on (cpuset-aware), with a portable
+    fallback to the full CPU count on platforms without
+    ``sched_getaffinity`` (macOS)."""
+    getter = getattr(os, "sched_getaffinity", None)
+    if getter is not None:
+        try:
+            return frozenset(getter(0))
+        except OSError:  # pragma: no cover - exotic kernels
+            pass
+    return frozenset(range(os.cpu_count() or 1))
+
+
+#: Degradations already announced this process (warn once per cause).
+_WARNED: set = set()
+
+
+def _warn_once(key: str, message: str) -> None:
+    if key in _WARNED:
+        return
+    _WARNED.add(key)
+    warnings.warn(message, NumaWarning, stacklevel=3)
+
+
+def discover(
+    sysfs_root: Optional[str] = None,
+    affinity: Optional[FrozenSet[int]] = None,
+) -> NumaTopology:
+    """Discover the node topology, respecting the process cpuset.
+
+    Every fallback is a first-class path: no sysfs at all (macOS,
+    containers without ``/sys``), a cpuset that strips some nodes of
+    all their CPUs, or one that strips *every* node — each warns once
+    (:class:`NumaWarning`) and the discovery proceeds with what
+    remains, bottoming out at one synthetic node spanning the affinity
+    mask (the clean single-node degenerate case).
+    """
+    root = sysfs_root if sysfs_root is not None else SYSFS_NODE_ROOT
+    allowed = affinity if affinity is not None else _process_affinity()
+    single = NumaTopology(
+        nodes=(NumaNode(0, tuple(sorted(allowed))),), source="affinity"
+    )
+
+    try:
+        entries = sorted(os.listdir(root))
+    except OSError:
+        _warn_once(
+            "sysfs",
+            f"NUMA topology unavailable ({root} is unreadable on this "
+            "platform); treating the machine as a single node",
+        )
+        return single
+
+    nodes = []
+    dropped = []
+    for entry in entries:
+        match = _NODE_DIR.match(entry)
+        if match is None:
+            continue
+        node_id = int(match.group(1))
+        try:
+            with open(
+                os.path.join(root, entry, "cpulist"), encoding="ascii"
+            ) as fh:
+                cpus = parse_cpu_list(fh.read())
+        except (OSError, ValueError):
+            dropped.append(node_id)
+            continue
+        usable = tuple(cpu for cpu in cpus if cpu in allowed)
+        if usable:
+            nodes.append(NumaNode(node_id, usable))
+        elif cpus:
+            dropped.append(node_id)
+
+    if dropped and nodes:
+        _warn_once(
+            "cpuset",
+            f"cpuset restricts this process away from NUMA node(s) "
+            f"{sorted(dropped)}; placement uses the "
+            f"{len(nodes)} remaining node(s)",
+        )
+    if not nodes:
+        _warn_once(
+            "sysfs-empty",
+            f"no usable NUMA nodes found under {root}; treating the "
+            "machine as a single node",
+        )
+        return single
+    return NumaTopology(nodes=tuple(nodes), source="sysfs")
+
+
+# ----------------------------------------------------------------------
+# Process-wide configuration and state
+# ----------------------------------------------------------------------
+_UNSET = object()
+
+_CONFIG: Dict[str, object] = {
+    "mode": "auto",
+    "topology": None,  # override (tests/benchmarks); None -> discover()
+    "replicate_threshold": REPLICATE_THRESHOLD_BYTES,
+}
+
+#: Cached discovery result (cleared by configure_numa/reset).
+_DISCOVERED: Optional[NumaTopology] = None
+
+#: This worker's own placement, set by :func:`apply_placement`.
+_WORKER: Dict[str, object] = {"node": None, "pinned": False, "slot": None}
+
+#: Parent-side roster of worker placements reported back through the
+#: pool (pid -> {"node": ..., "pinned": ...}); deduplicated by pid.
+_WORKERS: Dict[int, Dict[str, object]] = {}
+
+
+def configure_numa(
+    mode: Optional[str] = None,
+    topology=_UNSET,
+    replicate_threshold: Optional[int] = None,
+) -> str:
+    """Set the process-wide NUMA policy; returns the active mode.
+
+    ``topology`` overrides discovery (pass ``None`` to return to real
+    discovery) — the seam the fake-sysfs tests and benchmarks use.
+    """
+    global _DISCOVERED
+    if mode is not None:
+        if mode not in MODES:
+            raise ConfigurationError(
+                f"unknown --numa mode {mode!r}; choose from "
+                + "/".join(MODES)
+            )
+        _CONFIG["mode"] = mode
+    if topology is not _UNSET:
+        override = topology
+        if override is not None:
+            override = NumaTopology(
+                nodes=tuple(override.nodes), source="override"
+            )
+        _CONFIG["topology"] = override
+        _DISCOVERED = None
+    if replicate_threshold is not None:
+        _CONFIG["replicate_threshold"] = int(replicate_threshold)
+    return str(_CONFIG["mode"])
+
+
+def numa_mode() -> str:
+    """The active ``--numa`` mode."""
+    return str(_CONFIG["mode"])
+
+
+def active_topology() -> NumaTopology:
+    """The override topology if configured, else the cached discovery."""
+    override = _CONFIG["topology"]
+    if override is not None:
+        return override  # type: ignore[return-value]
+    global _DISCOVERED
+    if _DISCOVERED is None:
+        _DISCOVERED = discover()
+    return _DISCOVERED
+
+
+def plan_placement(
+    topology: NumaTopology, num_workers: int
+) -> Tuple[WorkerPlacement, ...]:
+    """Round-robin ``num_workers`` pool slots over the topology's nodes."""
+    nodes = topology.nodes
+    return tuple(
+        WorkerPlacement(
+            slot=slot,
+            node_id=nodes[slot % len(nodes)].node_id,
+            cpus=nodes[slot % len(nodes)].cpus,
+        )
+        for slot in range(max(int(num_workers), 0))
+    )
+
+
+def plan_for(num_workers: int) -> Optional[Tuple[WorkerPlacement, ...]]:
+    """The placement plan a pool of ``num_workers`` should use, or None.
+
+    None means "no pinning": the layer is off, the pool is effectively
+    serial, or the machine has a single (possibly degenerate) node —
+    the clean no-op path, with no warning.
+    """
+    if numa_mode() == "off" or num_workers <= 1:
+        return None
+    topology = active_topology()
+    if topology.num_nodes <= 1:
+        return None
+    return plan_placement(topology, num_workers)
+
+
+def apply_placement(placement: WorkerPlacement) -> bool:
+    """Worker-side: pin this process to its assigned node's CPUs.
+
+    Returns True when the pin took. A missing ``sched_setaffinity``
+    (macOS) or a ``PermissionError``/``OSError`` (restricted runtimes,
+    CPUs outside the machine) warns once per cause and leaves the
+    worker unpinned — the placement is still recorded so the roster in
+    ``BENCH_perf.json`` shows the degraded state rather than hiding it.
+    """
+    pinned = False
+    setter = getattr(os, "sched_setaffinity", None)
+    if setter is None:
+        _warn_once(
+            "pin-unsupported",
+            "os.sched_setaffinity is unavailable on this platform; "
+            "workers run unpinned",
+        )
+    else:
+        try:
+            setter(0, set(placement.cpus))
+            pinned = True
+        except PermissionError:
+            _warn_once(
+                "pin-permission",
+                "sched_setaffinity denied (restricted runtime); "
+                "workers run unpinned",
+            )
+        except (OSError, ValueError) as exc:
+            _warn_once(
+                "pin-failed",
+                f"sched_setaffinity to node {placement.node_id} CPUs "
+                f"{placement.cpus} failed ({exc}); worker runs unpinned",
+            )
+    _WORKER.update(
+        node=placement.node_id, pinned=pinned, slot=placement.slot
+    )
+    return pinned
+
+
+def current_worker_node() -> Optional[int]:
+    """The node this (worker) process was placed on, or None."""
+    node = _WORKER["node"]
+    return int(node) if node is not None else None
+
+
+def worker_placement() -> Optional[Dict[str, object]]:
+    """This worker's placement record to ship home, or None if unplaced."""
+    if _WORKER["node"] is None:
+        return None
+    return {
+        "pid": os.getpid(),
+        "node": int(_WORKER["node"]),  # type: ignore[arg-type]
+        "pinned": bool(_WORKER["pinned"]),
+    }
+
+
+def record_worker(pid: int, node: int, pinned: bool) -> None:
+    """Parent-side: remember one worker's reported placement."""
+    _WORKERS[int(pid)] = {"node": int(node), "pinned": bool(pinned)}
+
+
+# ----------------------------------------------------------------------
+# Shared-memory segment policy (consumed by repro.perf.shm)
+# ----------------------------------------------------------------------
+def replication_nodes() -> Tuple[int, ...]:
+    """Node ids shared-graph exports may replicate across (empty when
+    the layer is off or the machine is single-node)."""
+    if numa_mode() == "off":
+        return ()
+    topology = active_topology()
+    if topology.num_nodes <= 1:
+        return ()
+    return topology.node_ids()
+
+
+def segment_placement(nbytes: int, num_nodes: int) -> str:
+    """``"replicate"``/``"interleave"``/``"single"`` for one segment.
+
+    ``auto`` replicates above the size threshold and interleaves below
+    it; ``replicate``/``interleave`` force their policy; anything with
+    fewer than two nodes is ``"single"`` (one plain segment).
+    """
+    mode = numa_mode()
+    if mode == "off" or num_nodes <= 1:
+        return "single"
+    if mode == "replicate":
+        return "replicate"
+    if mode == "interleave":
+        return "interleave"
+    threshold = int(_CONFIG["replicate_threshold"])  # type: ignore[arg-type]
+    return "replicate" if nbytes >= threshold else "interleave"
+
+
+# ----------------------------------------------------------------------
+# Reporting
+# ----------------------------------------------------------------------
+def numa_stats() -> Dict[str, object]:
+    """Placement stats for ``vcrepro report`` / ``BENCH_perf.json``.
+
+    JSON-plain: mode, topology shape/source, the per-pid worker roster
+    (each worker's node and whether the pin took), and per-node worker
+    counts.
+    """
+    topology = active_topology()
+    per_node: Dict[str, int] = {}
+    pinned = 0
+    for record in _WORKERS.values():
+        key = str(record["node"])
+        per_node[key] = per_node.get(key, 0) + 1
+        if record["pinned"]:
+            pinned += 1
+    return {
+        "mode": numa_mode(),
+        "nodes": topology.num_nodes,
+        "source": topology.source,
+        "cpus": len(topology.cpus),
+        "workers": {
+            str(pid): dict(record) for pid, record in _WORKERS.items()
+        },
+        "per_node_workers": per_node,
+        "workers_pinned": pinned,
+        "workers_unpinned": len(_WORKERS) - pinned,
+    }
+
+
+def reset_numa_state() -> None:
+    """Restore defaults and forget placements/warnings (tests, CLI)."""
+    global _DISCOVERED
+    _CONFIG.update(
+        mode="auto",
+        topology=None,
+        replicate_threshold=REPLICATE_THRESHOLD_BYTES,
+    )
+    _DISCOVERED = None
+    _WARNED.clear()
+    _WORKERS.clear()
+    _WORKER.update(node=None, pinned=False, slot=None)

@@ -22,6 +22,14 @@ created or a payload cannot be pickled — with a :class:`RuntimeWarning`
 naming the cause, never silently — and both fold the workers' phase
 timings (:mod:`repro.perf.timings`) back into the parent.
 
+NUMA placement: when :mod:`repro.perf.numa` reports a multi-node
+topology (and ``--numa`` is not ``off``), every pool worker claims a
+slot from a shared counter in the initializer and pins itself to its
+round-robin node via :func:`repro.perf.numa.apply_placement`; each
+worker's placement rides home with its first result and lands in the
+``BENCH_perf.json`` roster. Single-node machines and the serial path
+skip all of this silently — the clean degenerate case.
+
 Crash isolation: a worker process dying (OOM-killed, segfault) breaks
 the whole ``ProcessPoolExecutor`` — every in-flight future raises
 ``BrokenProcessPool``, so one bad item would normally take the batch
@@ -111,14 +119,52 @@ def _is_pickling_error(exc: BaseException) -> bool:
     ).lower()
 
 
+#: Worker-side timing baseline: the last snapshot already shipped home.
+#: ``None`` means the worker has not been bootstrapped yet (its table
+#: may still hold spans inherited from the parent through fork).
+_TIMING_BASELINE: Optional[dict] = None
+
+
+def _worker_bootstrap(
+    placement_state: Optional[tuple],
+    user_init: Optional[Callable],
+    user_initargs: tuple,
+) -> None:
+    """Pool initializer installed by :func:`_pool_map` in every worker.
+
+    Clears timing spans inherited through fork, claims a NUMA placement
+    slot (when a plan is active) and pins the worker, then runs the
+    caller's own initializer. Spans recorded here are shipped home with
+    the worker's first item via the snapshot-diff in :func:`_timed_call`.
+    """
+    global _TIMING_BASELINE
+    from repro.perf import numa
+
+    timings.reset()
+    if placement_state is not None:
+        placements, counter = placement_state
+        with counter.get_lock():
+            slot = counter.value
+            counter.value += 1
+        with timings.span("numa-pin"):
+            numa.apply_placement(placements[slot % len(placements)])
+    if user_init is not None:
+        user_init(*user_initargs)
+    _TIMING_BASELINE = {}
+
+
 def _timed_call(fn: Callable, args: tuple) -> tuple:
     """Worker-side wrapper: run ``fn`` and ship its timing, cache- and
     shm-counter deltas home for the parent to fold in (shm keys ride in
-    the same dict under a ``shm_`` prefix)."""
-    from repro.perf import shm
+    the same dict under a ``shm_`` prefix; the worker's NUMA placement
+    rides under ``numa_worker``)."""
+    global _TIMING_BASELINE
+    from repro.perf import numa, shm
     from repro.perf.cache import get_cache
 
-    timings.reset()
+    if _TIMING_BASELINE is None:  # bootstrapped by an older-style pool
+        timings.reset()
+        _TIMING_BASELINE = {}
     before = get_cache().stats.to_dict()
     shm_before = shm.shm_stats()
     result = fn(*args)
@@ -131,7 +177,13 @@ def _timed_call(fn: Callable, args: tuple) -> tuple:
             for key in shm_after
         }
     )
-    return result, timings.snapshot(), delta
+    placement = numa.worker_placement()
+    if placement is not None:
+        delta["numa_worker"] = placement
+    snap = timings.snapshot()
+    shipped = timings.diff(_TIMING_BASELINE, snap)
+    _TIMING_BASELINE = snap
+    return result, shipped, delta
 
 
 def _fork_entry(index: int) -> tuple:
@@ -212,6 +264,8 @@ def _pool_map(
 
     import multiprocessing
 
+    from repro.perf import numa
+
     try:
         if require_fork:
             if "fork" not in multiprocessing.get_all_start_methods():
@@ -223,11 +277,19 @@ def _pool_map(
             context = multiprocessing.get_context("fork")
         else:
             context = multiprocessing.get_context()
+        workers = min(jobs, max(len(payloads), 1))
+        placement_state = None
+        placements = numa.plan_for(workers)
+        if placements:
+            # Workers claim slots from this shared counter in their
+            # initializer; round-robin assignment then pins each one.
+            placement_state = (placements, context.Value("i", 0))
+        boot_args = (placement_state, initializer, initargs)
         executor = concurrent.futures.ProcessPoolExecutor(
-            max_workers=min(jobs, max(len(payloads), 1)),
+            max_workers=workers,
             mp_context=context,
-            initializer=initializer,
-            initargs=initargs,
+            initializer=_worker_bootstrap,
+            initargs=boot_args,
         )
     except (OSError, ValueError, ImportError) as exc:
         _warn_serial(f"could not create a process pool ({exc})")
@@ -262,7 +324,8 @@ def _pool_map(
 
     for index in crashed:
         outputs[index] = _run_isolated(
-            worker, payloads[index], index, context, initializer, initargs
+            worker, payloads[index], index, context, _worker_bootstrap,
+            boot_args,
         )
 
     from repro.perf import shm
@@ -271,6 +334,9 @@ def _pool_map(
     results = []
     for result, worker_timings, stats_delta in outputs:
         timings.merge(worker_timings)
+        placement = stats_delta.pop("numa_worker", None)
+        if placement is not None:
+            numa.record_worker(**placement)
         get_cache().stats.merge(stats_delta)
         shm.merge_counters(
             {

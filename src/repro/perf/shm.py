@@ -23,11 +23,23 @@ A miss anywhere simply falls back to the regular artifact-cache path —
 shared memory is a transport optimization, never a correctness
 dependency. The parent unlinks every exported segment at pool shutdown
 or interpreter exit (``atexit``), whichever comes first.
+
+NUMA segment placement (:mod:`repro.perf.numa`): on multi-node
+topologies, exports consult :func:`repro.perf.numa.segment_placement`.
+Large graphs get one **replica segment per node** in addition to the
+primary; a replica starts empty and is populated *first-touch* by the
+first worker pinned to that node that attaches it (so its pages are
+faulted in node-locally), guarded by an 8-byte ready flag at the head
+of the segment — concurrent populators write identical bytes, so the
+race is benign. Small graphs keep the single (OS-default, effectively
+interleaved) segment. ``--numa replicate``/``interleave`` force either
+policy; ``--numa off`` and single-node machines skip all of it.
 """
 
 from __future__ import annotations
 
 import atexit
+import dataclasses
 import os
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
@@ -50,6 +62,10 @@ __all__ = [
 _INT = np.dtype(np.int64)
 _FLOAT = np.dtype(np.float64)
 
+#: Replica segments carry a ready flag (int64: 0 = empty, 1 = populated
+#: first-touch by a node-local worker) ahead of the CSR arrays.
+_REPLICA_HEADER_BYTES = 8
+
 
 @dataclass(frozen=True)
 class GraphHandle:
@@ -57,7 +73,10 @@ class GraphHandle:
 
     The segment holds ``indptr``, ``indices`` and (optionally)
     ``weights`` back to back; lengths are in elements, so workers can
-    recompute every offset without touching the payload.
+    recompute every offset without touching the payload. ``replicas``
+    maps NUMA node ids to per-node replica segments (empty when the
+    graph was exported single/interleaved); ``placement`` records which
+    policy the exporter chose, for the stats roster.
     """
 
     segment: str
@@ -67,6 +86,8 @@ class GraphHandle:
     indptr_len: int
     indices_len: int
     weighted: bool
+    replicas: Tuple[Tuple[int, str], ...] = ()
+    placement: str = "single"
 
     @property
     def nbytes(self) -> int:
@@ -74,6 +95,13 @@ class GraphHandle:
         if self.weighted:
             total += self.indices_len * _FLOAT.itemsize
         return total
+
+    def replica_for(self, node_id: int) -> Optional[str]:
+        """Replica segment name for ``node_id``, or None."""
+        for node, segment in self.replicas:
+            if node == node_id:
+                return segment
+        return None
 
 
 class SharedGraphRegistry:
@@ -86,12 +114,22 @@ class SharedGraphRegistry:
     parent's segments (reuses = a second dataset key resolving to an
     already-shipped fingerprint), ``attaches``/``attach_reuses`` count
     worker-side mappings (reuses = cache hits that mapped nothing).
+    The NUMA counters split that by placement:
+    ``replica_segments``/``replica_bytes`` count per-node replica
+    segments created by the exporter, ``interleaved_graphs`` the
+    small/forced single-segment exports on multi-node topologies,
+    ``replicas_populated`` first-touch population events, and
+    ``node_local_attaches`` worker mappings that landed on the
+    worker's own node's replica.
     """
 
     def __init__(self) -> None:
         self._segments: Dict[str, Tuple[object, GraphHandle]] = {}
         self._handles: Dict[Tuple, GraphHandle] = {}
         self._attached: Dict[str, Tuple[object, Graph]] = {}
+        #: replica segments created by this (parent) process, plus the
+        #: worker-side mappings kept alive for attached replicas.
+        self._replica_segments: list = []
         self._atexit_armed = False
         self.counters: Dict[str, int] = {
             "exported_graphs": 0,
@@ -99,15 +137,33 @@ class SharedGraphRegistry:
             "export_reuses": 0,
             "attaches": 0,
             "attach_reuses": 0,
+            "replica_segments": 0,
+            "replica_bytes": 0,
+            "interleaved_graphs": 0,
+            "replicas_populated": 0,
+            "node_local_attaches": 0,
         }
 
     # ------------------------------------------------------------------
     # Parent side
     # ------------------------------------------------------------------
-    def export(self, key: Tuple, graph: Graph) -> Optional[GraphHandle]:
+    def export(
+        self,
+        key: Tuple,
+        graph: Graph,
+        nodes: Tuple[int, ...] = (),
+    ) -> Optional[GraphHandle]:
         """Copy ``graph``'s CSR arrays into a shared segment (once per
         fingerprint) and remember ``key -> handle``; None if shared
-        memory is unavailable on this platform."""
+        memory is unavailable on this platform.
+
+        ``nodes`` (the NUMA node ids workers may be pinned to) enables
+        per-node replica segments when the placement policy asks for
+        them; replicas are created empty and populated first-touch by
+        the first node-local worker that attaches one.
+        """
+        from repro.perf import numa
+
         fingerprint = graph.fingerprint
         cached = self._segments.get(fingerprint)
         if cached is not None:
@@ -118,8 +174,9 @@ class SharedGraphRegistry:
             from multiprocessing import shared_memory
         except ImportError:  # pragma: no cover - always present on Linux
             return None
+        stem = f"repro-graph-{os.getpid()}-{fingerprint[:16]}"
         handle = GraphHandle(
-            segment=f"repro-graph-{os.getpid()}-{fingerprint[:16]}",
+            segment=stem,
             fingerprint=fingerprint,
             name=graph.name,
             directed=graph.directed,
@@ -127,6 +184,7 @@ class SharedGraphRegistry:
             indices_len=graph.indices.size,
             weighted=graph.weights is not None,
         )
+        placement = numa.segment_placement(handle.nbytes, len(nodes))
         try:
             segment = shared_memory.SharedMemory(
                 name=handle.segment, create=True, size=max(handle.nbytes, 1)
@@ -138,6 +196,27 @@ class SharedGraphRegistry:
         views[1][:] = graph.indices
         if handle.weighted:
             views[2][:] = graph.weights
+        if placement == "replicate":
+            replicas = []
+            for node_id in nodes:
+                try:
+                    replica = shared_memory.SharedMemory(
+                        name=f"{stem}-n{node_id}",
+                        create=True,
+                        size=handle.nbytes + _REPLICA_HEADER_BYTES,
+                    )
+                except OSError:
+                    continue  # best-effort: node falls back to primary
+                self._replica_segments.append(replica)
+                replicas.append((int(node_id), replica.name))
+                self.counters["replica_segments"] += 1
+                self.counters["replica_bytes"] += handle.nbytes
+            handle = dataclasses.replace(
+                handle, replicas=tuple(replicas), placement="replicate"
+            )
+        elif placement == "interleave":
+            handle = dataclasses.replace(handle, placement="interleave")
+            self.counters["interleaved_graphs"] += 1
         self._segments[fingerprint] = (segment, handle)
         self._handles[key] = handle
         self.counters["exported_graphs"] += 1
@@ -159,7 +238,14 @@ class SharedGraphRegistry:
                 segment.unlink()
             except (OSError, FileNotFoundError):  # already gone
                 pass
+        for replica in self._replica_segments:
+            try:
+                replica.close()
+                replica.unlink()
+            except (OSError, FileNotFoundError):
+                pass
         self._segments.clear()
+        self._replica_segments.clear()
         self._handles.clear()
 
     # ------------------------------------------------------------------
@@ -183,6 +269,11 @@ class SharedGraphRegistry:
         wrapper cached; construction bypasses ``Graph.__init__`` — the
         parent already validated these arrays, and the fingerprint
         rides in on the handle, so attachment does zero O(m) work.
+
+        A worker placed on a NUMA node by the pool initializer prefers
+        its node's replica segment (populating it first-touch if it is
+        the first node-local attacher); anything without a placement,
+        or whose replica cannot be mapped, uses the primary segment.
         """
         cached = self._attached.get(handle.fingerprint)
         if cached is not None:
@@ -190,9 +281,7 @@ class SharedGraphRegistry:
             return cached[1]
         try:
             from multiprocessing import shared_memory
-
-            segment = shared_memory.SharedMemory(name=handle.segment)
-        except (ImportError, OSError):
+        except ImportError:  # pragma: no cover - always present on Linux
             return None
         # Attaching re-registers the name with the resource tracker; the
         # workers share the parent's tracker process, where registration
@@ -200,7 +289,14 @@ class SharedGraphRegistry:
         # exporting parent stays the only unlinker. (Worker-side
         # unregistering would remove the parent's registration and make
         # its own unlink double-unregister.)
-        views = _segment_views(segment, handle)
+        attached = self._attach_node_local(handle, shared_memory)
+        if attached is None:
+            try:
+                segment = shared_memory.SharedMemory(name=handle.segment)
+            except OSError:
+                return None
+            attached = ((segment,), _segment_views(segment, handle))
+        keepalive, views = attached
         graph = Graph.__new__(Graph)
         graph.indptr = views[0]
         graph.indices = views[1]
@@ -213,16 +309,58 @@ class SharedGraphRegistry:
         for array in views:
             if array is not None:
                 array.setflags(write=False)
-        # The SharedMemory object must outlive every numpy view, so it
-        # rides in the process-lifetime cache alongside the Graph.
-        self._attached[handle.fingerprint] = (segment, graph)
+        # The SharedMemory objects must outlive every numpy view, so
+        # they ride in the process-lifetime cache alongside the Graph.
+        self._attached[handle.fingerprint] = (keepalive, graph)
         self.counters["attaches"] += 1
         return graph
 
+    def _attach_node_local(self, handle: GraphHandle, shared_memory):
+        """Map this worker's node replica, or None for the primary path.
 
-def _segment_views(segment, handle: GraphHandle):
-    """(indptr, indices, weights) numpy views over a segment's buffer."""
-    offset = 0
+        The first node-local attacher finds the ready flag unset and
+        populates the replica from the primary segment — the write
+        faults the replica's pages in on *this* worker's node
+        (first-touch). Concurrent populators write identical bytes, so
+        the unsynchronised copy is benign; the flag is set only after a
+        full copy.
+        """
+        from repro.perf import numa
+
+        node = numa.current_worker_node()
+        if node is None or not handle.replicas:
+            return None
+        replica_name = handle.replica_for(node)
+        if replica_name is None:
+            return None
+        try:
+            replica = shared_memory.SharedMemory(name=replica_name)
+        except OSError:
+            return None
+        flag = np.ndarray((1,), dtype=_INT, buffer=replica.buf)
+        views = _segment_views(replica, handle, offset=_REPLICA_HEADER_BYTES)
+        keepalive = (replica,)
+        if flag[0] != 1:
+            try:
+                primary = shared_memory.SharedMemory(name=handle.segment)
+            except OSError:
+                return None
+            source = _segment_views(primary, handle)
+            for dst, src in zip(views, source):
+                if dst is not None:
+                    np.copyto(dst, src)
+            flag[0] = 1
+            self.counters["replicas_populated"] += 1
+            keepalive = (replica, primary)
+        self.counters["node_local_attaches"] += 1
+        return keepalive, views
+
+
+def _segment_views(segment, handle: GraphHandle, offset: int = 0):
+    """(indptr, indices, weights) numpy views over a segment's buffer.
+
+    ``offset`` skips a replica segment's ready-flag header.
+    """
     indptr = np.ndarray(
         (handle.indptr_len,), dtype=_INT, buffer=segment.buf, offset=offset
     )

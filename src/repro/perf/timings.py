@@ -26,6 +26,7 @@ __all__ = [
     "span",
     "snapshot",
     "merge",
+    "diff",
     "reset",
     "render_table",
     "write_json",
@@ -77,6 +78,27 @@ def merge(other: Dict[str, Dict[str, float]]) -> None:
     """Fold a :func:`snapshot` from another process into this one."""
     for name, total in other.items():
         add(name, float(total["seconds"]), int(total["count"]))
+
+
+def diff(
+    before: Dict[str, Dict[str, float]],
+    after: Dict[str, Dict[str, float]],
+) -> Dict[str, Dict[str, float]]:
+    """Per-phase ``after - before`` of two snapshots, dropping empty rows.
+
+    Pool workers ship deltas between consecutive snapshots instead of
+    resetting the table around every item, so spans recorded by the
+    pool initializer (NUMA pinning, shared-memory setup) reach the
+    parent exactly once — with the first completed item.
+    """
+    delta: Dict[str, Dict[str, float]] = {}
+    for name, total in after.items():
+        base = before.get(name, {"seconds": 0.0, "count": 0})
+        seconds = float(total["seconds"]) - float(base["seconds"])
+        count = int(total["count"]) - int(base["count"])
+        if seconds != 0.0 or count != 0:
+            delta[name] = {"seconds": seconds, "count": count}
+    return delta
 
 
 def reset() -> None:

@@ -125,9 +125,17 @@ class TestDatasets:
         assert profile.scaled_nodes(10**9) == 64  # floor
 
     def test_load_dataset_case_insensitive(self):
-        g1 = load_dataset("DBLP")
-        g2 = load_dataset("dblp")
-        assert g1 is g2  # memoised
+        from repro.perf.cache import get_cache
+
+        cache = get_cache()
+        saved = cache.capacity
+        cache.capacity = max(saved, 8)  # memoisation needs a live LRU
+        try:
+            g1 = load_dataset("DBLP")
+            g2 = load_dataset("dblp")
+            assert g1 is g2  # memoised
+        finally:
+            cache.capacity = saved
 
     def test_load_dataset_deterministic_across_calls(self):
         clear_dataset_cache()

@@ -16,6 +16,19 @@ from repro.tasks.mssp import mssp_task
 SCALE = 4000
 
 
+@pytest.fixture(autouse=True)
+def _pinned_cache_capacity():
+    """These tests assert cache *semantics* (identity on a memory hit,
+    eviction order), so they pin the process-wide cache's capacity —
+    the CI leg that disables the memory cache via ``REPRO_CACHE_SIZE=0``
+    must not turn them into vacuous failures."""
+    cache = get_cache()
+    saved = cache.capacity
+    cache.capacity = 256
+    yield
+    cache.capacity = saved
+
+
 class TestArtifactCache:
     def test_memory_hit_returns_same_object(self):
         cache = ArtifactCache(capacity=4)

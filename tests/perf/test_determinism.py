@@ -1,0 +1,167 @@
+"""Differential determinism suite: perf knobs must never change results.
+
+Every performance layer in :mod:`repro.perf` — worker pools, the
+artifact cache, shared-memory graphs, NUMA placement — promises the
+same contract: it changes *when and where* work runs, never what it
+computes. This suite runs the same experiments under each knob's
+settings and asserts the outputs are byte-identical:
+
+* ``--jobs 1`` vs ``--jobs N`` (``REPRO_TEST_JOBS``, default 2);
+* a cold artifact cache vs a warm one (memory and disk);
+* shared-memory graph transport on vs off;
+* ``--numa auto`` (with an injected multi-node topology, so pinning
+  and replicas actually engage even on a single-node host) vs
+  ``--numa off``;
+* per-round metric streams across serial and forked sweeps.
+
+"Byte-identical" is literal: rendered Markdown rows and
+``json.dumps``-serialised metric streams are compared as strings, so
+even a float's last bit flipping fails the suite.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.batching.executor import MultiProcessingJob
+from repro.cluster.cluster import cluster_by_name
+from repro.experiments.base import ExperimentConfig
+from repro.experiments.common import sweep_batches
+from repro.experiments.runner import run_all, run_experiment
+from repro.graph.datasets import load_dataset
+from repro.perf import numa
+from repro.perf.cache import clear_cache, configure_cache, get_cache
+from repro.tasks.base import make_task
+
+SCALE = 4000
+JOBS = int(os.environ.get("REPRO_TEST_JOBS", "2"))
+IDS = ["fig2", "fig8"]
+CONFIG = dict(scale=SCALE, quick=True)
+
+
+@pytest.fixture(autouse=True)
+def _isolated_perf_state():
+    """Fresh cache and NUMA state per test; restore the cache config."""
+    cache = get_cache()
+    directory, capacity = cache.directory, cache.capacity
+    configure_cache(capacity=256)
+    clear_cache()
+    numa.reset_numa_state()
+    yield
+    cache.directory, cache.capacity = directory, capacity
+    clear_cache()
+    numa.reset_numa_state()
+
+
+def _markdown(results):
+    return "\n".join(result.to_markdown() for result in results)
+
+
+def _run(jobs, only=IDS):
+    clear_cache()
+    config = ExperimentConfig(jobs=jobs, **CONFIG)
+    return _markdown(run_all(config, only=only, jobs=jobs))
+
+
+def two_node_topology():
+    cpus = tuple(sorted(os.sched_getaffinity(0)))
+    return numa.NumaTopology(
+        nodes=(numa.NumaNode(0, cpus), numa.NumaNode(1, cpus)),
+        source="test",
+    )
+
+
+class TestJobsInvariance:
+    def test_serial_vs_pool(self):
+        assert _run(jobs=1) == _run(jobs=JOBS)
+
+
+class TestCacheInvariance:
+    def test_cold_vs_warm_memory_cache(self):
+        config = ExperimentConfig(jobs=1, **CONFIG)
+        clear_cache()
+        cold = run_experiment("fig8", config).to_markdown()
+        warm = run_experiment("fig8", config).to_markdown()
+        assert get_cache().stats.hits > 0
+        assert cold == warm
+
+    def test_cold_vs_warm_disk_cache(self, tmp_path):
+        configure_cache(directory=str(tmp_path))
+        config = ExperimentConfig(jobs=1, **CONFIG)
+        clear_cache()
+        cold = run_experiment("fig8", config).to_markdown()
+        clear_cache()  # drop memory so the disk store must serve
+        warm = run_experiment("fig8", config).to_markdown()
+        assert get_cache().stats.disk_hits > 0
+        assert cold == warm
+
+
+class TestShmInvariance:
+    def test_shared_graphs_on_vs_off(self, monkeypatch):
+        with_shm = _run(jobs=JOBS)
+        from repro.experiments import runner
+
+        monkeypatch.setattr(
+            runner, "_shared_graph_pool_args", lambda *a, **k: {}
+        )
+        without_shm = _run(jobs=JOBS)
+        assert with_shm == without_shm
+
+
+class TestNumaInvariance:
+    def test_auto_vs_off(self):
+        numa.configure_numa(
+            mode="auto", topology=two_node_topology(), replicate_threshold=1
+        )
+        pinned = _run(jobs=JOBS)
+        numa.configure_numa(mode="off")
+        unpinned = _run(jobs=JOBS)
+        assert pinned == unpinned
+
+    def test_replicate_vs_interleave(self):
+        numa.configure_numa(mode="replicate", topology=two_node_topology())
+        replicated = _run(jobs=JOBS)
+        numa.configure_numa(mode="interleave")
+        interleaved = _run(jobs=JOBS)
+        assert replicated == interleaved
+
+
+class TestRoundStreamInvariance:
+    """Per-round metric streams, not just rendered tables."""
+
+    def _streams(self, jobs):
+        clear_cache()
+        graph = load_dataset("dblp", scale=SCALE)
+        cluster = cluster_by_name("galaxy-8", scale=SCALE)
+        runs = sweep_batches(
+            "pregel+",
+            cluster,
+            lambda: make_task("mssp", graph, 64.0),
+            batch_counts=[1, 2, 4],
+            seed=7,
+            jobs=jobs,
+        )
+        return json.dumps(
+            [m.to_dict(include_rounds=True) for m in runs],
+            sort_keys=True,
+        )
+
+    def test_serial_vs_forked_round_streams(self):
+        assert self._streams(jobs=1) == self._streams(jobs=JOBS)
+
+    def test_repeat_runs_are_stable(self):
+        graph = load_dataset("dblp", scale=SCALE)
+        cluster = cluster_by_name("galaxy-8", scale=SCALE)
+        job = MultiProcessingJob("pregel+", cluster)
+        task = make_task("bppr", graph, 256.0)
+        first = job.run(task, num_batches=2, seed=11)
+        second = job.run(make_task("bppr", graph, 256.0),
+                         num_batches=2, seed=11)
+        assert json.dumps(
+            first.to_dict(include_rounds=True), sort_keys=True
+        ) == json.dumps(
+            second.to_dict(include_rounds=True), sort_keys=True
+        )

@@ -1,0 +1,303 @@
+"""Tests for NUMA discovery, placement and fallbacks (repro.perf.numa).
+
+The host running the suite is usually single-node, so multi-node
+behaviour is exercised through a fake sysfs tree and injected
+topologies; every degraded path (no sysfs, restrictive cpuset, denied
+``sched_setaffinity``) must announce itself exactly once with a
+NumaWarning and then proceed — silently broken placement is the one
+outcome the layer is not allowed to produce.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graph.generators import chung_lu
+from repro.perf import numa, shm
+from repro.perf.numa import (
+    NumaNode,
+    NumaTopology,
+    NumaWarning,
+    WorkerPlacement,
+)
+from repro.perf.parallel import parallel_map
+
+
+@pytest.fixture(autouse=True)
+def _fresh_numa_state():
+    numa.reset_numa_state()
+    yield
+    numa.reset_numa_state()
+
+
+def two_node_topology(cpus=(0,)):
+    """An injected two-node topology whose CPUs this process owns."""
+    return NumaTopology(
+        nodes=(NumaNode(0, tuple(cpus)), NumaNode(1, tuple(cpus))),
+        source="test",
+    )
+
+
+def write_fake_sysfs(root, layout):
+    """Create ``nodeK/cpulist`` files under ``root`` from a dict."""
+    for node_id, cpulist in layout.items():
+        node_dir = root / f"node{node_id}"
+        node_dir.mkdir(parents=True)
+        (node_dir / "cpulist").write_text(cpulist)
+    return str(root)
+
+
+class TestParseCpuList:
+    def test_ranges_and_singletons(self):
+        assert numa.parse_cpu_list("0-3,8,10-11") == (0, 1, 2, 3, 8, 10, 11)
+
+    def test_whitespace_and_duplicates(self):
+        assert numa.parse_cpu_list(" 2, 1-2,\n") == (1, 2)
+
+    def test_empty(self):
+        assert numa.parse_cpu_list("") == ()
+
+
+class TestDiscover:
+    def test_multi_node_fake_sysfs(self, tmp_path):
+        root = write_fake_sysfs(tmp_path, {0: "0-1", 1: "2-3"})
+        topo = numa.discover(
+            sysfs_root=root, affinity=frozenset(range(4))
+        )
+        assert topo.source == "sysfs"
+        assert topo.node_ids() == (0, 1)
+        assert topo.nodes[0].cpus == (0, 1)
+        assert topo.nodes[1].cpus == (2, 3)
+
+    def test_cpuset_restriction_drops_node_and_warns_once(self, tmp_path):
+        root = write_fake_sysfs(tmp_path, {0: "0-1", 1: "2-3"})
+        with pytest.warns(NumaWarning, match="cpuset"):
+            topo = numa.discover(
+                sysfs_root=root, affinity=frozenset({0, 1})
+            )
+        assert topo.node_ids() == (0,)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            again = numa.discover(
+                sysfs_root=root, affinity=frozenset({0, 1})
+            )
+        assert again.node_ids() == (0,)
+
+    def test_cpuset_emptying_every_node_falls_back(self, tmp_path):
+        root = write_fake_sysfs(tmp_path, {0: "0-1", 1: "2-3"})
+        with pytest.warns(NumaWarning, match="single node"):
+            topo = numa.discover(
+                sysfs_root=root, affinity=frozenset({9})
+            )
+        assert topo.source == "affinity"
+        assert topo.num_nodes == 1
+        assert topo.nodes[0].cpus == (9,)
+
+    def test_missing_sysfs_warns_and_degrades(self, tmp_path):
+        with pytest.warns(NumaWarning, match="unavailable"):
+            topo = numa.discover(
+                sysfs_root=str(tmp_path / "nope"),
+                affinity=frozenset({0, 1}),
+            )
+        assert topo.source == "affinity"
+        assert topo.num_nodes == 1
+
+    def test_real_discovery_never_raises(self):
+        topo = numa.discover()
+        assert topo.num_nodes >= 1
+        assert len(topo.cpus) >= 1
+
+
+class TestPlanning:
+    def test_round_robin_over_nodes(self, tmp_path):
+        root = write_fake_sysfs(tmp_path, {0: "0-1", 1: "2-3"})
+        topo = numa.discover(
+            sysfs_root=root, affinity=frozenset(range(4))
+        )
+        plan = numa.plan_placement(topo, 5)
+        assert [p.node_id for p in plan] == [0, 1, 0, 1, 0]
+        assert plan[1].cpus == (2, 3)
+        assert [p.slot for p in plan] == list(range(5))
+
+    def test_plan_for_off_mode_is_none(self):
+        numa.configure_numa(mode="off", topology=two_node_topology())
+        assert numa.plan_for(4) is None
+
+    def test_plan_for_serial_pool_is_none(self):
+        numa.configure_numa(topology=two_node_topology())
+        assert numa.plan_for(1) is None
+
+    def test_single_node_is_a_silent_noop(self, recwarn):
+        numa.configure_numa(
+            topology=NumaTopology(nodes=(NumaNode(0, (0,)),), source="x")
+        )
+        assert numa.plan_for(4) is None
+        assert not [
+            w for w in recwarn if issubclass(w.category, NumaWarning)
+        ]
+
+    def test_multi_node_plan(self):
+        numa.configure_numa(topology=two_node_topology())
+        plan = numa.plan_for(4)
+        assert plan is not None
+        assert [p.node_id for p in plan] == [0, 1, 0, 1]
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ConfigurationError, match="--numa"):
+            numa.configure_numa(mode="sideways")
+
+
+class TestApplyPlacement:
+    def test_successful_pin_records_worker(self):
+        allowed = sorted(os.sched_getaffinity(0))
+        placement = WorkerPlacement(slot=0, node_id=3, cpus=tuple(allowed))
+        try:
+            assert numa.apply_placement(placement) is True
+            assert numa.current_worker_node() == 3
+            record = numa.worker_placement()
+            assert record is not None and record["pinned"] is True
+            assert record["pid"] == os.getpid()
+        finally:
+            os.sched_setaffinity(0, set(allowed))
+
+    def test_permission_error_warns_once_and_proceeds(self, monkeypatch):
+        def deny(pid, cpus):
+            raise PermissionError("nope")
+
+        monkeypatch.setattr(os, "sched_setaffinity", deny)
+        placement = WorkerPlacement(slot=0, node_id=1, cpus=(0,))
+        with pytest.warns(NumaWarning, match="denied"):
+            assert numa.apply_placement(placement) is False
+        record = numa.worker_placement()
+        assert record is not None
+        assert record["node"] == 1 and record["pinned"] is False
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert numa.apply_placement(placement) is False
+
+    def test_missing_setaffinity_warns_and_proceeds(self, monkeypatch):
+        monkeypatch.delattr(os, "sched_setaffinity")
+        placement = WorkerPlacement(slot=0, node_id=0, cpus=(0,))
+        with pytest.warns(NumaWarning, match="unavailable"):
+            assert numa.apply_placement(placement) is False
+
+    def test_impossible_cpus_warn_and_proceed(self):
+        placement = WorkerPlacement(slot=0, node_id=0, cpus=(4096,))
+        with pytest.warns(NumaWarning, match="unpinned"):
+            assert numa.apply_placement(placement) is False
+
+
+class TestSegmentPlacement:
+    def test_off_or_single_node_is_single(self):
+        numa.configure_numa(mode="off")
+        assert numa.segment_placement(10**9, 2) == "single"
+        numa.configure_numa(mode="auto")
+        assert numa.segment_placement(10**9, 1) == "single"
+
+    def test_auto_splits_on_threshold(self):
+        numa.configure_numa(mode="auto", replicate_threshold=1000)
+        assert numa.segment_placement(999, 2) == "interleave"
+        assert numa.segment_placement(1000, 2) == "replicate"
+
+    def test_forced_modes(self):
+        numa.configure_numa(mode="replicate")
+        assert numa.segment_placement(1, 2) == "replicate"
+        numa.configure_numa(mode="interleave")
+        assert numa.segment_placement(10**9, 2) == "interleave"
+
+    def test_replication_nodes_follow_topology(self):
+        numa.configure_numa(topology=two_node_topology())
+        assert numa.replication_nodes() == (0, 1)
+        numa.configure_numa(mode="off")
+        assert numa.replication_nodes() == ()
+
+
+def _square(x):
+    return x * x
+
+
+class TestPoolIntegration:
+    def test_workers_pin_and_report(self):
+        numa.configure_numa(topology=two_node_topology())
+        results = parallel_map(_square, [(i,) for i in range(6)], jobs=2)
+        assert results == [i * i for i in range(6)]
+        stats = numa.numa_stats()
+        assert stats["workers"], "workers never reported their placement"
+        nodes_seen = {w["node"] for w in stats["workers"].values()}
+        assert nodes_seen <= {0, 1}
+        assert stats["workers_pinned"] + stats["workers_unpinned"] == len(
+            stats["workers"]
+        )
+        assert stats["workers_pinned"] == len(stats["workers"])
+
+    def test_off_mode_reports_no_workers(self):
+        numa.configure_numa(mode="off", topology=two_node_topology())
+        results = parallel_map(_square, [(i,) for i in range(4)], jobs=2)
+        assert results == [0, 1, 4, 9]
+        assert numa.numa_stats()["workers"] == {}
+
+
+class TestShmReplicas:
+    @pytest.fixture
+    def registry(self):
+        reg = shm.SharedGraphRegistry()
+        yield reg
+        reg.shutdown()
+
+    def _export(self, reg, graph):
+        handle = reg.export(
+            ("dataset", "numa-test", 1, None),
+            graph,
+            nodes=numa.replication_nodes(),
+        )
+        if handle is None:
+            pytest.skip("shared memory unavailable on this platform")
+        return handle
+
+    def test_replicated_export_and_node_local_attach(self, registry):
+        numa.configure_numa(
+            topology=two_node_topology(), replicate_threshold=1
+        )
+        graph = chung_lu(300, avg_degree=5.0, seed=3, name="numa-shm")
+        handle = self._export(registry, graph)
+        assert handle.placement == "replicate"
+        assert {node for node, _ in handle.replicas} == {0, 1}
+
+        numa.apply_placement(WorkerPlacement(slot=0, node_id=1, cpus=(0,)))
+        attached = registry.attach(handle)
+        np.testing.assert_array_equal(attached.indptr, graph.indptr)
+        np.testing.assert_array_equal(attached.indices, graph.indices)
+        counters = registry.counters
+        assert counters["replica_segments"] == 2
+        assert counters["replicas_populated"] == 1
+        assert counters["node_local_attaches"] == 1
+
+    def test_small_graph_interleaves(self, registry):
+        numa.configure_numa(topology=two_node_topology())
+        graph = chung_lu(50, avg_degree=3.0, seed=5, name="numa-small")
+        handle = self._export(registry, graph)
+        assert handle.placement == "interleave"
+        assert handle.replicas == ()
+        assert registry.counters["interleaved_graphs"] == 1
+
+    def test_off_mode_exports_plain_segment(self, registry):
+        numa.configure_numa(mode="off", topology=two_node_topology())
+        graph = chung_lu(50, avg_degree=3.0, seed=5, name="numa-off")
+        handle = self._export(registry, graph)
+        assert handle.placement == "single"
+        assert handle.replicas == ()
+
+    def test_unplaced_worker_attaches_primary(self, registry):
+        numa.configure_numa(
+            topology=two_node_topology(), replicate_threshold=1
+        )
+        graph = chung_lu(200, avg_degree=4.0, seed=9, name="numa-unplaced")
+        handle = self._export(registry, graph)
+        attached = registry.attach(handle)
+        np.testing.assert_array_equal(attached.indices, graph.indices)
+        assert registry.counters["node_local_attaches"] == 0

@@ -1,0 +1,141 @@
+"""Property test: batch splitting never changes source-driven results.
+
+The batching executor's whole premise (paper Section 3) is that batch
+count trades memory for rounds without touching *what* is computed.
+For the source-partitioned tasks (MSSP, BKHS) that invariance is exact
+at the byte level: every source's output row depends only on the graph
+and that source, min-reductions are order-independent, and the kernels
+draw randomness only through ``choose_sources``. So running the same
+source set as one batch or as ``x`` batches must merge to identical
+bytes, for every split.
+
+BPPR is deliberately excluded: its expected-mass kernel propagates
+float mass from *all* of a batch's sources through shared accumulators,
+so splitting changes float summation order — the executor still keeps
+its results deterministic per batch count, which is what
+``tests/perf/test_determinism.py`` checks instead.
+
+The RNG's ``choice`` is stubbed to hand each kernel an explicit source
+chunk, turning "random sources" into a Hypothesis-controlled partition.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.generators import chung_lu, erdos_renyi
+from repro.graph.mirrors import build_mirror_plan
+from repro.graph.partition import hash_partition
+from repro.messages.routing import BroadcastRouter, PointToPointRouter
+from repro.rng import make_rng
+from repro.tasks.bkhs import BKHSKernel
+from repro.tasks.mssp import MSSPKernel
+
+KERNELS = {"mssp": MSSPKernel, "bkhs": BKHSKernel}
+
+
+class _ChunkRng:
+    """Wrap a real Generator but serve ``choice`` from a preset chunk."""
+
+    def __init__(self, chunk, seed):
+        self._chunk = np.asarray(chunk, dtype=np.int64)
+        self._rng = make_rng(seed)
+
+    def choice(self, n, size, replace=False):
+        assert size == self._chunk.size
+        return self._chunk.copy()
+
+    def __getattr__(self, name):
+        return getattr(self._rng, name)
+
+
+def _build_graph(kind, n, seed):
+    if kind == "chung_lu":
+        return chung_lu(n, avg_degree=4.0, seed=seed)
+    return erdos_renyi(n, avg_degree=4.0, seed=seed)
+
+
+def _build_router(kind, graph):
+    partition = hash_partition(graph, 3)
+    plan = build_mirror_plan(graph, partition)
+    if kind == "point":
+        return PointToPointRouter(graph, plan, message_bytes=8.0)
+    return BroadcastRouter(graph, plan, message_bytes=8.0)
+
+
+def _run_chunk(kernel_cls, graph, router_kind, chunk, seed):
+    """Run one batch over an explicit source chunk; return per-source
+    output arrays (MSSP distance rows / BKHS reachability masks)."""
+    router = _build_router(router_kind, graph)
+    kernel = kernel_cls(
+        graph, router, _ChunkRng(chunk, seed), sample_limit=None
+    )
+    kernel.start_batch(float(len(chunk)))
+    for _ in range(10_000):
+        if kernel.step().done:
+            break
+    if hasattr(kernel, "reachable_sets"):
+        return kernel.reachable_sets()
+    return kernel.result
+
+
+@st.composite
+def split_cases(draw):
+    graph_kind = draw(st.sampled_from(["chung_lu", "erdos_renyi"]))
+    n = draw(st.integers(min_value=12, max_value=60))
+    graph_seed = draw(st.integers(min_value=0, max_value=2**16))
+    task = draw(st.sampled_from(sorted(KERNELS)))
+    router_kind = draw(st.sampled_from(["point", "broadcast"]))
+    num_sources = draw(st.integers(min_value=2, max_value=min(n, 10)))
+    sources = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=n - 1),
+            min_size=num_sources,
+            max_size=num_sources,
+            unique=True,
+        )
+    )
+    batches = draw(st.integers(min_value=2, max_value=num_sources))
+    return graph_kind, n, graph_seed, task, router_kind, sources, batches
+
+
+@settings(max_examples=20, deadline=None)
+@given(split_cases())
+def test_batch_split_is_byte_invariant(case):
+    graph_kind, n, graph_seed, task, router_kind, sources, batches = case
+    graph = _build_graph(graph_kind, n, graph_seed)
+    kernel_cls = KERNELS[task]
+
+    whole = _run_chunk(kernel_cls, graph, router_kind, sources, seed=7)
+
+    merged = {}
+    for chunk in np.array_split(np.asarray(sources, dtype=np.int64), batches):
+        if chunk.size == 0:
+            continue
+        part = _run_chunk(kernel_cls, graph, router_kind, chunk, seed=7)
+        merged.update(part)
+
+    assert sorted(merged) == sorted(whole)
+    for source, row in whole.items():
+        np.testing.assert_array_equal(merged[source], row)
+        assert merged[source].tobytes() == row.tobytes()
+
+
+@pytest.mark.parametrize("task", sorted(KERNELS))
+def test_every_split_of_a_fixed_case(task):
+    """Exhaustive splits of one fixed case (fast, no Hypothesis)."""
+    graph = chung_lu(40, avg_degree=4.0, seed=23)
+    sources = [0, 3, 11, 17, 24, 31]
+    whole = _run_chunk(KERNELS[task], graph, "point", sources, seed=7)
+    for batches in range(1, len(sources) + 1):
+        merged = {}
+        for chunk in np.array_split(
+            np.asarray(sources, dtype=np.int64), batches
+        ):
+            merged.update(
+                _run_chunk(KERNELS[task], graph, "point", chunk, seed=7)
+            )
+        assert sorted(merged) == sorted(whole)
+        for source, row in whole.items():
+            assert merged[source].tobytes() == row.tobytes()
