@@ -14,6 +14,14 @@ Subcommands
     Train the Section 5 auto-tuner and run a workload.
 ``report``
     Run every experiment and write EXPERIMENTS.md.
+``serve``
+    Run the online scheduling service on a seeded arrival stream.
+
+Shared flags (``--scale``, ``--seed``, ``--jobs``, ``--cache-dir``,
+``--max-retries``, ``--numa``, the setting flags, and the fault knobs)
+are declared once on common *parent parsers* and inherited by every
+subcommand that needs them, so a new subcommand can never drift out of
+sync with the rest of the CLI.
 """
 
 from __future__ import annotations
@@ -46,6 +54,7 @@ def _job_count(text: str) -> int:
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
+    """Declare the runtime knobs shared by every executing subcommand."""
     parser.add_argument(
         "--scale",
         type=int,
@@ -91,6 +100,7 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
 
 
 def _add_setting(parser: argparse.ArgumentParser) -> None:
+    """Declare the dataset/task/engine/cluster setting flags."""
     parser.add_argument("--dataset", default="dblp", help="paper dataset name")
     parser.add_argument(
         "--task",
@@ -107,6 +117,27 @@ def _add_setting(parser: argparse.ArgumentParser) -> None:
         type=int,
         default=None,
         help="override the preset's machine count",
+    )
+
+
+def _add_faults(parser: argparse.ArgumentParser) -> None:
+    """Declare the fault-injection knobs shared by ``run`` and ``serve``."""
+    parser.add_argument(
+        "--faults",
+        type=float,
+        default=0.0,
+        metavar="RATE",
+        help="inject a seeded fault plan: per-round crash probability "
+        "(stragglers/message loss at half the rate, disk-full at a "
+        "quarter)",
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        metavar="K",
+        help="write a checkpoint every K rounds (Pregel model); crash "
+        "replay is then bounded by K rounds (0 = no checkpoints)",
     )
 
 
@@ -324,8 +355,83 @@ def cmd_report(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """``vcrepro serve``: online scheduling on a seeded arrival stream.
+
+    Builds a :class:`~repro.sched.service.SchedulerService` (training
+    the per-kind memory models first), generates the seeded Poisson
+    stream, runs the queue until it drains, prints the latency/
+    throughput table, and records the full metrics under ``"sched"`` in
+    ``BENCH_perf.json`` (merging with an existing file so ``report``
+    benchmarks and serve runs share one trajectory).
+    """
+    import json
+
+    from repro.engines.registry import create_engine
+    from repro.faults.plan import mixed_fault_plan
+    from repro.sched.arrivals import generate_arrivals
+    from repro.sched.service import SchedulerService
+
+    _apply_runtime_knobs(args)
+    cluster = cluster_by_name(args.cluster, scale=args.scale)
+    if args.machines:
+        cluster = cluster.with_machines(args.machines)
+    graph = load_dataset(args.dataset, scale=args.scale)
+    engine = create_engine(args.engine, cluster)
+    kinds = tuple(k.strip() for k in args.kinds.split(",") if k.strip())
+    plan = None
+    if args.faults:
+        plan = mixed_fault_plan(args.seed, cluster.num_machines, args.faults)
+    service = SchedulerService(
+        engine,
+        graph,
+        kinds=kinds,
+        seed=args.seed,
+        overload_fraction=args.overload_fraction,
+        reference_workload=args.workload,
+        task_params={
+            "mssp": {"sample_limit": args.sample_limit},
+            "bkhs": {"sample_limit": args.sample_limit},
+        },
+        fault_plan=plan,
+        checkpoint_every=args.checkpoint_every or None,
+    )
+    requests = generate_arrivals(
+        args.arrivals, args.duration, seed=args.seed, kinds=kinds
+    )
+    metrics = service.run(
+        requests, arrival_rate=args.arrivals, duration_rounds=args.duration
+    )
+    if args.json:
+        print(json.dumps(metrics.to_dict(include_latencies=True), indent=2))
+    else:
+        print(metrics.summary())
+        print(metrics.latency_table())
+    bench_path = Path(args.bench_output)
+    payload = {}
+    if bench_path.exists():
+        try:
+            with open(bench_path, encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except (OSError, ValueError):
+            payload = {}
+    payload["sched"] = metrics.to_dict()
+    with open(bench_path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    if not args.json:
+        print(f"wrote {bench_path} (sched section)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
-    """Construct the argparse tree for all subcommands."""
+    """Construct the argparse tree for all subcommands.
+
+    Shared flag groups live on parent parsers (``add_help=False``) so
+    each subcommand inherits them via ``parents=[...]`` instead of
+    re-declaring them — a new subcommand gets the full runtime-knob
+    surface for free.
+    """
     parser = argparse.ArgumentParser(
         prog="vcrepro",
         description=(
@@ -333,32 +439,24 @@ def build_parser() -> argparse.ArgumentParser:
             "reproduction toolkit (EDBT 2023)"
         ),
     )
+    common = argparse.ArgumentParser(add_help=False)
+    _add_common(common)
+    setting = argparse.ArgumentParser(add_help=False)
+    _add_setting(setting)
+    faults = argparse.ArgumentParser(add_help=False)
+    _add_faults(faults)
+
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_list = sub.add_parser("list", help="list datasets/engines/experiments")
     p_list.set_defaults(fn=cmd_list)
 
-    p_run = sub.add_parser("run", help="run one multi-processing job")
-    _add_common(p_run)
-    _add_setting(p_run)
+    p_run = sub.add_parser(
+        "run",
+        help="run one multi-processing job",
+        parents=[common, setting, faults],
+    )
     p_run.add_argument("--batches", type=int, default=1)
-    p_run.add_argument(
-        "--faults",
-        type=float,
-        default=0.0,
-        metavar="RATE",
-        help="inject a seeded fault plan: per-round crash probability "
-        "(stragglers/message loss at half the rate, disk-full at a "
-        "quarter)",
-    )
-    p_run.add_argument(
-        "--checkpoint-every",
-        type=int,
-        default=0,
-        metavar="K",
-        help="write a checkpoint every K rounds (Pregel model); crash "
-        "replay is then bounded by K rounds (0 = no checkpoints)",
-    )
     p_run.add_argument(
         "--on-overload",
         choices=["report", "raise"],
@@ -376,24 +474,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_run.set_defaults(fn=cmd_run)
 
-    p_sweep = sub.add_parser("sweep", help="sweep batch counts")
-    _add_common(p_sweep)
-    _add_setting(p_sweep)
+    p_sweep = sub.add_parser(
+        "sweep", help="sweep batch counts", parents=[common, setting]
+    )
     p_sweep.set_defaults(fn=cmd_sweep)
 
-    p_exp = sub.add_parser("experiment", help="regenerate a paper figure/table")
-    _add_common(p_exp)
+    p_exp = sub.add_parser(
+        "experiment",
+        help="regenerate a paper figure/table",
+        parents=[common],
+    )
     p_exp.add_argument("id", choices=list(EXPERIMENTS) + ["all"])
     p_exp.add_argument("--quick", action="store_true", help="smaller sweeps")
     p_exp.set_defaults(fn=cmd_experiment)
 
-    p_tune = sub.add_parser("tune", help="run the Section 5 auto-tuner")
-    _add_common(p_tune)
-    _add_setting(p_tune)
+    p_tune = sub.add_parser(
+        "tune",
+        help="run the Section 5 auto-tuner",
+        parents=[common, setting],
+    )
     p_tune.set_defaults(fn=cmd_tune)
 
-    p_rep = sub.add_parser("report", help="write EXPERIMENTS.md")
-    _add_common(p_rep)
+    p_rep = sub.add_parser(
+        "report", help="write EXPERIMENTS.md", parents=[common]
+    )
     p_rep.add_argument("--output", default="EXPERIMENTS.md")
     p_rep.add_argument("--quick", action="store_true")
     p_rep.add_argument(
@@ -404,6 +508,59 @@ def build_parser() -> argparse.ArgumentParser:
         "contains the full breakdown",
     )
     p_rep.set_defaults(fn=cmd_report)
+
+    p_srv = sub.add_parser(
+        "serve",
+        help="run the online scheduling service (repro.sched)",
+        parents=[common, setting, faults],
+    )
+    p_srv.add_argument(
+        "--arrivals",
+        type=float,
+        required=True,
+        metavar="RATE",
+        help="mean requests per simulated second (Poisson)",
+    )
+    p_srv.add_argument(
+        "--duration",
+        type=int,
+        default=60,
+        metavar="ROUNDS",
+        help="arrival-stream length in ticks (default 60); the service "
+        "then drains the queue before shutting down",
+    )
+    p_srv.add_argument(
+        "--kinds",
+        default="bppr,mssp",
+        help="comma-separated task kinds on the stream (default "
+        "bppr,mssp); --workload sets the training reference workload",
+    )
+    p_srv.add_argument(
+        "--overload-fraction",
+        type=float,
+        default=0.8,
+        metavar="P",
+        help="fraction of machine memory admission control may use "
+        "(the paper's overloading parameter p, default 0.8)",
+    )
+    p_srv.add_argument(
+        "--sample-limit",
+        type=int,
+        default=48,
+        help="source sampling cap for MSSP/BKHS requests (default 48)",
+    )
+    p_srv.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full service metrics (with per-task latencies) "
+        "as JSON",
+    )
+    p_srv.add_argument(
+        "--bench-output",
+        default="BENCH_perf.json",
+        help="perf-trajectory file to record the sched section in",
+    )
+    p_srv.set_defaults(fn=cmd_serve)
 
     return parser
 

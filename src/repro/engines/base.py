@@ -172,6 +172,175 @@ class _PreparedGraph:
     max_arcs: float
 
 
+class EngineSession:
+    """A long-lived execution context for one (engine, task family) pair.
+
+    The session is the *pure batch-execution core* of the engine: graph
+    partitions, mirror plans, the message router, the scratch arena and
+    the RNG stream are prepared once and persist across every batch the
+    session runs, along with the accumulated residual memory, elapsed
+    simulated time, and the global round counter that fault plans index.
+
+    :meth:`SimulatedEngine.run_job` drives a session over a fixed
+    schedule (the legacy offline path); the online scheduler
+    (:mod:`repro.sched.service`) drives one batch at a time as unit
+    tasks arrive, flushing residual memory between job epochs with
+    :meth:`flush_residual`. Both paths execute the *same* code, so a
+    degenerate schedule (all tasks pre-queued) reproduces the offline
+    runner byte for byte.
+    """
+
+    def __init__(
+        self,
+        engine: "SimulatedEngine",
+        task: TaskSpec,
+        seed: SeedLike = None,
+        *,
+        fault_plan: Optional[FaultPlan] = None,
+        checkpoint_every: Optional[int] = None,
+        initial_residual_bytes: float = 0.0,
+        cutoff_seconds: Optional[float] = OVERLOAD_CUTOFF_SECONDS,
+    ) -> None:
+        if checkpoint_every is not None:
+            checkpoint_every = int(checkpoint_every)
+            if checkpoint_every <= 0:
+                raise ConfigurationError(
+                    "checkpoint_every must be a positive round count"
+                )
+        if initial_residual_bytes < 0:
+            raise ConfigurationError(
+                "initial_residual_bytes must be non-negative"
+            )
+        self.engine = engine
+        self.task = task
+        self.prep = engine._prepare(task)
+        self.cost_model = engine._make_cost_model()
+        self.rng = make_rng(seed, label=f"{engine.name}/{task.name}")
+        # One scratch arena per session: every batch's kernel draws its
+        # per-round buffers from the same pool, so the steady state of
+        # the superstep loop allocates nothing.
+        self.arena = ScratchArena()
+        self.fault_plan = fault_plan
+        self.checkpoint_every = checkpoint_every
+        #: ``None`` disables the offline 6000 s job cutoff — the online
+        #: scheduler runs indefinitely, so an absolute elapsed-time stamp
+        #: would mislabel every batch past the horizon.
+        self.cutoff_seconds = cutoff_seconds
+        self.residual_bytes = float(initial_residual_bytes)
+        self.elapsed = 0.0
+        self.global_round = 0
+        self.batches_run = 0
+
+    def flush_residual(self) -> float:
+        """Release the accumulated residual memory (results emitted to
+        the caller) and return the bytes freed.
+
+        The offline path never flushes — residual accumulates until the
+        job's final aggregation, reproducing Section 4.5. The online
+        scheduler flushes between job epochs when admission control
+        reports the residual has eaten the memory budget (backpressure).
+        """
+        released = self.residual_bytes
+        self.residual_bytes = 0.0
+        return released
+
+    def run_batch(self, batch_workload: float) -> BatchMetrics:
+        """Execute one batch of ``batch_workload`` unit tasks.
+
+        Returns the batch's metrics; session state (residual memory,
+        elapsed time, round counter, RNG stream) advances so the next
+        batch continues exactly where a fixed-schedule job would.
+        """
+        if batch_workload <= 0:
+            raise BatchingError("batch workload must be positive")
+        batch = BatchMetrics(
+            batch_index=self.batches_run,
+            workload=float(batch_workload),
+            residual_memory_bytes=self.residual_bytes,
+        )
+        engine = self.engine
+        kernel = self.task.make_kernel(
+            self.prep.router, float(batch_workload), self.rng, arena=self.arena
+        )
+        batch.startup_seconds = engine.profile.per_batch_overhead_seconds
+        self.elapsed += batch.startup_seconds
+        overloaded = False
+        # Rollback window: seconds of the rounds executed since the
+        # last checkpoint — what a crash forces the engine to replay.
+        since_checkpoint: List[float] = []
+        last_checkpoint_cost: Optional[float] = None
+        disk_full_pending = 0.0
+        for round_index in range(MAX_ROUNDS_PER_BATCH):
+            tick = time.perf_counter()
+            summary = kernel.step()
+            tock = time.perf_counter()
+            timings.add("kernel", tock - tick)
+            load, splits = engine._round_load(
+                self.task, self.prep, summary, self.residual_bytes, kernel
+            )
+            cost = self.cost_model.round_cost(load)
+            timings.add("cost-model", time.perf_counter() - tock)
+            if splits > 1:
+                cost = _repeat_cost(cost, splits)
+            metrics = engine._round_metrics(round_index, load, cost, splits)
+            batch.rounds.append(metrics)
+            self.elapsed += metrics.seconds
+            if cost.overloaded:
+                overloaded = True
+                batch.overload_reason = "memory"
+                break
+            since_checkpoint.append(metrics.seconds)
+            if self.fault_plan is not None:
+                extra, disk_full = engine._apply_faults(
+                    self.fault_plan.events_at(self.global_round),
+                    batch,
+                    metrics,
+                    since_checkpoint,
+                    last_checkpoint_cost,
+                )
+                self.elapsed += extra
+                disk_full_pending = max(disk_full_pending, disk_full)
+            self.global_round += 1
+            if (
+                self.checkpoint_every
+                and not summary.done
+                and len(since_checkpoint) >= self.checkpoint_every
+            ):
+                ckpt_seconds = engine._checkpoint_seconds(
+                    metrics.peak_memory_bytes
+                )
+                if disk_full_pending:
+                    # A disk-full event between checkpoints: the
+                    # write fails once and is retried after space
+                    # reclamation.
+                    ckpt_seconds *= 1.0 + disk_full_pending
+                    disk_full_pending = 0.0
+                batch.checkpoints_written += 1
+                batch.checkpoint_seconds += ckpt_seconds
+                self.elapsed += ckpt_seconds
+                last_checkpoint_cost = ckpt_seconds
+                since_checkpoint = []
+            if (
+                self.cutoff_seconds is not None
+                and self.elapsed > self.cutoff_seconds
+            ):
+                overloaded = True
+                batch.overload_reason = "timeout"
+                break
+            if summary.done:
+                break
+        else:
+            raise EngineError(
+                f"batch exceeded {MAX_ROUNDS_PER_BATCH} rounds; "
+                "kernel did not terminate"
+            )
+        batch.overloaded = overloaded
+        self.residual_bytes += kernel.residual_bytes()
+        batch.residual_memory_after_bytes = self.residual_bytes
+        self.batches_run += 1
+        return batch
+
+
 class SimulatedEngine:
     """A VC-system mode bound to a cluster, ready to run jobs."""
 
@@ -308,6 +477,34 @@ class SimulatedEngine:
             )
         return job
 
+    def open_session(
+        self,
+        task: TaskSpec,
+        seed: SeedLike = None,
+        *,
+        fault_plan: Optional[FaultPlan] = None,
+        checkpoint_every: Optional[int] = None,
+        initial_residual_bytes: float = 0.0,
+        cutoff_seconds: Optional[float] = OVERLOAD_CUTOFF_SECONDS,
+    ) -> EngineSession:
+        """Open a reusable :class:`EngineSession` for ``task``.
+
+        The session pins the prepared graph (partition, mirror plan,
+        router), the RNG stream, and a shared scratch arena, then runs
+        batches one at a time — the building block the online scheduler
+        drives. ``cutoff_seconds=None`` disables the offline job
+        cutoff for long-lived services.
+        """
+        return EngineSession(
+            self,
+            task,
+            seed,
+            fault_plan=fault_plan,
+            checkpoint_every=checkpoint_every,
+            initial_residual_bytes=initial_residual_bytes,
+            cutoff_seconds=cutoff_seconds,
+        )
+
     def _run_job_uncached(
         self,
         task: TaskSpec,
@@ -317,14 +514,18 @@ class SimulatedEngine:
         checkpoint_every: Optional[int] = None,
         initial_residual_bytes: float = 0.0,
     ) -> JobMetrics:
-        prep = self._prepare(task)
-        cost_model = self._make_cost_model()
-        rng = make_rng(seed, label=f"{self.name}/{task.name}")
-        # One scratch arena per job: every batch's kernel draws its
-        # per-round buffers from the same pool, so the steady state of
-        # the superstep loop allocates nothing.
-        arena = ScratchArena()
+        """Drive a fresh session over the fixed ``sizes`` schedule.
 
+        This is the degenerate schedule of the online scheduler: every
+        batch pre-planned, executed back to back on one session.
+        """
+        session = self.open_session(
+            task,
+            seed,
+            fault_plan=fault_plan,
+            checkpoint_every=checkpoint_every,
+            initial_residual_bytes=initial_residual_bytes,
+        )
         job = JobMetrics(
             engine=self.name,
             task=task.name,
@@ -334,97 +535,17 @@ class SimulatedEngine:
             total_workload=task.workload,
             batch_sizes=sizes,
         )
-        residual_bytes = float(initial_residual_bytes)
-        elapsed = 0.0
-        global_round = 0
-        for index, batch_workload in enumerate(sizes):
-            batch = BatchMetrics(
-                batch_index=index,
-                workload=batch_workload,
-                residual_memory_bytes=residual_bytes,
-            )
-            kernel = task.make_kernel(
-                prep.router, batch_workload, rng, arena=arena
-            )
-            batch.startup_seconds = self.profile.per_batch_overhead_seconds
-            elapsed += batch.startup_seconds
-            overloaded = False
-            # Rollback window: seconds of the rounds executed since the
-            # last checkpoint — what a crash forces the engine to replay.
-            since_checkpoint: List[float] = []
-            last_checkpoint_cost: Optional[float] = None
-            disk_full_pending = 0.0
-            for round_index in range(MAX_ROUNDS_PER_BATCH):
-                tick = time.perf_counter()
-                summary = kernel.step()
-                tock = time.perf_counter()
-                timings.add("kernel", tock - tick)
-                load, splits = self._round_load(
-                    task, prep, summary, residual_bytes, kernel
-                )
-                cost = cost_model.round_cost(load)
-                timings.add("cost-model", time.perf_counter() - tock)
-                if splits > 1:
-                    cost = _repeat_cost(cost, splits)
-                metrics = self._round_metrics(round_index, load, cost, splits)
-                batch.rounds.append(metrics)
-                elapsed += metrics.seconds
-                if cost.overloaded:
-                    overloaded = True
-                    batch.overload_reason = "memory"
-                    break
-                since_checkpoint.append(metrics.seconds)
-                if fault_plan is not None:
-                    extra, disk_full = self._apply_faults(
-                        fault_plan.events_at(global_round),
-                        batch,
-                        metrics,
-                        since_checkpoint,
-                        last_checkpoint_cost,
-                    )
-                    elapsed += extra
-                    disk_full_pending = max(disk_full_pending, disk_full)
-                global_round += 1
-                if (
-                    checkpoint_every
-                    and not summary.done
-                    and len(since_checkpoint) >= checkpoint_every
-                ):
-                    ckpt_seconds = self._checkpoint_seconds(
-                        metrics.peak_memory_bytes
-                    )
-                    if disk_full_pending:
-                        # A disk-full event between checkpoints: the
-                        # write fails once and is retried after space
-                        # reclamation.
-                        ckpt_seconds *= 1.0 + disk_full_pending
-                        disk_full_pending = 0.0
-                    batch.checkpoints_written += 1
-                    batch.checkpoint_seconds += ckpt_seconds
-                    elapsed += ckpt_seconds
-                    last_checkpoint_cost = ckpt_seconds
-                    since_checkpoint = []
-                if elapsed > OVERLOAD_CUTOFF_SECONDS:
-                    overloaded = True
-                    batch.overload_reason = "timeout"
-                    break
-                if summary.done:
-                    break
-            else:
-                raise EngineError(
-                    f"batch exceeded {MAX_ROUNDS_PER_BATCH} rounds; "
-                    "kernel did not terminate"
-                )
-            batch.overloaded = overloaded
-            residual_bytes += kernel.residual_bytes()
-            batch.residual_memory_after_bytes = residual_bytes
+        for batch_workload in sizes:
+            batch = session.run_batch(batch_workload)
             job.batches.append(batch)
-            if overloaded:
+            if batch.overloaded:
                 break
 
-        job.aggregation_seconds = self._aggregation_seconds(task, residual_bytes)
-        job.extras.update(cost_model.overuse_totals())
-        job.extras["residual_memory_bytes"] = residual_bytes
+        job.aggregation_seconds = self._aggregation_seconds(
+            task, session.residual_bytes
+        )
+        job.extras.update(session.cost_model.overuse_totals())
+        job.extras["residual_memory_bytes"] = session.residual_bytes
         return job
 
     # ------------------------------------------------------------------

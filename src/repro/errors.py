@@ -120,5 +120,15 @@ class TuningError(ReproError):
     """The tuning framework failed to train or plan a schedule."""
 
 
+class SchedulingError(ReproError):
+    """The online scheduling service could not make progress.
+
+    Raised when admission control finds the memory budget below the
+    model's constant terms (no batch can ever fit, even after flushing
+    all residual memory) or the arrival stream is configured
+    inconsistently.
+    """
+
+
 class FitError(TuningError):
     """Levenberg-Marquardt failed to converge to a usable fit."""

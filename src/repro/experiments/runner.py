@@ -23,6 +23,7 @@ from repro.experiments import (
     table2,
     table3,
     table4,
+    throughput,
 )
 from repro.experiments.base import ExperimentConfig, ExperimentResult
 from repro.perf.parallel import parallel_map, resolve_jobs
@@ -45,6 +46,7 @@ EXPERIMENTS: Dict[str, Callable[[ExperimentConfig], ExperimentResult]] = {
     "fig12": fig12.run,
     "faults": faults.run,
     "ablations": ablations.run,
+    "throughput": throughput.run,
 }
 
 

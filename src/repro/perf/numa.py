@@ -63,6 +63,8 @@ __all__ = [
     "record_worker",
     "replication_nodes",
     "segment_placement",
+    "replicate_threshold",
+    "budgeted_worker_count",
     "numa_stats",
     "reset_numa_state",
 ]
@@ -80,6 +82,12 @@ MODES = ("auto", "off", "replicate", "interleave")
 #: would exceed the cross-node read traffic it saves.
 REPLICATE_THRESHOLD_BYTES = 4 << 20
 
+#: Conservative DRAM budget one pool worker is assumed to need (graph
+#: views, scratch arenas, serialized results). ``--jobs 0`` divides each
+#: node's ``meminfo`` MemTotal by this to cap that node's worker count
+#: so :func:`plan_for` never overcommits the node's DRAM.
+DEFAULT_WORKER_MEMORY_BYTES = 512 << 20
+
 _NODE_DIR = re.compile(r"^node(\d+)$")
 
 
@@ -89,10 +97,12 @@ class NumaWarning(RuntimeWarning):
 
 @dataclass(frozen=True)
 class NumaNode:
-    """One NUMA node: its id and the CPUs usable by this process."""
+    """One NUMA node: its id, the CPUs usable by this process, and the
+    node's DRAM size (``meminfo`` MemTotal; None when unknown)."""
 
     node_id: int
     cpus: Tuple[int, ...]
+    memory_bytes: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -157,6 +167,25 @@ def _process_affinity() -> FrozenSet[int]:
     return frozenset(range(os.cpu_count() or 1))
 
 
+def _read_meminfo_total(path: str) -> Optional[int]:
+    """MemTotal from a ``meminfo`` file, in bytes (None when unreadable).
+
+    Handles both shapes: the per-node sysfs form (``Node 0 MemTotal:
+    16314828 kB``) and ``/proc/meminfo`` (``MemTotal: 16314828 kB``).
+    """
+    try:
+        with open(path, encoding="ascii") as fh:
+            for line in fh:
+                parts = line.split()
+                if "MemTotal:" not in parts:
+                    continue
+                value = parts[parts.index("MemTotal:") + 1]
+                return int(value) * 1024
+    except (OSError, ValueError, IndexError):
+        return None
+    return None
+
+
 #: Degradations already announced this process (warn once per cause).
 _WARNED: set = set()
 
@@ -184,7 +213,14 @@ def discover(
     root = sysfs_root if sysfs_root is not None else SYSFS_NODE_ROOT
     allowed = affinity if affinity is not None else _process_affinity()
     single = NumaTopology(
-        nodes=(NumaNode(0, tuple(sorted(allowed))),), source="affinity"
+        nodes=(
+            NumaNode(
+                0,
+                tuple(sorted(allowed)),
+                memory_bytes=_read_meminfo_total("/proc/meminfo"),
+            ),
+        ),
+        source="affinity",
     )
 
     try:
@@ -214,7 +250,10 @@ def discover(
             continue
         usable = tuple(cpu for cpu in cpus if cpu in allowed)
         if usable:
-            nodes.append(NumaNode(node_id, usable))
+            memory = _read_meminfo_total(
+                os.path.join(root, entry, "meminfo")
+            )
+            nodes.append(NumaNode(node_id, usable, memory_bytes=memory))
         elif cpus:
             dropped.append(node_id)
 
@@ -244,7 +283,12 @@ _CONFIG: Dict[str, object] = {
     "mode": "auto",
     "topology": None,  # override (tests/benchmarks); None -> discover()
     "replicate_threshold": REPLICATE_THRESHOLD_BYTES,
+    "worker_memory_bytes": DEFAULT_WORKER_MEMORY_BYTES,
 }
+
+#: Parent-side roster of the last memory-budgeted worker computation
+#: (node id -> cpus/memory/workers), surfaced via :func:`numa_stats`.
+_BUDGET: Dict[str, Dict[str, object]] = {}
 
 #: Cached discovery result (cleared by configure_numa/reset).
 _DISCOVERED: Optional[NumaTopology] = None
@@ -261,11 +305,14 @@ def configure_numa(
     mode: Optional[str] = None,
     topology=_UNSET,
     replicate_threshold: Optional[int] = None,
+    worker_memory_bytes: Optional[int] = None,
 ) -> str:
     """Set the process-wide NUMA policy; returns the active mode.
 
     ``topology`` overrides discovery (pass ``None`` to return to real
     discovery) — the seam the fake-sysfs tests and benchmarks use.
+    ``worker_memory_bytes`` tunes the per-worker DRAM estimate the
+    ``--jobs 0`` budget divides each node's memory by.
     """
     global _DISCOVERED
     if mode is not None:
@@ -285,6 +332,11 @@ def configure_numa(
         _DISCOVERED = None
     if replicate_threshold is not None:
         _CONFIG["replicate_threshold"] = int(replicate_threshold)
+    if worker_memory_bytes is not None:
+        worker_memory_bytes = int(worker_memory_bytes)
+        if worker_memory_bytes <= 0:
+            raise ConfigurationError("worker_memory_bytes must be > 0")
+        _CONFIG["worker_memory_bytes"] = worker_memory_bytes
     return str(_CONFIG["mode"])
 
 
@@ -427,6 +479,46 @@ def segment_placement(nbytes: int, num_nodes: int) -> str:
     return "replicate" if nbytes >= threshold else "interleave"
 
 
+def replicate_threshold() -> int:
+    """The active replicate-vs-interleave size threshold, in bytes."""
+    return int(_CONFIG["replicate_threshold"])  # type: ignore[arg-type]
+
+
+# ----------------------------------------------------------------------
+# Memory-budgeted worker counts (--jobs 0)
+# ----------------------------------------------------------------------
+def budgeted_worker_count() -> int:
+    """The worker count ``--jobs 0`` should use on this machine.
+
+    Combines each node's usable CPU count with its ``meminfo`` MemTotal:
+    a node contributes ``min(len(cpus), memory_bytes //
+    worker_memory_bytes)`` workers, so :func:`plan_for`'s round-robin
+    never places more workers on a node than its DRAM can back. Nodes
+    with unknown memory (no ``meminfo``) are capped by CPUs alone, and
+    ``--numa off`` restores the plain CPU count — both keep today's
+    behaviour on machines without the sysfs files. Always returns at
+    least 1; the per-node arithmetic is recorded for the
+    :func:`numa_stats` roster.
+    """
+    fallback = max(os.cpu_count() or 1, 1)
+    _BUDGET.clear()
+    if numa_mode() == "off":
+        return fallback
+    budget = int(_CONFIG["worker_memory_bytes"])  # type: ignore[arg-type]
+    total = 0
+    for node in active_topology().nodes:
+        workers = len(node.cpus)
+        if node.memory_bytes is not None:
+            workers = min(workers, int(node.memory_bytes // budget))
+        _BUDGET[str(node.node_id)] = {
+            "cpus": len(node.cpus),
+            "memory_bytes": node.memory_bytes,
+            "workers": workers,
+        }
+        total += workers
+    return max(total, 1)
+
+
 # ----------------------------------------------------------------------
 # Reporting
 # ----------------------------------------------------------------------
@@ -456,6 +548,9 @@ def numa_stats() -> Dict[str, object]:
         "per_node_workers": per_node,
         "workers_pinned": pinned,
         "workers_unpinned": len(_WORKERS) - pinned,
+        "worker_budget": {
+            node: dict(record) for node, record in _BUDGET.items()
+        },
     }
 
 
@@ -466,8 +561,10 @@ def reset_numa_state() -> None:
         mode="auto",
         topology=None,
         replicate_threshold=REPLICATE_THRESHOLD_BYTES,
+        worker_memory_bytes=DEFAULT_WORKER_MEMORY_BYTES,
     )
     _DISCOVERED = None
     _WARNED.clear()
     _WORKERS.clear()
+    _BUDGET.clear()
     _WORKER.update(node=None, pinned=False, slot=None)

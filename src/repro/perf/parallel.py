@@ -43,7 +43,6 @@ budget with :func:`configure_retries` (CLI ``--max-retries``).
 
 from __future__ import annotations
 
-import os
 import time
 import warnings
 from typing import Any, Callable, Dict, List, Optional, Sequence
@@ -88,14 +87,22 @@ def configure_retries(
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:
-    """Normalise a ``--jobs`` value: None/1 -> serial, 0 -> cpu count."""
+    """Normalise a ``--jobs`` value: None/1 -> serial, 0 -> auto.
+
+    ``0`` asks :func:`repro.perf.numa.budgeted_worker_count` for the
+    machine's capacity: per-node CPU counts capped by per-node DRAM
+    (``meminfo``), so the auto worker count never overcommits a node's
+    memory. Explicit positive counts are taken verbatim.
+    """
     if jobs is None:
         return 1
     jobs = int(jobs)
     if jobs < 0:
         raise ValueError("jobs must be >= 0")
     if jobs == 0:
-        return max(os.cpu_count() or 1, 1)
+        from repro.perf import numa
+
+        return numa.budgeted_worker_count()
     return jobs
 
 

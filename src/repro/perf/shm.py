@@ -34,6 +34,15 @@ of the segment — concurrent populators write identical bytes, so the
 race is benign. Small graphs keep the single (OS-default, effectively
 interleaved) segment. ``--numa replicate``/``interleave`` force either
 policy; ``--numa off`` and single-node machines skip all of it.
+
+Huge-page backing: segments at or above the replicate threshold are
+``madvise(MADV_HUGEPAGE)``\\ d right after creation (before the CSR
+copy faults their pages in), so the kernel can back the graph arrays
+with transparent huge pages and cut TLB pressure on the scatter
+kernels' random reads. Platforms without the advice (or kernels that
+refuse it) warn once and stay on base pages — the
+``huge_page_segments``/``huge_page_bytes`` counters in
+:func:`shm_stats` record what actually got advised.
 """
 
 from __future__ import annotations
@@ -41,6 +50,7 @@ from __future__ import annotations
 import atexit
 import dataclasses
 import os
+import warnings
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
@@ -65,6 +75,49 @@ _FLOAT = np.dtype(np.float64)
 #: Replica segments carry a ready flag (int64: 0 = empty, 1 = populated
 #: first-touch by a node-local worker) ahead of the CSR arrays.
 _REPLICA_HEADER_BYTES = 8
+
+#: Huge-page degradations already announced (warn once per cause).
+_WARNED: set = set()
+
+
+def _warn_once(key: str, message: str) -> None:
+    if key in _WARNED:
+        return
+    _WARNED.add(key)
+    warnings.warn(message, RuntimeWarning, stacklevel=4)
+
+
+def _advise_huge_pages(segment) -> bool:
+    """Best-effort ``madvise(MADV_HUGEPAGE)`` on a segment's mapping.
+
+    Returns True when the advice took. A platform without the constant
+    (macOS) or without a reachable ``mmap`` handle, and a kernel that
+    rejects the call (THP disabled), each warn once and leave the
+    segment on base pages — never an error, the bytes are identical
+    either way.
+    """
+    import mmap
+
+    advice = getattr(mmap, "MADV_HUGEPAGE", None)
+    buf = getattr(segment, "_mmap", None)
+    if advice is None or buf is None:
+        _warn_once(
+            "hugepage-unsupported",
+            "transparent huge pages unavailable on this platform "
+            "(no mmap.MADV_HUGEPAGE / no mapping handle); shared graph "
+            "segments stay on base pages",
+        )
+        return False
+    try:
+        buf.madvise(advice)
+    except (OSError, ValueError) as exc:
+        _warn_once(
+            "hugepage-refused",
+            f"madvise(MADV_HUGEPAGE) refused by the kernel ({exc}); "
+            "shared graph segments stay on base pages",
+        )
+        return False
+    return True
 
 
 @dataclass(frozen=True)
@@ -121,6 +174,9 @@ class SharedGraphRegistry:
     ``replicas_populated`` first-touch population events, and
     ``node_local_attaches`` worker mappings that landed on the
     worker's own node's replica.
+    ``huge_page_segments``/``huge_page_bytes`` count the segments
+    (primary and replica) whose mappings accepted
+    ``madvise(MADV_HUGEPAGE)``.
     """
 
     def __init__(self) -> None:
@@ -142,7 +198,24 @@ class SharedGraphRegistry:
             "interleaved_graphs": 0,
             "replicas_populated": 0,
             "node_local_attaches": 0,
+            "huge_page_segments": 0,
+            "huge_page_bytes": 0,
         }
+
+    def _request_huge_pages(self, segment, nbytes: int) -> None:
+        """Advise huge pages for a large segment and count successes.
+
+        Only segments at or above the replicate threshold qualify —
+        the same "large enough to matter" bar the replication policy
+        uses; smaller segments would fragment THP for no TLB win.
+        """
+        from repro.perf import numa
+
+        if nbytes < numa.replicate_threshold():
+            return
+        if _advise_huge_pages(segment):
+            self.counters["huge_page_segments"] += 1
+            self.counters["huge_page_bytes"] += nbytes
 
     # ------------------------------------------------------------------
     # Parent side
@@ -191,6 +264,7 @@ class SharedGraphRegistry:
             )
         except OSError:
             return None
+        self._request_huge_pages(segment, handle.nbytes)
         views = _segment_views(segment, handle)
         views[0][:] = graph.indptr
         views[1][:] = graph.indices
@@ -207,6 +281,7 @@ class SharedGraphRegistry:
                     )
                 except OSError:
                     continue  # best-effort: node falls back to primary
+                self._request_huge_pages(replica, handle.nbytes)
                 self._replica_segments.append(replica)
                 replicas.append((int(node_id), replica.name))
                 self.counters["replica_segments"] += 1

@@ -1,0 +1,129 @@
+"""Shared-budget admission control over per-kind memory models.
+
+The offline planner (Equation 5) sizes batches for *one* task family.
+The service runs several families concurrently on one cluster, so the
+budget ``p·M`` is shared: the residual memory of every family's
+completed work counts against the headroom of the next batch,
+whichever kind it is::
+
+    Σ_k Mr_k(done_k) + M*_j(W_next) ≤ p · M      for the next kind j
+
+Each kind keeps its own :class:`~repro.tuning.planner.IncrementalPlanner`
+(the incremental Equation-5 state); the controller stitches them
+together by charging every *other* kind's projected residual against a
+planner's budget before asking it for the admissible workload. With a
+single kind this collapses exactly to the offline
+:func:`~repro.tuning.planner.plan_batches` iteration — the degenerate
+schedule.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from repro.cluster.machine import MachineSpec
+from repro.errors import SchedulingError
+from repro.tuning.memory_model import MemoryCostModel
+from repro.tuning.planner import DEFAULT_OVERLOAD_FRACTION, IncrementalPlanner
+
+
+class AdmissionController:
+    """Admission control for the scheduling service.
+
+    Parameters
+    ----------
+    models:
+        fitted ``(M*, Mr)`` pair per task kind, in the same scaled byte
+        units as ``machine.memory_bytes``.
+    machine:
+        target machine spec; the shared budget is
+        ``overload_fraction * machine.memory_bytes``.
+    overload_fraction:
+        the paper's overloading parameter ``p``.
+    """
+
+    def __init__(
+        self,
+        models: Mapping[str, MemoryCostModel],
+        machine: MachineSpec,
+        overload_fraction: float = DEFAULT_OVERLOAD_FRACTION,
+    ) -> None:
+        if not models:
+            raise SchedulingError("at least one kind's memory model required")
+        if not 0 < overload_fraction <= 1:
+            raise SchedulingError("overload_fraction must be in (0, 1]")
+        self.machine = machine
+        self.overload_fraction = float(overload_fraction)
+        #: the shared planning budget ``p·M`` in scaled bytes.
+        self.budget = self.overload_fraction * machine.memory_bytes
+        #: per-kind incremental Equation-5 state.
+        self.planners: Dict[str, IncrementalPlanner] = {
+            kind: IncrementalPlanner(
+                model, machine, overload_fraction, integral=True
+            )
+            for kind, model in models.items()
+        }
+
+    def _check_kind(self, kind: str) -> IncrementalPlanner:
+        """Fetch the planner for ``kind`` with its budget reduced by the
+        projected residual of every *other* kind's admitted work.
+
+        Kinds that have admitted nothing contribute zero (their
+        constant residual term only materialises once they run), so a
+        single-kind stream sees exactly the offline planner's budget.
+        """
+        if kind not in self.planners:
+            known = ", ".join(sorted(self.planners))
+            raise SchedulingError(f"unknown task kind {kind!r}; known: {known}")
+        planner = self.planners[kind]
+        others = sum(
+            p.residual_bytes()
+            for k, p in self.planners.items()
+            if k != kind and p.done > 0
+        )
+        planner.budget = self.budget - others
+        return planner
+
+    def residual_bytes(self) -> float:
+        """Projected residual memory of all admitted work (all kinds)."""
+        return sum(
+            p.residual_bytes() for p in self.planners.values() if p.done > 0
+        )
+
+    def admissible_units(self, kind: str) -> float:
+        """Largest admissible next batch for ``kind`` (integral units)."""
+        return self._check_kind(kind).admissible_workload()
+
+    def admits(self, kind: str, units: float) -> bool:
+        """Whether a ``units``-sized batch of ``kind`` fits right now."""
+        return 0 < units <= self.admissible_units(kind)
+
+    def admit(self, kind: str, units: float) -> None:
+        """Charge an admitted batch against the shared budget."""
+        self._check_kind(kind).admit(units)
+
+    def release_all(self) -> float:
+        """Credit every kind's residual back (a full backpressure flush).
+
+        Returns the projected residual bytes that were released.
+        """
+        released = self.residual_bytes()
+        for planner in self.planners.values():
+            planner.release()
+        return released
+
+    def projected_bytes(self, kind: str, units: float) -> float:
+        """Projected ``Σ Mr + M*`` if a ``units`` batch of ``kind`` ran now.
+
+        The admission invariant the property tests check: for every
+        admitted batch this value never exceeds the shared budget.
+        """
+        planner = self._check_kind(kind)
+        others = sum(
+            p.residual_bytes()
+            for k, p in self.planners.items()
+            if k != kind and p.done > 0
+        )
+        return (
+            others + planner.residual_bytes() + float(planner.model.peak(units))
+        )

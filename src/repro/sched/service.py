@@ -1,0 +1,378 @@
+"""The queue-driven scheduler loop (``vcrepro serve``).
+
+The service owns one persistent :class:`~repro.engines.base.EngineSession`
+per task kind (graph load, partitions, mirror plans and the scratch
+arena survive across batches) and an
+:class:`~repro.sched.admission.AdmissionController` over the fitted
+memory models. The loop is event-driven on a simulated clock:
+
+1. requests whose arrival time has passed join the FIFO queue;
+2. the queue head's kind defines the next batch; admission control
+   sizes it (largest admissible batch first — the paper's front-loaded
+   insight falls out automatically, because residual memory accumulates
+   and the admissible size shrinks);
+3. the batch executes on the kind's session and the clock advances by
+   its simulated seconds;
+4. when admission cannot fit even one unit, the accumulated residual
+   memory is flushed to the callers (backpressure) and the budget
+   resets;
+5. a batch that overloads anyway (model error) is aborted and its
+   units retried under a re-split cap, reusing the
+   :class:`~repro.faults.recovery.OverloadRecovery` policy.
+
+A degenerate schedule — every unit pre-queued at time zero, a single
+kind, a single planner pass — reproduces the legacy offline runner
+byte-identically (see :func:`run_degenerate` and the determinism
+suite).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.engines.base import EngineSession, SimulatedEngine
+from repro.errors import RecoveryError, SchedulingError
+from repro.faults.recovery import OverloadRecovery
+from repro.graph.csr import Graph
+from repro.rng import SeedLike
+from repro.sched.admission import AdmissionController
+from repro.sched.arrivals import DEFAULT_KINDS, TaskRequest
+from repro.sim.metrics import JobMetrics, ServiceMetrics, TaskLatency
+from repro.tasks.base import make_task
+from repro.tuning.memory_model import MemoryCostModel
+from repro.tuning.planner import DEFAULT_OVERLOAD_FRACTION, plan_batches
+from repro.tuning.trainer import TaskFactory, train_memory_models
+
+#: Default training reference workload for the per-kind memory models —
+#: large enough for the probe ladder, small enough to train quickly.
+DEFAULT_REFERENCE_WORKLOAD = 512.0
+
+
+@dataclass
+class _Pending:
+    """A queued request and how many of its units remain unscheduled."""
+
+    request: TaskRequest
+    remaining: float
+    #: clock time the batch containing the request's first unit started.
+    started_seconds: Optional[float] = None
+
+
+class SchedulerService:
+    """Long-lived, admission-controlled scheduler over one engine.
+
+    Parameters
+    ----------
+    engine:
+        the simulated engine (bound to a cluster) that executes batches.
+    graph:
+        the dataset every request queries.
+    kinds:
+        task kinds the service accepts; a memory model is trained and a
+        persistent session opened for each.
+    seed:
+        master seed for session RNG streams (same label derivation as
+        the offline runner, so degenerate schedules match it exactly).
+    overload_fraction:
+        the paper's ``p``: fraction of machine memory admission may use.
+    recovery:
+        abort/re-split policy for batches that overload despite
+        admission (memory-model error).
+    reference_workload:
+        training workload handed to the Section-5 probe ladder.
+    record_rounds:
+        include the per-round trace of every batch in the batch log
+        (the determinism suite compares these streams byte for byte).
+    """
+
+    def __init__(
+        self,
+        engine: SimulatedEngine,
+        graph: Graph,
+        kinds: Sequence[str] = DEFAULT_KINDS,
+        *,
+        seed: SeedLike = None,
+        overload_fraction: float = DEFAULT_OVERLOAD_FRACTION,
+        recovery: Optional[OverloadRecovery] = None,
+        reference_workload: float = DEFAULT_REFERENCE_WORKLOAD,
+        record_rounds: bool = False,
+        task_params: Optional[Mapping[str, Mapping[str, object]]] = None,
+        fault_plan=None,
+        checkpoint_every: Optional[int] = None,
+    ) -> None:
+        if not kinds:
+            raise SchedulingError("at least one task kind is required")
+        #: optional fault plan injected into every kind's session
+        #: (rounds counted per session, as in the offline runner).
+        self.fault_plan = fault_plan
+        #: optional Pregel-style checkpoint cadence for the sessions.
+        self.checkpoint_every = checkpoint_every
+        self.engine = engine
+        self.graph = graph
+        self.kinds = tuple(kinds)
+        self.seed = seed
+        self.overload_fraction = float(overload_fraction)
+        self.recovery = recovery or OverloadRecovery()
+        self.reference_workload = float(reference_workload)
+        self.record_rounds = record_rounds
+        #: per-kind task keyword params (e.g. MSSP/BKHS sampling caps).
+        self.task_params: Dict[str, Dict[str, object]] = {
+            kind: dict(params)
+            for kind, params in (task_params or {}).items()
+        }
+        models: Dict[str, MemoryCostModel] = {
+            kind: train_memory_models(
+                engine,
+                self._task_factory(kind),
+                self.reference_workload,
+                seed=seed,
+            )
+            for kind in self.kinds
+        }
+        self.admission = AdmissionController(
+            models, engine.cluster.scaled_machine, self.overload_fraction
+        )
+        #: persistent per-kind sessions (opened lazily on first batch).
+        self.sessions: Dict[str, EngineSession] = {}
+        #: executed batches as ``(kind, BatchMetrics)`` — raw objects for
+        #: the byte-identity tests; :class:`ServiceMetrics` carries the
+        #: JSON-friendly summaries.
+        self.executed_batches: List[Tuple[str, object]] = []
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _task_factory(self, kind: str) -> TaskFactory:
+        """Workload → TaskSpec factory for ``kind`` on the service graph."""
+        params = self.task_params.get(kind, {})
+        return lambda workload: make_task(
+            kind, self.graph, workload, **params
+        )
+
+    def _session(self, kind: str) -> EngineSession:
+        """The kind's persistent session, opened on first use.
+
+        Sessions run with the job cutoff disabled: the service clock is
+        unbounded, and overload is handled by abort/re-split instead of
+        the offline 6000 s stamp.
+        """
+        if kind not in self.sessions:
+            task = self._task_factory(kind)(self.reference_workload)
+            self.sessions[kind] = self.engine.open_session(
+                task,
+                self.seed,
+                fault_plan=self.fault_plan,
+                checkpoint_every=self.checkpoint_every,
+                cutoff_seconds=None,
+            )
+        return self.sessions[kind]
+
+    def _flush(self, metrics: ServiceMetrics) -> float:
+        """Backpressure: ship all residual results to their callers.
+
+        Every session's residual memory is released and priced like the
+        offline runner's final aggregation (the results cross the same
+        network paths); the admission budget resets. Returns the
+        simulated seconds the flush cost.
+        """
+        cost = 0.0
+        for session in self.sessions.values():
+            freed = session.flush_residual()
+            if freed > 0:
+                cost += self.engine._aggregation_seconds(session.task, freed)
+        self.admission.release_all()
+        metrics.flushes += 1
+        metrics.flush_seconds += cost
+        return cost
+
+    # ------------------------------------------------------------------
+    # The scheduler loop
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        requests: Sequence[TaskRequest],
+        *,
+        arrival_rate: float = 0.0,
+        duration_rounds: int = 0,
+    ) -> ServiceMetrics:
+        """Drive the service over ``requests`` until the queue drains.
+
+        ``arrival_rate`` / ``duration_rounds`` are metadata stamped on
+        the returned :class:`ServiceMetrics` (the stream itself is
+        whatever ``requests`` holds — pre-queueing everything at time
+        zero gives the degenerate offline schedule).
+        """
+        metrics = ServiceMetrics(
+            engine=self.engine.name,
+            cluster=self.engine.cluster.name,
+            arrival_rate=float(arrival_rate),
+            duration_rounds=int(duration_rounds),
+            seed=self.seed if isinstance(self.seed, int) else None,
+        )
+        arrivals: Deque[TaskRequest] = deque(
+            sorted(requests, key=lambda r: (r.arrival_seconds, r.task_id))
+        )
+        queue: Deque[_Pending] = deque()
+        clock = 0.0
+        failures = 0
+        resplit_cap: Optional[float] = None
+
+        while arrivals or queue:
+            while arrivals and arrivals[0].arrival_seconds <= clock:
+                request = arrivals.popleft()
+                queue.append(_Pending(request, remaining=request.units))
+            if not queue:
+                # Idle: jump the clock to the next arrival.
+                clock = max(clock, arrivals[0].arrival_seconds)
+                continue
+
+            kind = queue[0].request.kind
+            admissible = self.admission.admissible_units(kind)
+            if admissible < 1.0:
+                # Backpressure: residual memory ate the budget. Flush
+                # results, reset the planners, try again.
+                clock += self._flush(metrics)
+                admissible = self.admission.admissible_units(kind)
+                if admissible < 1.0:
+                    raise SchedulingError(
+                        f"memory budget below the {kind} model's constant "
+                        "terms; no admissible batch even after flushing "
+                        "all residual memory"
+                    )
+            if resplit_cap is not None:
+                admissible = min(admissible, resplit_cap)
+
+            # Form the largest admissible FIFO batch of this kind.
+            # Requests are divisible into unit tasks, so the head may be
+            # partially scheduled; a request finishes when the batch
+            # holding its last unit completes.
+            batch_units = 0.0
+            parts: List[Tuple[_Pending, float]] = []
+            for pending in queue:
+                if pending.request.kind != kind:
+                    break
+                take = min(pending.remaining, admissible - batch_units)
+                take = float(int(take))
+                if take < 1.0:
+                    break
+                parts.append((pending, take))
+                batch_units += take
+                if batch_units >= admissible:
+                    break
+            batch_units = float(int(batch_units))
+            projected = self.admission.projected_bytes(kind, batch_units)
+
+            session = self._session(kind)
+            residual_before = session.residual_bytes
+            start_clock = clock
+            batch = session.run_batch(batch_units)
+
+            if batch.overloaded:
+                # The memory model under-predicted: abort the batch
+                # (partial results discarded, units stay queued) and
+                # retry under a re-split cap.
+                failures += 1
+                batch.aborted = True
+                batch.abort_seconds = self.recovery.abort_overhead_seconds
+                session.residual_bytes = residual_before
+                clock += batch.seconds
+                metrics.resplits += 1
+                resplit_cap = max(
+                    1.0, float(int(batch_units / self.recovery.split_factor))
+                )
+                if failures > self.recovery.max_retries:
+                    raise RecoveryError(
+                        f"{kind} batch of {batch_units:g} units kept "
+                        f"overloading after {failures} attempts",
+                        history=[dict(b) for b in metrics.batch_log],
+                    )
+            else:
+                self.admission.admit(kind, batch_units)
+                clock += batch.seconds
+                failures = 0
+                resplit_cap = None
+                for pending, take in parts:
+                    if pending.started_seconds is None:
+                        pending.started_seconds = start_clock
+                    pending.remaining -= take
+                    if pending.remaining <= 0:
+                        metrics.latencies.append(
+                            TaskLatency(
+                                task_id=pending.request.task_id,
+                                kind=kind,
+                                units=pending.request.units,
+                                arrival_seconds=(
+                                    pending.request.arrival_seconds
+                                ),
+                                start_seconds=pending.started_seconds,
+                                finish_seconds=clock,
+                            )
+                        )
+                while queue and queue[0].remaining <= 0:
+                    queue.popleft()
+
+            entry = {
+                "index": len(metrics.batch_log),
+                "kind": kind,
+                "workload": batch.workload,
+                "admissible_units": admissible,
+                "projected_bytes": projected,
+                "budget_bytes": self.admission.budget,
+                "start_seconds": start_clock,
+                "finish_seconds": clock,
+                "seconds": batch.seconds,
+                "rounds": batch.num_rounds,
+                "peak_memory_bytes": batch.peak_memory_bytes,
+                "residual_before_bytes": residual_before,
+                "residual_after_bytes": session.residual_bytes,
+                "overloaded": batch.overloaded,
+                "aborted": batch.aborted,
+            }
+            if self.record_rounds:
+                entry["round_trace"] = [
+                    {
+                        "round": r.round_index,
+                        "seconds": r.seconds,
+                        "network_messages": r.network_messages,
+                        "local_messages": r.local_messages,
+                        "peak_memory_bytes": r.peak_memory_bytes,
+                    }
+                    for r in batch.rounds
+                ]
+            metrics.batch_log.append(entry)
+            self.executed_batches.append((kind, batch))
+
+        metrics.elapsed_seconds = clock
+        return metrics
+
+
+def run_degenerate(
+    engine: SimulatedEngine,
+    task_factory: TaskFactory,
+    workload: float,
+    *,
+    seed: SeedLike = None,
+    overload_fraction: float = DEFAULT_OVERLOAD_FRACTION,
+    model: Optional[MemoryCostModel] = None,
+) -> Tuple[List[float], JobMetrics]:
+    """The legacy offline runner expressed as a degenerate schedule.
+
+    All units are pre-queued, the planner makes a single pass (the
+    offline Equation-5 iteration), and the schedule executes on one
+    engine session — exactly the code path
+    :meth:`SimulatedEngine.run_job` drives, so the returned metrics are
+    byte-identical to today's runner. Returns ``(schedule, job)``.
+    """
+    fitted = model or train_memory_models(
+        engine, task_factory, workload, seed=seed
+    )
+    schedule = plan_batches(
+        fitted,
+        workload,
+        engine.cluster.scaled_machine,
+        overload_fraction=overload_fraction,
+    )
+    job = engine.run_job(task_factory(workload), schedule, seed=seed)
+    return schedule, job

@@ -511,3 +511,215 @@ def unpack_job(arrays: Dict[str, np.ndarray]) -> JobMetrics:
 
 #: Serializer persisting whole engine runs in the shared artifact cache.
 JOB_SERIALIZER = ArraySerializer(pack=pack_job, unpack=unpack_job)
+
+
+# ----------------------------------------------------------------------
+# Online-scheduling accounting (repro.sched)
+# ----------------------------------------------------------------------
+def percentile(values: List[float], q: float) -> float:
+    """Deterministic ``q``-th percentile (linear interpolation).
+
+    Pure-python so the value is bit-stable across numpy versions —
+    latency tables feed the differential determinism suite, which
+    compares them byte for byte.
+    """
+    if not values:
+        return 0.0
+    if not 0 <= q <= 100:
+        raise ValueError("percentile must be in [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    frac = rank - low
+    return float(ordered[low] * (1.0 - frac) + ordered[high] * frac)
+
+
+@dataclass
+class TaskLatency:
+    """Latency record for one unit-task request in the online scheduler.
+
+    All times are on the service's simulated clock. Queueing delay runs
+    from arrival until the batch containing the request's *first* unit
+    starts; execution runs from that start until the batch containing
+    its *last* unit finishes (a request may span several batches when
+    admission control splits it).
+    """
+
+    task_id: int
+    kind: str
+    units: float
+    arrival_seconds: float
+    start_seconds: float
+    finish_seconds: float
+
+    @property
+    def queue_seconds(self) -> float:
+        """Time spent waiting in the arrival queue."""
+        return self.start_seconds - self.arrival_seconds
+
+    @property
+    def execution_seconds(self) -> float:
+        """Time from first batch start to last batch finish."""
+        return self.finish_seconds - self.start_seconds
+
+    @property
+    def latency_seconds(self) -> float:
+        """End-to-end sojourn time (queueing + execution)."""
+        return self.finish_seconds - self.arrival_seconds
+
+
+@dataclass
+class ServiceMetrics:
+    """Accounting for one online scheduling service run.
+
+    Collects the per-request latency records, the executed batch log
+    (with admission headroom at formation time), and the backpressure /
+    re-split counters the throughput experiment and ``vcrepro serve``
+    report.
+    """
+
+    engine: str
+    cluster: str
+    arrival_rate: float = 0.0
+    duration_rounds: int = 0
+    seed: Optional[int] = None
+    #: completed requests, in completion order.
+    latencies: List[TaskLatency] = field(default_factory=list)
+    #: one summary dict per executed batch (kind, workload, seconds,
+    #: rounds, admission headroom, residual before/after).
+    batch_log: List[Dict[str, Any]] = field(default_factory=list)
+    #: residual flushes forced by backpressure and their simulated cost.
+    flushes: int = 0
+    flush_seconds: float = 0.0
+    #: overloaded batches recovered by abort + re-split.
+    resplits: int = 0
+    #: simulated seconds from service start to last batch completion.
+    elapsed_seconds: float = 0.0
+    #: tasks still queued when the stream ended (drained before stop).
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def completed_tasks(self) -> int:
+        """Number of requests that ran to completion."""
+        return len(self.latencies)
+
+    @property
+    def completed_units(self) -> float:
+        """Total unit-task workload completed."""
+        return sum(t.units for t in self.latencies)
+
+    @property
+    def throughput_tasks_per_second(self) -> float:
+        """Completed requests per simulated second."""
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.completed_tasks / self.elapsed_seconds
+
+    @property
+    def throughput_units_per_second(self) -> float:
+        """Completed unit tasks per simulated second."""
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.completed_units / self.elapsed_seconds
+
+    def latency_percentiles(self) -> Dict[str, float]:
+        """p50/p95/p99 of end-to-end, queueing, and execution latency."""
+        total = [t.latency_seconds for t in self.latencies]
+        queue = [t.queue_seconds for t in self.latencies]
+        execution = [t.execution_seconds for t in self.latencies]
+        return {
+            "p50_seconds": percentile(total, 50),
+            "p95_seconds": percentile(total, 95),
+            "p99_seconds": percentile(total, 99),
+            "queue_p50_seconds": percentile(queue, 50),
+            "queue_p95_seconds": percentile(queue, 95),
+            "queue_p99_seconds": percentile(queue, 99),
+            "execution_p50_seconds": percentile(execution, 50),
+            "execution_p95_seconds": percentile(execution, 95),
+            "execution_p99_seconds": percentile(execution, 99),
+        }
+
+    def to_dict(self, include_latencies: bool = False) -> Dict[str, Any]:
+        """JSON-serialisable dump (stable key order for diffing).
+
+        Batch summaries and percentile aggregates are always included;
+        pass ``include_latencies=True`` for the full per-request table.
+        """
+        payload: Dict[str, Any] = {
+            "engine": self.engine,
+            "cluster": self.cluster,
+            "arrival_rate": self.arrival_rate,
+            "duration_rounds": self.duration_rounds,
+            "seed": self.seed,
+            "completed_tasks": self.completed_tasks,
+            "completed_units": self.completed_units,
+            "elapsed_seconds": self.elapsed_seconds,
+            "throughput_tasks_per_second": self.throughput_tasks_per_second,
+            "throughput_units_per_second": self.throughput_units_per_second,
+            "flushes": self.flushes,
+            "flush_seconds": self.flush_seconds,
+            "resplits": self.resplits,
+            "num_batches": len(self.batch_log),
+            "latency": self.latency_percentiles(),
+            "batches": [dict(b) for b in self.batch_log],
+            "extras": dict(self.extras),
+        }
+        if include_latencies:
+            payload["tasks"] = [
+                {
+                    "task_id": t.task_id,
+                    "kind": t.kind,
+                    "units": t.units,
+                    "arrival_seconds": t.arrival_seconds,
+                    "start_seconds": t.start_seconds,
+                    "finish_seconds": t.finish_seconds,
+                    "latency_seconds": t.latency_seconds,
+                }
+                for t in self.latencies
+            ]
+        return payload
+
+    def latency_table(self) -> str:
+        """Human-readable latency/throughput table for CLI output."""
+        pct = self.latency_percentiles()
+        lines = [
+            f"completed tasks   {self.completed_tasks}",
+            f"completed units   {format_count(self.completed_units)}",
+            f"elapsed           {format_seconds(self.elapsed_seconds)}",
+            (
+                "throughput        "
+                f"{self.throughput_tasks_per_second:.4g} tasks/s "
+                f"({self.throughput_units_per_second:.4g} units/s)"
+            ),
+            (
+                "latency p50/p95/p99   "
+                f"{format_seconds(pct['p50_seconds'])} / "
+                f"{format_seconds(pct['p95_seconds'])} / "
+                f"{format_seconds(pct['p99_seconds'])}"
+            ),
+            (
+                "queueing p50/p95/p99  "
+                f"{format_seconds(pct['queue_p50_seconds'])} / "
+                f"{format_seconds(pct['queue_p95_seconds'])} / "
+                f"{format_seconds(pct['queue_p99_seconds'])}"
+            ),
+            (
+                f"batches           {len(self.batch_log)} "
+                f"(flushes={self.flushes}, resplits={self.resplits})"
+            ),
+        ]
+        return "\n".join(lines)
+
+    def summary(self) -> str:
+        """One-line summary for logs."""
+        pct = self.latency_percentiles()
+        return (
+            f"{self.engine}@{self.cluster} rate={self.arrival_rate:g}: "
+            f"{self.completed_tasks} tasks in "
+            f"{format_seconds(self.elapsed_seconds)}, "
+            f"p50={format_seconds(pct['p50_seconds'])}, "
+            f"p99={format_seconds(pct['p99_seconds'])}"
+        )

@@ -37,6 +37,108 @@ DEFAULT_OVERLOAD_FRACTION = 0.8
 MIN_BATCH_FRACTION = 0.005
 
 
+class IncrementalPlanner:
+    """Incremental admit/release planning over a fitted memory model.
+
+    The offline :func:`plan_batches` computes a whole schedule in one
+    pass; the online scheduler instead needs Equation 5 *one step at a
+    time*: "given what has already been admitted (and whose residual
+    memory is still resident), how large may the next batch be?". The
+    planner tracks the cumulative admitted workload ``done`` and
+    answers that question with :meth:`admissible_workload`;
+    :meth:`admit` charges a batch against the budget and :meth:`release`
+    credits it back when residual memory is flushed (backpressure).
+
+    :func:`plan_batches` is reimplemented on top of this class, so the
+    offline schedule is exactly the fixed point of repeatedly admitting
+    the largest admissible batch — the degenerate, all-pre-queued case
+    of online scheduling.
+    """
+
+    def __init__(
+        self,
+        model: MemoryCostModel,
+        machine: MachineSpec,
+        overload_fraction: float = DEFAULT_OVERLOAD_FRACTION,
+        integral: bool = True,
+    ) -> None:
+        if not 0 < overload_fraction <= 1:
+            raise TuningError("overload_fraction must be in (0, 1]")
+        self.model = model
+        self.machine = machine
+        self.overload_fraction = float(overload_fraction)
+        self.integral = integral
+        #: ``p·M``: the planning budget in (scaled) bytes.
+        self.budget = self.overload_fraction * machine.memory_bytes
+        #: Cumulative admitted workload whose residual is still resident.
+        self.done = 0.0
+
+    def residual_bytes(self) -> float:
+        """Projected residual memory ``Mr(done)`` of the admitted work.
+
+        With nothing admitted this is the model's constant term — the
+        fitted floor of the residual curve, matching Equation 5's
+        first-batch case.
+        """
+        if self.done > 0:
+            return float(self.model.residual(self.done))
+        return float(self.model.residual.c)
+
+    def headroom(self) -> float:
+        """Memory left for the next batch's peak (Equation 5 numerator)."""
+        return self.budget - self.residual_bytes()
+
+    def admissible_workload(self) -> float:
+        """Largest workload whose projected peak fits in the headroom.
+
+        Inverts ``M*`` at the current headroom; with ``integral=True``
+        the result is truncated to a whole unit count (walks/sources).
+        """
+        allowed = self.model.peak.invert(max(self.headroom(), 0.0))
+        if self.integral:
+            allowed = float(int(allowed))
+        return allowed
+
+    def admits(self, workload: float) -> bool:
+        """Whether ``workload`` fits beside the current residual."""
+        return 0 < workload <= self.admissible_workload()
+
+    def admit(self, workload: float) -> float:
+        """Charge ``workload`` against the budget; returns new ``done``.
+
+        Raises :class:`TuningError` if the batch does not fit — callers
+        are expected to size batches with :meth:`admissible_workload`
+        first, so an oversized admit is a logic error, never a silent
+        budget overrun.
+        """
+        if workload <= 0:
+            raise TuningError("admitted workload must be positive")
+        if workload > self.admissible_workload():
+            raise TuningError(
+                f"batch of {workload:g} units exceeds the admissible "
+                f"{self.admissible_workload():g} under the "
+                f"{self.overload_fraction:g} memory budget"
+            )
+        self.done += float(workload)
+        return self.done
+
+    def release(self, workload: Optional[float] = None) -> float:
+        """Credit flushed residual back to the budget; returns ``done``.
+
+        ``release()`` with no argument models a full residual flush
+        (results shipped to the caller): the planner forgets all
+        admitted work. A partial ``workload`` subtracts just that much,
+        clamped at zero.
+        """
+        if workload is None:
+            self.done = 0.0
+        else:
+            if workload < 0:
+                raise TuningError("released workload must be non-negative")
+            self.done = max(self.done - float(workload), 0.0)
+        return self.done
+
+
 def plan_batches(
     model: MemoryCostModel,
     total_workload: float,
@@ -68,23 +170,16 @@ def plan_batches(
     """
     if total_workload <= 0:
         raise TuningError("total workload must be positive")
-    if not 0 < overload_fraction <= 1:
-        raise TuningError("overload_fraction must be in (0, 1]")
-    budget = overload_fraction * machine.memory_bytes
+    planner = IncrementalPlanner(
+        model, machine, overload_fraction, integral=integral
+    )
 
     schedule: List[float] = []
-    done = 0.0
     remaining = float(total_workload)
     for _ in range(max_batches):
-        # Equation 5: memory left for the next batch's peak.
-        headroom = (
-            budget - model.residual(done)
-            if done > 0
-            else budget - model.residual.c
-        )
-        allowed = model.peak.invert(max(headroom, 0.0))
-        if integral:
-            allowed = float(int(allowed))
+        # Equation 5: the largest batch whose peak fits beside the
+        # residual of everything already admitted.
+        allowed = planner.admissible_workload()
         if allowed < (1.0 if integral else MIN_BATCH_FRACTION * total_workload):
             if not schedule:
                 raise TuningError(
@@ -95,14 +190,14 @@ def plan_batches(
             # headroom for the rest: the *total* workload is infeasible
             # under Equation 1 no matter how it is batched.
             raise TuningError(
-                f"workload infeasible: after {done:g} units the projected "
-                f"residual memory leaves no headroom for the remaining "
-                f"{remaining:g}; reduce the workload, raise the overload "
-                "fraction, or add machines"
+                f"workload infeasible: after {planner.done:g} units the "
+                f"projected residual memory leaves no headroom for the "
+                f"remaining {remaining:g}; reduce the workload, raise the "
+                "overload fraction, or add machines"
             )
         batch = min(remaining, allowed)
         schedule.append(batch)
-        done += batch
+        planner.admit(batch)
         remaining -= batch
         if remaining <= (0.5 if integral else 1e-9):
             if remaining > 0:

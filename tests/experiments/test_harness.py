@@ -132,6 +132,7 @@ class TestRunner:
             "fig12",
             "faults",
             "ablations",
+            "throughput",
         }
 
     def test_unknown_experiment(self):

@@ -12,7 +12,11 @@ settings and asserts the outputs are byte-identical:
 * ``--numa auto`` (with an injected multi-node topology, so pinning
   and replicas actually engage even on a single-node host) vs
   ``--numa off``;
-* per-round metric streams across serial and forked sweeps.
+* per-round metric streams across serial and forked sweeps;
+* the online scheduler (``repro.sched``): the same seeded arrival
+  stream must yield byte-identical service metrics — per-batch round
+  traces included — under serial vs forked fan-out, cold vs warm
+  caches, and every ``--numa`` mode.
 
 "Byte-identical" is literal: rendered Markdown rows and
 ``json.dumps``-serialised metric streams are compared as strings, so
@@ -165,3 +169,62 @@ class TestRoundStreamInvariance:
         ) == json.dumps(
             second.to_dict(include_rounds=True), sort_keys=True
         )
+
+
+class TestSchedulerInvariance:
+    """The online scheduler under the same knobs: one seeded stream
+    must produce the same latency tables, batch logs, and per-round
+    traces no matter where or how often it runs."""
+
+    RATES = (0.4, 0.8)
+
+    def _one_stream(self, rate):
+        from repro.engines.registry import create_engine
+        from repro.sched.arrivals import generate_arrivals
+        from repro.sched.service import SchedulerService
+
+        graph = load_dataset("dblp", scale=SCALE)
+        cluster = cluster_by_name("galaxy-8", scale=SCALE)
+        service = SchedulerService(
+            create_engine("pregel+", cluster),
+            graph,
+            kinds=("bppr",),
+            seed=13,
+            record_rounds=True,
+        )
+        requests = generate_arrivals(
+            rate, 12, seed=13, kinds=("bppr",), units_range=(8, 48)
+        )
+        metrics = service.run(requests, arrival_rate=rate)
+        return json.dumps(
+            metrics.to_dict(include_latencies=True), sort_keys=True
+        )
+
+    def _streams(self, jobs):
+        from repro.perf.parallel import parallel_map_fork
+
+        clear_cache()
+        return parallel_map_fork(
+            lambda i: self._one_stream(self.RATES[i]),
+            len(self.RATES),
+            jobs=jobs,
+        )
+
+    def test_serial_vs_forked_scheduler_streams(self):
+        assert self._streams(jobs=1) == self._streams(jobs=JOBS)
+
+    def test_cold_vs_warm_training_cache(self):
+        clear_cache()
+        cold = self._one_stream(0.4)
+        warm = self._one_stream(0.4)  # training probes now cache-hit
+        assert get_cache().stats.hits > 0
+        assert cold == warm
+
+    @pytest.mark.parametrize("mode", ["auto", "replicate", "interleave"])
+    def test_every_numa_mode_matches_off(self, mode):
+        numa.configure_numa(mode="off")
+        baseline = self._streams(jobs=JOBS)
+        numa.configure_numa(
+            mode=mode, topology=two_node_topology(), replicate_threshold=1
+        )
+        assert self._streams(jobs=JOBS) == baseline

@@ -301,3 +301,93 @@ class TestShmReplicas:
         attached = registry.attach(handle)
         np.testing.assert_array_equal(attached.indices, graph.indices)
         assert registry.counters["node_local_attaches"] == 0
+
+
+class TestMemoryBudgetedWorkers:
+    """``--jobs 0``: per-node CPU counts capped by per-node DRAM."""
+
+    BUDGET = numa.DEFAULT_WORKER_MEMORY_BYTES
+
+    def budgeted_topology(self):
+        return NumaTopology(
+            nodes=(
+                NumaNode(0, (0, 1, 2, 3), memory_bytes=2 * self.BUDGET),
+                NumaNode(1, (4, 5, 6, 7), memory_bytes=8 * self.BUDGET),
+            ),
+            source="test",
+        )
+
+    def test_memory_caps_per_node_workers(self):
+        numa.configure_numa(topology=self.budgeted_topology())
+        # node 0: 4 CPUs but DRAM for 2 workers; node 1: CPU-bound at 4.
+        assert numa.budgeted_worker_count() == 6
+        roster = numa.numa_stats()["worker_budget"]
+        assert roster["0"] == {
+            "cpus": 4,
+            "memory_bytes": 2 * self.BUDGET,
+            "workers": 2,
+        }
+        assert roster["1"]["workers"] == 4
+
+    def test_unknown_memory_caps_by_cpus_alone(self):
+        numa.configure_numa(
+            topology=NumaTopology(
+                nodes=(NumaNode(0, (0, 1, 2)),), source="test"
+            )
+        )
+        assert numa.budgeted_worker_count() == 3
+        assert numa.numa_stats()["worker_budget"]["0"]["memory_bytes"] is None
+
+    def test_off_mode_restores_plain_cpu_count(self):
+        numa.configure_numa(mode="off", topology=self.budgeted_topology())
+        assert numa.budgeted_worker_count() == max(os.cpu_count() or 1, 1)
+        assert numa.numa_stats()["worker_budget"] == {}
+
+    def test_never_returns_zero(self):
+        numa.configure_numa(
+            topology=NumaTopology(
+                nodes=(NumaNode(0, (0,), memory_bytes=self.BUDGET // 2),),
+                source="test",
+            )
+        )
+        assert numa.budgeted_worker_count() == 1
+
+    def test_worker_memory_override(self):
+        from repro.errors import ConfigurationError
+
+        numa.configure_numa(
+            topology=self.budgeted_topology(),
+            worker_memory_bytes=self.BUDGET // 2,
+        )
+        # Halving the per-worker estimate doubles the memory caps:
+        # node 0 fits 4 (CPU-bound), node 1 fits 4 (CPU-bound).
+        assert numa.budgeted_worker_count() == 8
+        with pytest.raises(ConfigurationError):
+            numa.configure_numa(worker_memory_bytes=0)
+
+    def test_resolve_jobs_zero_consults_budget(self):
+        from repro.perf.parallel import resolve_jobs
+
+        numa.configure_numa(topology=self.budgeted_topology())
+        assert resolve_jobs(0) == 6
+        assert resolve_jobs(None) == 1
+        assert resolve_jobs(3) == 3
+
+    def test_discover_reads_node_meminfo(self, tmp_path):
+        root = write_fake_sysfs(tmp_path, {0: "0-1", 1: "2-3"})
+        (tmp_path / "node0" / "meminfo").write_text(
+            "Node 0 MemTotal:       2048 kB\nNode 0 MemFree: 1024 kB\n"
+        )
+        topo = numa.discover(sysfs_root=root, affinity=frozenset(range(4)))
+        assert topo.nodes[0].memory_bytes == 2048 * 1024
+        assert topo.nodes[1].memory_bytes is None  # no meminfo file
+
+    def test_affinity_fallback_reads_proc_meminfo(self):
+        with pytest.warns(NumaWarning, match="single node"):
+            topo = numa.discover(
+                sysfs_root="/nonexistent", affinity=frozenset((0,))
+            )
+        assert topo.source == "affinity"
+        # /proc/meminfo exists on Linux; elsewhere the field stays None.
+        if os.path.exists("/proc/meminfo"):
+            assert topo.nodes[0].memory_bytes > 0

@@ -113,3 +113,84 @@ class TestModuleSingleton:
         assert after["attaches"] == before["attaches"] + 2
         assert "bogus" not in after
         registry.counters["attaches"] = before["attaches"]
+
+
+class TestHugePages:
+    """Segments above the replicate threshold get madvise(MADV_HUGEPAGE)."""
+
+    @pytest.fixture(autouse=True)
+    def _fresh_state(self, monkeypatch):
+        from repro.perf import numa
+
+        numa.reset_numa_state()
+        monkeypatch.setattr(shm, "_WARNED", set())
+        yield
+        numa.reset_numa_state()
+
+    def test_small_segment_stays_on_base_pages(self, registry):
+        _attachable(registry, chain(50))
+        assert registry.counters["huge_page_segments"] == 0
+        assert registry.counters["huge_page_bytes"] == 0
+
+    def test_large_segment_is_advised(self, registry):
+        import mmap
+        import warnings as _warnings
+
+        if not hasattr(mmap, "MADV_HUGEPAGE"):
+            pytest.skip("mmap.MADV_HUGEPAGE unavailable on this platform")
+        from repro.perf import numa
+
+        numa.configure_numa(replicate_threshold=256)
+        graph = chung_lu(300, avg_degree=5.0, seed=3, name="hp-large")
+        with _warnings.catch_warnings(record=True) as caught:
+            _warnings.simplefilter("always")
+            handle = _attachable(registry, graph)
+        if caught:  # kernel refused (e.g. THP disabled): clean fallback
+            assert registry.counters["huge_page_segments"] == 0
+            assert "huge" in str(caught[0].message).lower()
+        else:
+            assert registry.counters["huge_page_segments"] == 1
+            assert registry.counters["huge_page_bytes"] == handle.nbytes
+
+    def test_replica_segments_are_advised_too(self, registry):
+        import mmap
+        import warnings as _warnings
+
+        if not hasattr(mmap, "MADV_HUGEPAGE"):
+            pytest.skip("mmap.MADV_HUGEPAGE unavailable on this platform")
+        from repro.perf import numa
+
+        numa.configure_numa(mode="replicate", replicate_threshold=256)
+        graph = chung_lu(300, avg_degree=5.0, seed=3, name="hp-replica")
+        with _warnings.catch_warnings(record=True) as caught:
+            _warnings.simplefilter("always")
+            handle = registry.export(
+                ("dataset", "hp", 1, None), graph, nodes=(0, 1)
+            )
+        if handle is None:
+            pytest.skip("shared memory unavailable on this platform")
+        if not caught:
+            assert registry.counters["replica_segments"] == 2
+            # primary + both replicas
+            assert registry.counters["huge_page_segments"] == 3
+            assert (
+                registry.counters["huge_page_bytes"] == 3 * handle.nbytes
+            )
+
+    def test_unsupported_platform_warns_once(self, registry, monkeypatch):
+        import mmap
+        import warnings as _warnings
+
+        monkeypatch.delattr(mmap, "MADV_HUGEPAGE", raising=False)
+        from repro.perf import numa
+
+        numa.configure_numa(replicate_threshold=256)
+        first = chung_lu(300, avg_degree=5.0, seed=3, name="hp-warn-a")
+        with pytest.warns(RuntimeWarning, match="huge pages"):
+            _attachable(registry, first, key=("dataset", "wa", 1, None))
+        second = chung_lu(280, avg_degree=5.0, seed=4, name="hp-warn-b")
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error")  # a second warning would raise
+            registry.export(("dataset", "wb", 1, None), second)
+        assert registry.counters["huge_page_segments"] == 0
+        assert registry.counters["huge_page_bytes"] == 0

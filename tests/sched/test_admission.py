@@ -1,0 +1,160 @@
+"""Tests for shared-budget admission control (repro.sched.admission).
+
+The property tests drive the controller with synthetic power-law
+models so Hypothesis can vary the model shapes freely; the invariant
+under test is Equation 1 itself — for every batch the controller
+admits, the projected ``Σ_k Mr_k + M*`` never exceeds the ``p·M``
+budget.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.machine import MachineSpec
+from repro.errors import SchedulingError, TuningError
+from repro.sched.admission import AdmissionController
+from repro.tuning.memory_model import MemoryCostModel, PowerLawModel
+from repro.tuning.planner import plan_batches
+
+#: Relative slack for float round-off in the budget comparison.
+EPS = 1e-9
+
+
+def make_machine(memory_bytes: float = 1e9) -> MachineSpec:
+    return MachineSpec(
+        memory_bytes=memory_bytes,
+        os_reserve_bytes=0.0,
+        cores=4,
+        compute_ops_per_second=1e9,
+    )
+
+
+def make_model(
+    peak=(2e4, 1.0, 1e6), residual=(1e4, 0.9, 5e5)
+) -> MemoryCostModel:
+    return MemoryCostModel(
+        peak=PowerLawModel(*peak), residual=PowerLawModel(*residual)
+    )
+
+
+class TestAdmissionController:
+    def test_single_kind_collapses_to_plan_batches(self):
+        machine = make_machine()
+        model = make_model()
+        total = 30000.0
+        schedule = plan_batches(model, total, machine, overload_fraction=0.5)
+        assert len(schedule) > 1
+
+        controller = AdmissionController(
+            {"bppr": model}, machine, overload_fraction=0.5
+        )
+        admitted = []
+        remaining = total
+        while remaining > 0:
+            allowed = controller.admissible_units("bppr")
+            batch = min(remaining, allowed)
+            controller.admit("bppr", batch)
+            admitted.append(batch)
+            remaining -= batch
+        assert admitted == schedule
+
+    def test_unknown_kind(self):
+        controller = AdmissionController(
+            {"bppr": make_model()}, make_machine()
+        )
+        with pytest.raises(SchedulingError, match="unknown task kind"):
+            controller.admissible_units("pagerank")
+
+    def test_requires_models_and_valid_fraction(self):
+        with pytest.raises(SchedulingError):
+            AdmissionController({}, make_machine())
+        with pytest.raises(SchedulingError):
+            AdmissionController(
+                {"bppr": make_model()}, make_machine(), overload_fraction=0.0
+            )
+
+    def test_oversized_admit_is_rejected(self):
+        controller = AdmissionController(
+            {"bppr": make_model()}, make_machine()
+        )
+        allowed = controller.admissible_units("bppr")
+        with pytest.raises(TuningError):
+            controller.admit("bppr", allowed + 1.0)
+
+    def test_budget_is_shared_across_kinds(self):
+        controller = AdmissionController(
+            {"bppr": make_model(), "mssp": make_model()}, make_machine()
+        )
+        before = controller.admissible_units("mssp")
+        controller.admit("bppr", controller.admissible_units("bppr"))
+        after = controller.admissible_units("mssp")
+        assert after < before
+
+    def test_release_all_restores_the_budget(self):
+        controller = AdmissionController(
+            {"bppr": make_model(), "mssp": make_model()}, make_machine()
+        )
+        baseline = controller.admissible_units("bppr")
+        controller.admit("bppr", baseline)
+        controller.admit("mssp", controller.admissible_units("mssp"))
+        assert controller.residual_bytes() > 0
+        freed = controller.release_all()
+        assert freed > 0
+        assert controller.residual_bytes() == 0
+        assert controller.admissible_units("bppr") == baseline
+
+
+model_params = st.tuples(
+    st.floats(min_value=1e2, max_value=1e5),  # a
+    st.floats(min_value=0.5, max_value=1.5),  # b
+    st.floats(min_value=0.0, max_value=5e6),  # c
+)
+
+
+class TestAdmissionInvariant:
+    """Admission never exceeds the ``p`` fraction of machine memory."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        peaks=st.lists(model_params, min_size=1, max_size=3),
+        residuals=st.lists(model_params, min_size=3, max_size=3),
+        memory=st.floats(min_value=1e8, max_value=1e10),
+        fraction=st.floats(min_value=0.3, max_value=1.0),
+        actions=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=2),
+                st.floats(min_value=0.05, max_value=1.0),
+            ),
+            min_size=1,
+            max_size=30,
+        ),
+    )
+    def test_projected_bytes_never_exceed_budget(
+        self, peaks, residuals, memory, fraction, actions
+    ):
+        kinds = [f"kind{i}" for i in range(len(peaks))]
+        models = {
+            kind: MemoryCostModel(
+                peak=PowerLawModel(*peaks[i]),
+                residual=PowerLawModel(*residuals[i]),
+            )
+            for i, kind in enumerate(kinds)
+        }
+        controller = AdmissionController(
+            models, make_machine(memory), overload_fraction=fraction
+        )
+        for index, share in actions:
+            kind = kinds[index % len(kinds)]
+            allowed = controller.admissible_units(kind)
+            if allowed < 1.0:
+                # Backpressure point: the service would flush here.
+                controller.release_all()
+                continue
+            units = max(1.0, float(int(allowed * share)))
+            projected = controller.projected_bytes(kind, units)
+            assert projected <= controller.budget * (1 + EPS)
+            controller.admit(kind, units)
+        assert controller.residual_bytes() >= 0

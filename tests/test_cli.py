@@ -172,3 +172,73 @@ class TestFaultFlags:
         assert code == 0
         assert "faults" in out
         assert "HOLDS" in out
+
+
+class TestServe:
+    def serve(self, bench_path, *extra):
+        return main(
+            [
+                "serve",
+                "--arrivals",
+                "0.5",
+                "--duration",
+                "15",
+                "--seed",
+                "42",
+                "--kinds",
+                "bppr",
+                "--bench-output",
+                str(bench_path),
+                *extra,
+            ]
+        )
+
+    def test_serve_smoke(self, tmp_path, capsys):
+        import json
+
+        bench = tmp_path / "BENCH_perf.json"
+        code = self.serve(bench)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "p50" in out and "p99" in out
+        payload = json.loads(bench.read_text())
+        sched = payload["sched"]
+        assert sched["completed_tasks"] > 0
+        assert sched["latency"]["p99_seconds"] >= sched["latency"][
+            "p50_seconds"
+        ] > 0
+
+    def test_serve_json_and_bench_merge(self, tmp_path, capsys):
+        import json
+
+        bench = tmp_path / "BENCH_perf.json"
+        bench.write_text(json.dumps({"existing": {"keep": 1}}))
+        code = self.serve(bench, "--json")
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["completed_tasks"] > 0
+        assert payload["tasks"]  # per-task latencies in --json mode
+        merged = json.loads(bench.read_text())
+        assert merged["existing"] == {"keep": 1}
+        assert "sched" in merged
+
+    def test_serve_is_deterministic(self, tmp_path, capsys):
+        import json
+
+        first = tmp_path / "a.json"
+        second = tmp_path / "b.json"
+        assert self.serve(first) == 0
+        assert self.serve(second) == 0
+        capsys.readouterr()
+        assert json.loads(first.read_text()) == json.loads(
+            second.read_text()
+        )
+
+    def test_serve_inherits_shared_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--arrivals", "1.0", "--faults", "0.1", "--jobs", "2"]
+        )
+        assert args.arrivals == 1.0
+        assert args.faults == 0.1
+        assert args.jobs == 2
+        assert args.cluster == "galaxy-8"
