@@ -6,6 +6,7 @@ Run from the repo root (CI does)::
     python benchmarks/kernel_bench.py --update     # rewrite the baseline
     python benchmarks/kernel_bench.py --strict     # non-zero exit on drift
     python benchmarks/kernel_bench.py --crossover  # dense/sparse sweep
+    python benchmarks/kernel_bench.py --streaming  # block-streaming kernels
 
 The default mode measures the median (p50) ``kernel.step()`` wall-clock
 per task on a fixed mid-size Chung-Lu graph and compares it against
@@ -18,6 +19,13 @@ for local bisection.
 which the dense (mask/accumulator) scatter overtakes the sort-based
 segment reduction, for sanity-checking
 ``repro.graph.csr.DENSE_CANDIDATES_PER_CELL`` after a numpy upgrade.
+
+``--streaming`` reruns the same task suite against a memory-mapped copy
+of the benchmark graph with the block size forced small enough that
+every round streams multiple CSR row blocks through the scratch arena.
+The results land under ``streaming.<task>`` keys in the baseline and
+drift only ever warns — the mode exists to keep an eye on the
+out-of-core overhead ratio, not to gate merges.
 """
 
 from __future__ import annotations
@@ -65,7 +73,37 @@ def _bench_graph():
 
 def measure() -> dict:
     """p50 step milliseconds per task on the fixed benchmark graph."""
+    return _measure_tasks(_bench_graph())
+
+
+def measure_streaming() -> dict:
+    """p50 step milliseconds with the block-streaming kernel variants.
+
+    The benchmark graph is saved to a temporary CSR directory and
+    reopened memory-mapped; the streaming block size is forced down to
+    4096 arcs (~8 blocks per full-frontier round on this graph) so the
+    per-block expand/reduce/merge path is what gets timed.
+    """
+    import tempfile
+
+    from repro.graph import csr as csr_mod
+    from repro.graph.io import save_mapped
+
     graph = _bench_graph()
+    saved_min = csr_mod.MIN_STREAM_BLOCK_ARCS
+    with tempfile.TemporaryDirectory() as tmp:
+        mapped = save_mapped(graph, Path(tmp) / "kernel-bench.csr")
+        csr_mod.MIN_STREAM_BLOCK_ARCS = 1 << 12
+        csr_mod.configure_streaming(max_ram_bytes=1)  # clamp to the floor
+        try:
+            return _measure_tasks(mapped, prefix="streaming.")
+        finally:
+            csr_mod.MIN_STREAM_BLOCK_ARCS = saved_min
+            csr_mod.configure_streaming(None)
+
+
+def _measure_tasks(graph, prefix: str = "") -> dict:
+    """Shared timing loop for the in-RAM and streaming modes."""
     partition = hash_partition(graph, 4)
     plan = build_mirror_plan(graph, partition)
     results = {}
@@ -83,7 +121,7 @@ def measure() -> dict:
                 step_seconds.append(time.perf_counter() - start)
                 if summary.done:
                     break
-        results[task_name] = {
+        results[prefix + task_name] = {
             "p50_ms": round(statistics.median(step_seconds) * 1000.0, 4),
             "steps": len(step_seconds),
         }
@@ -170,18 +208,31 @@ def main(argv=None) -> int:
         action="store_true",
         help="sweep the dense/sparse scatter crossover instead",
     )
+    parser.add_argument(
+        "--streaming",
+        action="store_true",
+        help="benchmark the block-streaming kernels (warn-only)",
+    )
     args = parser.parse_args(argv)
 
     if args.crossover:
         return run_crossover()
 
-    current = measure()
+    current = measure_streaming() if args.streaming else measure()
     for task, entry in current.items():
         print(f"{task}: p50 {entry['p50_ms']:.3f} ms over {entry['steps']} steps")
 
     if args.update or not BASELINE_PATH.exists():
+        merged = dict(current)
+        if BASELINE_PATH.exists():
+            # Keep the other mode's keys: --streaming --update must not
+            # drop the in-RAM baselines, and vice versa.
+            merged = {
+                **json.loads(BASELINE_PATH.read_text(encoding="utf-8")),
+                **current,
+            }
         BASELINE_PATH.write_text(
-            json.dumps(current, indent=2, sort_keys=True) + "\n",
+            json.dumps(merged, indent=2, sort_keys=True) + "\n",
             encoding="utf-8",
         )
         print(f"wrote baseline {BASELINE_PATH}")
@@ -193,6 +244,10 @@ def main(argv=None) -> int:
         print(f"WARNING: {line}")
     if not warnings:
         print(f"all tasks within ±{TOLERANCE * 100:.0f}% of baseline")
+    if args.streaming:
+        # The streaming comparison is informational: overhead depends on
+        # the forced block size and page-cache state, so it never blocks.
+        return 0
     return 1 if (warnings and args.strict) else 0
 
 

@@ -27,6 +27,7 @@ sync with the rest of the CLI.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from pathlib import Path
@@ -50,6 +51,29 @@ def _job_count(text: str) -> int:
     value = int(text)
     if value < 0:
         raise argparse.ArgumentTypeError("jobs must be >= 0")
+    return value
+
+
+#: ``--max-ram`` suffix multipliers (case-insensitive, powers of two).
+_RAM_SUFFIXES = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30, "t": 1 << 40}
+
+
+def _ram_budget(text: str) -> int:
+    """Parse a ``--max-ram`` value: plain bytes or K/M/G/T suffixed."""
+    raw = text.strip().lower().rstrip("b")
+    multiplier = 1
+    if raw and raw[-1] in _RAM_SUFFIXES:
+        multiplier = _RAM_SUFFIXES[raw[-1]]
+        raw = raw[:-1]
+    try:
+        value = int(float(raw) * multiplier)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid memory budget {text!r}; use bytes or a K/M/G/T "
+            "suffix (e.g. 512M, 2G)"
+        ) from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError("memory budget must be positive")
     return value
 
 
@@ -97,6 +121,17 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "Single-node machines are an automatic no-op; results are "
         "byte-identical in every mode",
     )
+    parser.add_argument(
+        "--max-ram",
+        type=_ram_budget,
+        default=None,
+        metavar="BYTES",
+        help="resident-memory budget (e.g. 512M, 2G; default: the "
+        "REPRO_MAX_RAM environment variable, else unlimited). Datasets "
+        "whose in-RAM build would exceed it are built out-of-core into "
+        "a memory-mapped CSR directory and processed with the "
+        "block-streaming kernels; results are byte-identical",
+    )
 
 
 def _add_setting(parser: argparse.ArgumentParser) -> None:
@@ -142,7 +177,7 @@ def _add_faults(parser: argparse.ArgumentParser) -> None:
 
 
 def _apply_runtime_knobs(args) -> None:
-    """Apply ``--cache-dir`` / ``--max-retries`` / ``--numa`` knobs."""
+    """Apply ``--cache-dir``/``--max-retries``/``--numa``/``--max-ram``."""
     if getattr(args, "cache_dir", None):
         configure_cache(directory=args.cache_dir)
     if getattr(args, "max_retries", None) is not None:
@@ -153,6 +188,18 @@ def _apply_runtime_knobs(args) -> None:
         from repro.perf import numa
 
         numa.configure_numa(mode=args.numa)
+    max_ram = getattr(args, "max_ram", None)
+    if max_ram is None:
+        env = os.environ.get("REPRO_MAX_RAM", "").strip()
+        if env:
+            try:
+                max_ram = _ram_budget(env)
+            except argparse.ArgumentTypeError as exc:
+                raise ReproError(f"REPRO_MAX_RAM: {exc}") from None
+    if max_ram is not None:
+        from repro.graph.csr import configure_streaming
+
+        configure_streaming(max_ram_bytes=max_ram)
 
 
 # Backwards-compatible alias (pre-NUMA name).
@@ -297,10 +344,11 @@ def cmd_report(args) -> int:
     config = ExperimentConfig(
         scale=args.scale, seed=args.seed, quick=args.quick, jobs=args.jobs
     )
-    from repro.perf import numa
+    from repro.perf import memory, numa
     from repro.perf.shm import shm_stats
 
     timings.reset()
+    memory.reset_memory_state()
     start = time.time()
     path = write_experiments_markdown(args.output, config)
     wall = time.time() - start
@@ -338,6 +386,18 @@ def cmd_report(args) -> int:
                 else ""
             )
         )
+    mem_info = memory.memory_stats()
+    peak = mem_info["peak_rss_bytes"]
+    if peak:
+        worker_peak = mem_info["worker_peak_rss_bytes"]
+        print(
+            f"memory: peak RSS {peak / 1e6:.1f} MB"
+            + (
+                f" (worker peak {worker_peak / 1e6:.1f} MB)"
+                if worker_peak
+                else ""
+            )
+        )
     bench_path = str(Path(args.output).parent / "BENCH_perf.json")
     timings.write_json(
         bench_path,
@@ -349,6 +409,7 @@ def cmd_report(args) -> int:
             "cache": get_cache().stats.to_dict(),
             "shm": shm,
             "numa": numa_info,
+            "memory": mem_info,
         },
     )
     print(f"wrote {bench_path} (wall {wall:.1f}s)")

@@ -15,6 +15,8 @@ model", Section 2.2). Modelled consequences (Section 4.4):
 
 from __future__ import annotations
 
+import dataclasses
+
 from repro.engines.base import EngineProfile
 from repro.sim.memory import MemoryModel
 
@@ -36,3 +38,24 @@ GRAPHD = EngineProfile(
     # GraphD's default message-buffer budget (unscaled bytes).
     out_of_core_budget_bytes=140 * 2**20,
 )
+
+
+def graphd_profile() -> EngineProfile:
+    """The GraphD profile honouring a configured ``--max-ram`` budget.
+
+    GraphD *is* the paper's out-of-core system, so when the harness
+    itself runs under a resident-memory budget (``--max-ram`` /
+    ``REPRO_MAX_RAM``, :func:`repro.graph.csr.configure_streaming`),
+    the simulated engine's message-buffer cap follows it: the modelled
+    spill behaviour then reflects the same budget the block-streaming
+    kernels honour. Without a budget the stock :data:`GRAPHD` constant
+    is returned unchanged (same object, same modelled results).
+    """
+    from repro.graph.csr import streaming_budget_bytes
+
+    budget = streaming_budget_bytes()
+    if budget is None:
+        return GRAPHD
+    return dataclasses.replace(
+        GRAPHD, out_of_core_budget_bytes=float(budget)
+    )

@@ -13,7 +13,7 @@ from typing import Dict, List
 from repro.cluster.cluster import ClusterSpec
 from repro.engines.base import EngineProfile, SimulatedEngine
 from repro.engines.giraph import GIRAPH, GIRAPH_ASYNC, GIRAPH_SPLIT
-from repro.engines.graphd import GRAPHD
+from repro.engines.graphd import GRAPHD, graphd_profile
 from repro.engines.graphlab import GRAPHLAB, GRAPHLAB_ASYNC
 from repro.engines.mirror import PREGEL_PLUS_MIRROR
 from repro.engines.pregelplus import PREGEL_PLUS
@@ -57,6 +57,10 @@ def engine_profile(name: str) -> EngineProfile:
     if key not in _PROFILES:
         known = ", ".join(ENGINE_NAMES)
         raise UnknownEngineError(f"unknown engine {name!r}; known: {known}")
+    if key == "graphd":
+        # GraphD's modelled spill budget tracks a configured --max-ram
+        # (identity with the stock profile when no budget is set).
+        return graphd_profile()
     return _PROFILES[key]
 
 

@@ -23,6 +23,14 @@ extends the grow-only ``arange`` trick of
 The engine creates one arena per job and threads it through every
 kernel batch (:meth:`repro.tasks.base.TaskSpec.make_kernel`), so batch
 boundaries reuse the same pool too.
+
+The block-streaming kernels (memory-mapped graphs under a ``--max-ram``
+budget) call :meth:`new_round` once per *frontier block* rather than
+once per round: with ``KEEPALIVE = 2`` the pool's resident footprint
+stays at roughly two blocks' worth of buffers however many blocks a
+round streams — the arena is what makes the per-block working set a
+bound instead of a high-water mark. :meth:`pool_bytes` reports that
+footprint for the memory accounting (:mod:`repro.perf.memory`).
 """
 
 from __future__ import annotations
@@ -116,6 +124,16 @@ class ScratchArena:
             self.allocations += 1
         self._inuse.append((self._generation, size_class, raw))
         return raw[:nbytes].view(dtype)
+
+    def pool_bytes(self) -> int:
+        """Resident footprint of the pool: free + in-use buffer bytes
+        (excluding the shared ``arange`` cache). Streaming rounds watch
+        this stay flat across blocks; it only steps up when a block is
+        larger than anything the pool has served before."""
+        free = sum(
+            buf.nbytes for bufs in self._free.values() for buf in bufs
+        )
+        return free + sum(record[2].nbytes for record in self._inuse)
 
     def arange(self, size: int) -> np.ndarray:
         """A ``[0, size)`` int64 arange view from a grow-only cached buffer

@@ -54,6 +54,11 @@ class Graph:
         "_spread",
     )
 
+    #: True on memory-mapped subclasses (:class:`repro.graph.io.MappedGraph`);
+    #: the streaming kernel dispatch keys off this single attribute so the
+    #: in-RAM fast paths pay one class-attribute read and nothing else.
+    mapped = False
+
     def __init__(
         self,
         indptr: np.ndarray,
@@ -461,8 +466,13 @@ def propagate_mass(graph: Graph, per_vertex: np.ndarray) -> np.ndarray:
     cached CSR matvec (:func:`_spread_operator`); without scipy it
     falls back to ``np.repeat`` + weighted ``np.bincount`` — a fused
     sequential scatter-add with the identical accumulation order, so
-    both paths produce the same bits.
+    both paths produce the same bits. Mapped graphs dispatch to the
+    block-streaming scatter *before* the operator path so the O(m)
+    scipy matrix is never materialised for an out-of-core graph.
     """
+    block_arcs = streaming_block_arcs(graph)
+    if block_arcs is not None:
+        return _propagate_mass_streaming(graph, per_vertex, block_arcs)
     op = _spread_operator(graph)
     if op is not None:
         return op @ per_vertex
@@ -470,6 +480,212 @@ def propagate_mass(graph: Graph, per_vertex: np.ndarray) -> np.ndarray:
     return np.bincount(
         graph.indices, weights=per_arc, minlength=graph.num_vertices
     )
+
+
+# ----------------------------------------------------------------------
+# Block streaming (out-of-core graphs)
+#
+# When the CSR arrays are ``np.memmap`` views over an on-disk file set
+# (:class:`repro.graph.io.MappedGraph`), the kernels must not gather or
+# repeat O(m) at once: the block helpers below walk the CSR in row
+# blocks whose arc totals respect the ``--max-ram`` budget, and the
+# streaming kernel variants reduce block-by-block with results that are
+# bit-identical to the monolithic paths (the accompanying docstrings
+# argue why per reduction; ``tests/graph/test_mmap.py`` asserts it).
+# Vertex-proportional state (degrees, distance tables, rank vectors)
+# stays resident — the same semi-streaming model as the paper's GraphD,
+# which keeps O(n) vertex state in memory and streams the O(m) edges.
+# ----------------------------------------------------------------------
+
+#: Budget assumed for mapped graphs when no ``--max-ram`` was given.
+DEFAULT_STREAM_BUDGET_BYTES = 256 << 20
+
+#: Working-set bytes one in-flight candidate arc costs in the frontier
+#: kernels: arc position, neighbour id, source row, candidate value and
+#: the sort/scatter scratch behind the segment reductions (int64 and
+#: float64 lanes, roughly ten live per arc across the block pipeline).
+STREAM_BYTES_PER_ARC = 96
+
+#: Floor on the streaming block size — below this the per-block numpy
+#: dispatch overhead dominates any memory saving.
+MIN_STREAM_BLOCK_ARCS = 1 << 16
+
+_STREAMING = {"max_ram_bytes": None}
+
+
+def configure_streaming(max_ram_bytes: Optional[int] = None) -> Optional[int]:
+    """Set (or clear, with ``None``) the process-wide ``--max-ram``
+    streaming budget in bytes; returns the new value."""
+    if max_ram_bytes is not None:
+        max_ram_bytes = int(max_ram_bytes)
+        if max_ram_bytes <= 0:
+            raise GraphFormatError("--max-ram budget must be positive")
+    _STREAMING["max_ram_bytes"] = max_ram_bytes
+    return max_ram_bytes
+
+
+def streaming_budget_bytes() -> Optional[int]:
+    """The configured ``--max-ram`` budget, or ``None`` when unset."""
+    return _STREAMING["max_ram_bytes"]
+
+
+def streaming_block_arcs(graph: Graph) -> Optional[int]:
+    """Arcs per streaming block for ``graph``, or ``None`` for in-RAM
+    graphs (the monolithic fast paths run unchanged)."""
+    if not graph.mapped:
+        return None
+    budget = _STREAMING["max_ram_bytes"] or DEFAULT_STREAM_BUDGET_BYTES
+    return max(MIN_STREAM_BLOCK_ARCS, budget // STREAM_BYTES_PER_ARC)
+
+
+def iter_row_blocks(
+    indptr: np.ndarray, max_arcs: int
+) -> Iterator[Tuple[int, int]]:
+    """Yield ``(row_lo, row_hi)`` slices covering all CSR rows, each
+    block holding at most ``max_arcs`` arcs (a single heavier row gets
+    a block of its own so progress is always made)."""
+    n = indptr.size - 1
+    lo = 0
+    while lo < n:
+        target = int(indptr[lo]) + max_arcs
+        hi = int(np.searchsorted(indptr, target, side="right")) - 1
+        if hi <= lo:
+            hi = lo + 1
+        yield lo, min(hi, n)
+        lo = hi
+
+
+def iter_frontier_blocks(
+    degrees: np.ndarray, max_arcs: int
+) -> Iterator[Tuple[int, int]]:
+    """Yield ``(lo, hi)`` frontier slices whose summed out-degree stays
+    under ``max_arcs`` (at least one entry per block)."""
+    size = degrees.size
+    if size == 0:
+        return
+    bounds = np.cumsum(degrees, dtype=np.int64)
+    lo = 0
+    while lo < size:
+        base = int(bounds[lo - 1]) if lo else 0
+        hi = int(np.searchsorted(bounds, base + max_arcs, side="right"))
+        if hi <= lo:
+            hi = lo + 1
+        yield lo, hi
+        lo = hi
+
+
+def _propagate_mass_streaming(
+    graph: Graph, per_vertex: np.ndarray, block_arcs: int
+) -> np.ndarray:
+    """Block-streaming :func:`propagate_mass` over a mapped graph.
+
+    Accumulates with ``np.add.at`` over sequential row blocks: the
+    candidate order seen by the accumulator is exactly the arc order of
+    the monolithic weighted ``np.bincount`` (and of the scipy matvec,
+    whose rows are stable-sorted by arc position), so the float sums are
+    bit-identical — per-block *partial* bincounts summed afterwards
+    would not be, since float addition is not associative across the
+    re-bracketing.
+    """
+    n = graph.num_vertices
+    out = np.zeros(n, dtype=np.float64)
+    indptr = graph.indptr
+    degrees = graph.degrees
+    for lo, hi in iter_row_blocks(indptr, block_arcs):
+        arc_lo, arc_hi = int(indptr[lo]), int(indptr[hi])
+        if arc_hi == arc_lo:
+            continue
+        targets = np.asarray(graph.indices[arc_lo:arc_hi])
+        per_arc = np.repeat(per_vertex[lo:hi], degrees[lo:hi])
+        np.add.at(out, targets, per_arc)
+    return out
+
+
+def segment_min_streaming(
+    rows: np.ndarray,
+    cols: np.ndarray,
+    values: np.ndarray,
+    num_cols: int,
+    block_size: int,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Chunked :func:`segment_min`: reduce ``block_size`` candidates at
+    a time and fold each chunk's per-cell minima into a running sorted
+    accumulator. ``min`` is order-independent, so the result is
+    bit-identical to the monolithic reduction regardless of chunking.
+    """
+    if rows.size <= block_size:
+        return segment_min(rows, cols, values, num_cols)
+    acc_keys: Optional[np.ndarray] = None
+    acc_vals: Optional[np.ndarray] = None
+    for start in range(0, rows.size, block_size):
+        stop = start + block_size
+        c_rows, c_cols, c_min = segment_min(
+            rows[start:stop], cols[start:stop], values[start:stop], num_cols
+        )
+        keys = c_rows * np.int64(num_cols) + c_cols
+        if acc_keys is None:
+            acc_keys, acc_vals = keys, c_min
+            continue
+        acc_keys, acc_vals = _merge_reduce(
+            acc_keys, acc_vals, keys, c_min, np.minimum
+        )
+    cell_rows, cell_cols = np.divmod(acc_keys, np.int64(num_cols))
+    return cell_rows, cell_cols, acc_vals
+
+
+def segment_sum_streaming(
+    rows: np.ndarray,
+    cols: np.ndarray,
+    values: np.ndarray,
+    num_cols: int,
+    block_size: int,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Chunked :func:`segment_sum` with the same exactness regime as the
+    monolithic reduction: per-cell sums of all-ones (walk counts) or
+    size-one cells are bit-identical; arbitrary float mixes can differ
+    in the last ulp across chunk boundaries (float addition is not
+    associative), mirroring the documented ``reduceat`` caveat.
+    """
+    if rows.size <= block_size:
+        return segment_sum(rows, cols, values, num_cols)
+    acc_keys = None
+    acc_vals = None
+    for start in range(0, rows.size, block_size):
+        stop = start + block_size
+        c_rows, c_cols, c_sum = segment_sum(
+            rows[start:stop], cols[start:stop], values[start:stop], num_cols
+        )
+        keys = c_rows * np.int64(num_cols) + c_cols
+        if acc_keys is None:
+            acc_keys, acc_vals = keys, c_sum
+            continue
+        acc_keys, acc_vals = _merge_reduce(
+            acc_keys, acc_vals, keys, c_sum, np.add
+        )
+    cell_rows, cell_cols = np.divmod(acc_keys, np.int64(num_cols))
+    return cell_rows, cell_cols, acc_vals
+
+
+def _merge_reduce(
+    keys_a: np.ndarray,
+    vals_a: np.ndarray,
+    keys_b: np.ndarray,
+    vals_b: np.ndarray,
+    ufunc,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Merge two sorted-unique ``(keys, values)`` runs, combining values
+    of shared keys with ``ufunc.reduceat`` (accumulator values first,
+    preserving left-to-right accumulation across chunks)."""
+    keys = np.concatenate([keys_a, keys_b])
+    vals = np.concatenate([vals_a, vals_b])
+    order = np.argsort(keys, kind="stable")
+    keys = keys[order]
+    vals = vals[order]
+    boundary = np.empty(keys.size, dtype=bool)
+    boundary[0] = True
+    np.not_equal(keys[1:], keys[:-1], out=boundary[1:])
+    starts = np.flatnonzero(boundary)
+    return keys[starts], ufunc.reduceat(vals, starts)
 
 
 # ----------------------------------------------------------------------

@@ -11,13 +11,16 @@ memory-pressure ratios that drive every experiment in the paper.
 
 from __future__ import annotations
 
+import atexit
+import shutil
+import tempfile
 from dataclasses import dataclass
 from typing import Dict, Optional
 
 import numpy as np
 
-from repro.errors import ConfigurationError
-from repro.graph.csr import Graph
+from repro.errors import ConfigurationError, GraphFormatError
+from repro.graph.csr import Graph, streaming_budget_bytes
 from repro.graph.generators import chung_lu
 from repro.perf import timings
 from repro.perf.cache import ArraySerializer, clear_cache, get_cache
@@ -27,6 +30,11 @@ from repro.rng import DEFAULT_SEED, SeedLike, derive_seed
 #: (Friendster, 65.6M nodes) at ~164K synthetic nodes — tractable in
 #: numpy while preserving workload-to-memory ratios.
 DEFAULT_SCALE = 400
+
+#: Transient working-set bytes per sampled arc of the in-RAM build path
+#: (both endpoint draws, composite keys, the dedup sort copy and mask);
+#: used to predict whether a profile fits the ``--max-ram`` budget.
+IN_RAM_BUILD_BYTES_PER_ARC = 72
 
 
 @dataclass(frozen=True)
@@ -68,6 +76,56 @@ class DatasetProfile:
             name=self.name,
         )
         return graph
+
+    def estimated_build_bytes(self, scale: int) -> int:
+        """Predicted transient peak of :meth:`instantiate` — what the
+        ``--max-ram`` auto-dispatch compares against the budget."""
+        n = self.scaled_nodes(scale)
+        arcs = int(round(n * self.avg_degree * 1.12))
+        if not self.directed:
+            arcs *= 2
+        return arcs * IN_RAM_BUILD_BYTES_PER_ARC + n * 24
+
+    def instantiate_mapped(
+        self,
+        scale: int = DEFAULT_SCALE,
+        seed: SeedLike = None,
+        directory: Optional[str] = None,
+        block_edges: Optional[int] = None,
+    ) -> Graph:
+        """Out-of-core twin of :meth:`instantiate`: chunked generation
+        through the external-merge builder into a CSR directory,
+        byte-identical to the in-RAM graph (same seed stream, same
+        dedup order — ``tests/perf/test_determinism.py`` asserts it at
+        the default scale)."""
+        from repro.graph.build import build_csr_on_disk, choose_block_edges
+        from repro.graph.generators import chung_lu_edge_blocks
+
+        if scale <= 0:
+            raise ConfigurationError("scale must be positive")
+        if directory is None:
+            raise ConfigurationError(
+                "instantiate_mapped needs a target directory"
+            )
+        n = self.scaled_nodes(scale)
+        if seed is None:
+            seed = derive_seed(DEFAULT_SEED, f"dataset:{self.name}")
+        blocks = chung_lu_edge_blocks(
+            n,
+            self.avg_degree,
+            exponent=self.power_law_exponent,
+            seed=seed,
+            block_edges=block_edges or choose_block_edges(self.directed),
+        )
+        return build_csr_on_disk(
+            blocks,
+            num_vertices=n,
+            directory=directory,
+            directed=self.directed,
+            dedup=True,
+            drop_self_loops=True,
+            name=self.name,
+        )
 
 
 #: Table 1 of the paper (K = 1e3, M = 1e6, B = 1e9).
@@ -152,6 +210,84 @@ def _unpack_graph(arrays: Dict[str, np.ndarray]) -> Graph:
 GRAPH_SERIALIZER = ArraySerializer(pack=_pack_graph, unpack=_unpack_graph)
 
 
+# ----------------------------------------------------------------------
+# Out-of-core dispatch
+# ----------------------------------------------------------------------
+
+_OOC: Dict[str, Optional[str]] = {"force": None, "directory": None}
+_SESSION_TMP: Dict[str, Optional[str]] = {"path": None}
+
+
+def configure_out_of_core(
+    force: Optional[bool] = None, directory: Optional[str] = None
+) -> None:
+    """Override the out-of-core auto-dispatch.
+
+    ``force=True`` always builds mapped, ``force=False`` never does,
+    ``None`` restores the budget-based decision (:func:`_use_mapped`).
+    ``directory`` pins where CSR directories land (tests point it at a
+    tmpdir); ``None`` falls back to the cache directory or a session
+    tempdir. Worker processes inherit the setting over ``fork``.
+    """
+    _OOC["force"] = force
+    _OOC["directory"] = directory
+
+
+def _use_mapped(profile: DatasetProfile, scale: int) -> bool:
+    """Mapped iff forced, or a ``--max-ram`` budget is set and the
+    in-RAM build's predicted peak exceeds it."""
+    force = _OOC["force"]
+    if force is not None:
+        return bool(force)
+    budget = streaming_budget_bytes()
+    if budget is None:
+        return False
+    return profile.estimated_build_bytes(scale) > budget
+
+
+def _session_tmp() -> str:
+    """Lazy per-process scratch root for CSR directories when no cache
+    directory is configured; removed at interpreter exit."""
+    if _SESSION_TMP["path"] is None:
+        path = tempfile.mkdtemp(prefix="repro-mapped-")
+        atexit.register(shutil.rmtree, path, ignore_errors=True)
+        _SESSION_TMP["path"] = path
+    return _SESSION_TMP["path"]
+
+
+def _load_mapped(
+    profile: DatasetProfile,
+    key_name: str,
+    scale: int,
+    seed: Optional[int],
+    cache: bool,
+    cache_dir: Optional[str],
+) -> Graph:
+    from repro.graph.io import is_csr_dir, open_mapped
+
+    key = ("dataset-mapped", key_name, scale, seed)
+    cache_obj = get_cache()
+    root = _OOC["directory"] or cache_dir or cache_obj.directory
+    directory = cache_obj.artifact_directory(
+        key, stem=key_name, directory=root or _session_tmp()
+    )
+
+    def build() -> Graph:
+        if is_csr_dir(directory):
+            # Warm disk: the CSR file set persists like an .npz artifact
+            # and re-opens in milliseconds.
+            try:
+                return open_mapped(directory)
+            except (OSError, ValueError, GraphFormatError) as exc:
+                del exc  # stale or torn directory: rebuild in place
+        with timings.span("graph-gen"):
+            return profile.instantiate_mapped(
+                scale=scale, seed=seed, directory=directory
+            )
+
+    return cache_obj.get_or_build(key, build, use_memory=cache)
+
+
 def load_dataset(
     name: str,
     scale: int = DEFAULT_SCALE,
@@ -169,6 +305,13 @@ def load_dataset(
     / legacy ``REPRO_DATASET_CACHE`` environment variables) additionally
     persists ``.npz`` archives so the large stand-ins (Twitter,
     Friendster) load in milliseconds across processes.
+
+    With a ``--max-ram`` budget the in-RAM build cannot meet (or when
+    forced via :func:`configure_out_of_core`), the profile is built
+    out-of-core instead — chunked generation through the external merge
+    into a CSR directory — and served as a byte-identical
+    :class:`repro.graph.io.MappedGraph`; the streaming kernels then
+    dispatch automatically.
     """
     key_name = name.strip().lower().replace("_", "-")
     if key_name not in PAPER_DATASETS:
@@ -177,14 +320,19 @@ def load_dataset(
 
     if cache:
         # Pool workers: the parent may have exported this graph into
-        # shared memory (repro.perf.shm); attaching is a zero-copy mmap,
-        # so it beats even a warm LRU rebuild-from-disk. A miss falls
-        # through to the regular cache path.
+        # shared memory (repro.perf.shm); attaching is a zero-copy mmap
+        # (or a re-opened CSR directory for mapped graphs), so it beats
+        # even a warm LRU rebuild-from-disk. A miss falls through to
+        # the regular cache path.
         from repro.perf.shm import lookup_shared
 
         shared = lookup_shared(("dataset", key_name, scale, seed))
         if shared is not None:
             return shared
+
+    profile = PAPER_DATASETS[key_name]
+    if _use_mapped(profile, scale):
+        return _load_mapped(profile, key_name, scale, seed, cache, cache_dir)
 
     def build() -> Graph:
         with timings.span("graph-gen"):

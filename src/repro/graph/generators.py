@@ -12,7 +12,7 @@ the test-suite because their task results are known in closed form.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Iterator, Optional, Tuple
 
 import numpy as np
 
@@ -20,6 +20,9 @@ from repro.errors import ConfigurationError
 from repro.graph.build import from_edges
 from repro.graph.csr import Graph
 from repro.rng import SeedLike, make_rng
+
+#: Default arcs per block yielded by :func:`chung_lu_edge_blocks`.
+DEFAULT_BLOCK_EDGES = 1 << 21
 
 
 def erdos_renyi(
@@ -82,13 +85,7 @@ def chung_lu(
     and self loops are removed, so realised degree means run slightly
     below the target; dataset profiles compensate by oversampling.
     """
-    if n <= 1:
-        raise ConfigurationError("n must be at least 2")
-    rng = make_rng(seed, label="chung-lu")
-    weights = power_law_degrees(n, avg_degree, exponent, rng)
-    probs = weights / weights.sum()
-    # Oversample ~12% to compensate for dedup/self-loop losses.
-    num_arcs = int(round(n * avg_degree * 1.12))
+    rng, probs, num_arcs = _chung_lu_params(n, avg_degree, exponent, seed)
     src = rng.choice(n, size=num_arcs, p=probs).astype(np.int64)
     dst = rng.choice(n, size=num_arcs, p=probs).astype(np.int64)
     return from_edges(
@@ -100,6 +97,88 @@ def chung_lu(
         drop_self_loops=True,
         name=name,
     )
+
+
+def _chung_lu_params(
+    n: int, avg_degree: float, exponent: float, seed: SeedLike
+) -> Tuple[np.random.Generator, np.ndarray, int]:
+    """Shared setup for :func:`chung_lu` and :func:`chung_lu_edge_blocks`.
+
+    Returns the generator (positioned right after the degree draws), the
+    endpoint sampling distribution, and the oversampled arc count. Both
+    callers must consume the stream identically from here for their
+    outputs to match bit for bit.
+    """
+    if n <= 1:
+        raise ConfigurationError("n must be at least 2")
+    rng = make_rng(seed, label="chung-lu")
+    weights = power_law_degrees(n, avg_degree, exponent, rng)
+    probs = weights / weights.sum()
+    # Oversample ~12% to compensate for dedup/self-loop losses.
+    num_arcs = int(round(n * avg_degree * 1.12))
+    return rng, probs, num_arcs
+
+
+def _advanced_clone(
+    rng: np.random.Generator, draws: int
+) -> Optional[np.random.Generator]:
+    """Clone ``rng`` skipped ``draws`` double-draws ahead, or ``None``
+    when the bit generator cannot advance in O(1) (non-PCG streams)."""
+    bit_gen = rng.bit_generator
+    if not hasattr(bit_gen, "advance"):
+        return None
+    clone = type(bit_gen)()
+    clone.state = bit_gen.state
+    clone.advance(draws)
+    return np.random.Generator(clone)
+
+
+def chung_lu_edge_blocks(
+    n: int,
+    avg_degree: float,
+    exponent: float = 2.1,
+    seed: SeedLike = None,
+    block_edges: int = DEFAULT_BLOCK_EDGES,
+) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+    """Yield the exact arc stream of :func:`chung_lu` in bounded blocks.
+
+    The bit-for-bit contract: concatenating the yielded ``(src, dst)``
+    blocks reproduces the monolithic ``rng.choice`` draws of
+    :func:`chung_lu` exactly, so an out-of-core build from these blocks
+    is byte-identical to the in-RAM graph. Two stream properties make
+    that possible without materialising either endpoint array:
+
+    * ``Generator.choice`` with a probability vector consumes exactly
+      one uniform double per sample, so chunked draws concatenate to
+      the monolithic draw;
+    * PCG64's O(1) ``advance`` lets a cloned generator start the
+      destination stream ``num_arcs`` draws ahead, so source and
+      destination blocks interleave while each generator still emits
+      its stream sequentially.
+
+    A bit generator without ``advance`` falls back to materialising
+    both endpoint arrays once and slicing (correct, not out-of-core);
+    :func:`repro.rng.make_rng` always returns PCG64, so the fallback is
+    never hit in practice.
+    """
+    if block_edges < 1:
+        raise ConfigurationError("block_edges must be positive")
+    rng, probs, num_arcs = _chung_lu_params(n, avg_degree, exponent, seed)
+    block = int(block_edges)
+    if num_arcs == 0:
+        return
+    dst_rng = _advanced_clone(rng, num_arcs)
+    if dst_rng is None:
+        src = rng.choice(n, size=num_arcs, p=probs).astype(np.int64)
+        dst = rng.choice(n, size=num_arcs, p=probs).astype(np.int64)
+        for start in range(0, num_arcs, block):
+            yield src[start : start + block], dst[start : start + block]
+        return
+    for start in range(0, num_arcs, block):
+        size = min(block, num_arcs - start)
+        src = rng.choice(n, size=size, p=probs).astype(np.int64)
+        dst = dst_rng.choice(n, size=size, p=probs).astype(np.int64)
+        yield src, dst
 
 
 def chain(n: int, directed: bool = False, weight: Optional[float] = None) -> Graph:

@@ -1,15 +1,26 @@
-"""Graph serialization: whitespace edge-list text and numpy ``.npz``.
+"""Graph serialization: edge-list text, ``.npz``, and on-disk CSR.
 
 The text format matches what the paper's systems ingest from SNAP dumps:
 one ``src dst [weight]`` triple per line, ``#`` comments allowed. The
 ``.npz`` format round-trips the CSR arrays losslessly and loads orders of
 magnitude faster, which the experiment harness relies on when caching
 synthetic datasets on disk.
+
+The third format is the out-of-core one: a *CSR directory* holding the
+raw arrays as plain ``.npy`` files (``indptr.npy`` / ``indices.npy`` /
+``weights.npy``) plus a ``graph.json`` sidecar with the metadata and the
+content fingerprint. :class:`MappedGraph` serves such a directory
+through ``np.memmap`` views behind the ordinary :class:`Graph`
+interface, so kernels, caches and worker pools handle mapped and
+resident graphs interchangeably — the streaming kernel variants in
+:mod:`repro.graph.csr` dispatch on ``graph.mapped``.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import struct
 from typing import List, Optional, Union
 
 import numpy as np
@@ -19,6 +30,15 @@ from repro.graph.build import from_edges
 from repro.graph.csr import Graph
 
 PathLike = Union[str, "os.PathLike[str]"]
+
+#: Parsed lines buffered per chunk by :func:`read_edge_list`.
+EDGE_LIST_CHUNK_LINES = 65536
+
+#: CSR-directory metadata sidecar name.
+GRAPH_META_NAME = "graph.json"
+
+#: CSR-directory format version written to ``graph.json``.
+CSR_DIR_FORMAT = 1
 
 
 def write_edge_list(graph: Graph, path: PathLike, header: bool = True) -> None:
@@ -49,11 +69,30 @@ def read_edge_list(
 
     Accepts 2-column (unweighted) or 3-column (weighted) rows; blank
     lines and ``#`` comments are skipped. Mixing widths is an error.
+
+    Lines are parsed in :data:`EDGE_LIST_CHUNK_LINES`-sized chunks that
+    are converted to numpy arrays as they fill, so the transient peak
+    is one chunk of Python objects plus the final arrays — not the
+    several-times-final-size list-of-ints the old single-pass
+    accumulation held.
     """
-    srcs: List[int] = []
-    dsts: List[int] = []
-    weights: List[float] = []
+    src_chunks: List[np.ndarray] = []
+    dst_chunks: List[np.ndarray] = []
+    weight_chunks: List[np.ndarray] = []
+    buffer: List[tuple] = []
     width: Optional[int] = None
+
+    def flush() -> None:
+        if not buffer:
+            return
+        src_chunks.append(np.asarray([b[0] for b in buffer], dtype=np.int64))
+        dst_chunks.append(np.asarray([b[1] for b in buffer], dtype=np.int64))
+        if width == 3:
+            weight_chunks.append(
+                np.asarray([b[2] for b in buffer], dtype=np.float64)
+            )
+        buffer.clear()
+
     with open(path, "r", encoding="utf-8") as fh:
         for lineno, line in enumerate(fh, start=1):
             text = line.strip()
@@ -71,16 +110,22 @@ def read_edge_list(
                     f"{path}:{lineno}: inconsistent column count"
                 )
             try:
-                srcs.append(int(parts[0]))
-                dsts.append(int(parts[1]))
                 if width == 3:
-                    weights.append(float(parts[2]))
+                    buffer.append(
+                        (int(parts[0]), int(parts[1]), float(parts[2]))
+                    )
+                else:
+                    buffer.append((int(parts[0]), int(parts[1])))
             except ValueError as exc:
                 raise GraphFormatError(f"{path}:{lineno}: {exc}") from exc
+            if len(buffer) >= EDGE_LIST_CHUNK_LINES:
+                flush()
+    flush()
+    empty = np.empty(0, dtype=np.int64)
     return from_edges(
-        np.asarray(srcs, dtype=np.int64),
-        np.asarray(dsts, dtype=np.int64),
-        np.asarray(weights, dtype=np.float64) if weights else None,
+        np.concatenate(src_chunks) if src_chunks else empty,
+        np.concatenate(dst_chunks) if dst_chunks else empty,
+        np.concatenate(weight_chunks) if weight_chunks else None,
         num_vertices=num_vertices,
         directed=directed,
         dedup=dedup,
@@ -114,3 +159,224 @@ def load_npz(path: PathLike) -> Graph:
             directed=bool(data["directed"][0]),
             name=str(data["name"][0]),
         )
+
+
+# ----------------------------------------------------------------------
+# On-disk CSR directories and memory-mapped graphs
+# ----------------------------------------------------------------------
+
+
+class NpyStreamWriter:
+    """Stream 1-D array chunks into ``path`` as a standard ``.npy`` file.
+
+    The element count is unknown until the stream ends (the external
+    merge discovers the deduplicated arc count as it goes), so a
+    fixed-width version-1.0 header with the shape field padded to
+    reserve 20 count digits is written up front and patched in place on
+    :meth:`close`. The result is indistinguishable from ``np.save``
+    output: ``np.load`` reads it plain or with ``mmap_mode``.
+    """
+
+    #: Total header bytes including magic — a multiple of 64, as the
+    #: ``.npy`` spec requests for alignment, and wide enough for any
+    #: int64-counted shape.
+    HEADER_BYTES = 128
+
+    _MAGIC = b"\x93NUMPY\x01\x00"
+
+    def __init__(self, path: PathLike, dtype) -> None:
+        self.path = os.fspath(path)
+        self.dtype = np.dtype(dtype)
+        self.count = 0
+        self._fh: Optional[object] = open(self.path, "wb")
+        self._fh.write(self._header(0))
+
+    def _header(self, count: int) -> bytes:
+        descr = np.lib.format.dtype_to_descr(self.dtype)
+        body = (
+            "{'descr': %r, 'fortran_order': False, 'shape': (%d,), }"
+            % (descr, count)
+        )
+        room = self.HEADER_BYTES - len(self._MAGIC) - 2
+        if len(body) + 1 > room:
+            raise GraphFormatError(
+                f"{self.path}: .npy header does not fit {room} bytes"
+            )
+        body = body + " " * (room - len(body) - 1) + "\n"
+        return self._MAGIC + struct.pack("<H", room) + body.encode("latin1")
+
+    def write(self, chunk: np.ndarray) -> None:
+        """Append one 1-D chunk (converted to the writer's dtype)."""
+        chunk = np.ascontiguousarray(chunk, dtype=self.dtype)
+        self._fh.write(chunk.tobytes())
+        self.count += chunk.size
+
+    def close(self) -> int:
+        """Patch the real element count into the header; returns it."""
+        if self._fh is None:
+            return self.count
+        self._fh.flush()
+        self._fh.seek(0)
+        self._fh.write(self._header(self.count))
+        self._fh.close()
+        self._fh = None
+        return self.count
+
+    def __enter__(self) -> "NpyStreamWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class MappedGraph(Graph):
+    """A :class:`Graph` whose CSR arrays are read-only ``np.memmap``
+    views over a CSR directory.
+
+    Construction bypasses ``Graph.__init__`` — its O(m) validation
+    would fault every page in — and trusts the builder-verified
+    ``graph.json`` metadata instead, the same trick
+    ``SharedGraphRegistry.attach`` uses for shared segments. The
+    fingerprint is computed once at build time by streaming the files
+    in the exact byte order :attr:`Graph.fingerprint` hashes, so
+    cache keys match the equivalent in-RAM graph exactly.
+
+    Pickling carries only the directory path: workers re-open the maps,
+    so handing a mapped graph to a ``--jobs N`` pool ships a path, not
+    a graph.
+    """
+
+    __slots__ = ("directory",)
+
+    mapped = True
+
+    def __reduce__(self):
+        return (open_mapped, (self.directory,))
+
+
+def _meta_path(directory: PathLike) -> str:
+    return os.path.join(os.fspath(directory), GRAPH_META_NAME)
+
+
+def is_csr_dir(directory: PathLike) -> bool:
+    """True when ``directory`` looks like a complete CSR directory."""
+    directory = os.fspath(directory)
+    if not os.path.isfile(_meta_path(directory)):
+        return False
+    return all(
+        os.path.isfile(os.path.join(directory, name))
+        for name in ("indptr.npy", "indices.npy")
+    )
+
+
+def write_csr_meta(
+    directory: PathLike,
+    name: str,
+    directed: bool,
+    num_vertices: int,
+    num_arcs: int,
+    weighted: bool,
+    fingerprint: str,
+) -> None:
+    """Write the ``graph.json`` sidecar of a CSR directory."""
+    meta = {
+        "format": CSR_DIR_FORMAT,
+        "name": name,
+        "directed": bool(directed),
+        "num_vertices": int(num_vertices),
+        "num_arcs": int(num_arcs),
+        "weighted": bool(weighted),
+        "fingerprint": fingerprint,
+    }
+    path = _meta_path(directory)
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(meta, fh, indent=2, sort_keys=True)
+    os.replace(tmp, path)
+
+
+def fingerprint_csr_dir(directory: PathLike, chunk_bytes: int = 1 << 24) -> str:
+    """Content hash of a CSR directory's arrays, streamed file by file
+    in the exact byte order :attr:`Graph.fingerprint` hashes, so mapped
+    and resident twins share one fingerprint (and thus every cached
+    derived artifact)."""
+    import hashlib
+
+    directory = os.fspath(directory)
+    with open(_meta_path(directory), "r", encoding="utf-8") as fh:
+        meta = json.load(fh)
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(b"directed" if meta["directed"] else b"undirected")
+    names = ["indptr.npy", "indices.npy"]
+    if meta["weighted"]:
+        names.append("weights.npy")
+    for file_name in names:
+        array = np.load(os.path.join(directory, file_name), mmap_mode="r")
+        step = max(1, chunk_bytes // array.itemsize)
+        for start in range(0, array.size, step):
+            digest.update(
+                np.ascontiguousarray(array[start : start + step]).tobytes()
+            )
+    return digest.hexdigest()
+
+
+def open_mapped(directory: PathLike) -> MappedGraph:
+    """Open a CSR directory as a :class:`MappedGraph` (zero-copy)."""
+    directory = os.fspath(directory)
+    meta_path = _meta_path(directory)
+    if not os.path.isfile(meta_path):
+        raise GraphFormatError(f"{directory}: not a CSR directory")
+    with open(meta_path, "r", encoding="utf-8") as fh:
+        meta = json.load(fh)
+    if meta.get("format") != CSR_DIR_FORMAT:
+        raise GraphFormatError(
+            f"{directory}: unsupported CSR directory format "
+            f"{meta.get('format')!r}"
+        )
+    indptr = np.load(os.path.join(directory, "indptr.npy"), mmap_mode="r")
+    indices = np.load(os.path.join(directory, "indices.npy"), mmap_mode="r")
+    weights = None
+    if meta["weighted"]:
+        weights = np.load(
+            os.path.join(directory, "weights.npy"), mmap_mode="r"
+        )
+    if indptr.size != meta["num_vertices"] + 1 or (
+        indices.size != meta["num_arcs"]
+    ):
+        raise GraphFormatError(
+            f"{directory}: array sizes disagree with graph.json"
+        )
+    graph = MappedGraph.__new__(MappedGraph)
+    graph.indptr = indptr
+    graph.indices = indices
+    graph.weights = weights
+    graph.directed = bool(meta["directed"])
+    graph.name = str(meta["name"])
+    graph._degrees = None
+    graph._fingerprint = str(meta["fingerprint"])
+    graph._spread = None
+    graph.directory = directory
+    return graph
+
+
+def save_mapped(graph: Graph, directory: PathLike) -> MappedGraph:
+    """Write ``graph``'s CSR arrays into ``directory`` and open the
+    result as a :class:`MappedGraph` (for converting resident graphs —
+    the out-of-core builder writes directories without ever holding the
+    arrays, see :func:`repro.graph.build.build_csr_on_disk`)."""
+    directory = os.fspath(directory)
+    os.makedirs(directory, exist_ok=True)
+    np.save(os.path.join(directory, "indptr.npy"), graph.indptr)
+    np.save(os.path.join(directory, "indices.npy"), graph.indices)
+    if graph.weights is not None:
+        np.save(os.path.join(directory, "weights.npy"), graph.weights)
+    write_csr_meta(
+        directory,
+        name=graph.name,
+        directed=graph.directed,
+        num_vertices=graph.num_vertices,
+        num_arcs=graph.num_arcs,
+        weighted=graph.weights is not None,
+        fingerprint=graph.fingerprint,
+    )
+    return open_mapped(directory)

@@ -222,6 +222,26 @@ class ArtifactCache:
         kind = stem or (str(key[0]) if key else "artifact")
         return os.path.join(directory, f"{kind}-{digest}.npz")
 
+    def artifact_directory(
+        self,
+        key: Tuple,
+        stem: Optional[str] = None,
+        directory: Optional[str] = None,
+    ) -> Optional[str]:
+        """Deterministic ``.csr`` directory path for directory-shaped
+        artifacts (the on-disk CSR file sets behind
+        :class:`repro.graph.io.MappedGraph`), addressed like the npz
+        store: same key digest, ``.csr`` suffix. Returns ``None`` when
+        no disk directory is configured."""
+        directory = directory or self.directory
+        if not directory:
+            return None
+        digest = hashlib.blake2b(
+            repr(key).encode("utf-8"), digest_size=16
+        ).hexdigest()
+        kind = stem or (str(key[0]) if key else "artifact")
+        return os.path.join(directory, f"{kind}-{digest}.csr")
+
     def _store(
         self, path: str, value: Any, serializer: ArraySerializer
     ) -> None:

@@ -50,6 +50,7 @@ __all__ = [
     "NumaTopology",
     "MODES",
     "REPLICATE_THRESHOLD_BYTES",
+    "MIN_REPLICATE_THRESHOLD_BYTES",
     "parse_cpu_list",
     "discover",
     "configure_numa",
@@ -64,6 +65,7 @@ __all__ = [
     "replication_nodes",
     "segment_placement",
     "replicate_threshold",
+    "adapt_replicate_threshold",
     "budgeted_worker_count",
     "numa_stats",
     "reset_numa_state",
@@ -79,8 +81,15 @@ MODES = ("auto", "off", "replicate", "interleave")
 
 #: ``auto`` mode replicates a graph segment per node once it exceeds
 #: this many bytes; smaller segments stay interleaved — the copy cost
-#: would exceed the cross-node read traffic it saves.
+#: would exceed the cross-node read traffic it saves. This is the
+#: *starting* cutoff: :func:`adapt_replicate_threshold` revises it from
+#: the measured per-segment cross-node read volume after each pool run.
 REPLICATE_THRESHOLD_BYTES = 4 << 20
+
+#: Floor for the adaptive threshold: below this, per-node copies cost
+#: more (page-table churn, cache pollution) than any cross-node read
+#: they could save, regardless of what the counters suggest.
+MIN_REPLICATE_THRESHOLD_BYTES = 256 << 10
 
 #: Conservative DRAM budget one pool worker is assumed to need (graph
 #: views, scratch arenas, serialized results). ``--jobs 0`` divides each
@@ -283,6 +292,9 @@ _CONFIG: Dict[str, object] = {
     "mode": "auto",
     "topology": None,  # override (tests/benchmarks); None -> discover()
     "replicate_threshold": REPLICATE_THRESHOLD_BYTES,
+    # True once a caller pins the threshold explicitly (tests, CLI):
+    # the adaptive update then leaves it alone.
+    "replicate_threshold_overridden": False,
     "worker_memory_bytes": DEFAULT_WORKER_MEMORY_BYTES,
 }
 
@@ -332,6 +344,7 @@ def configure_numa(
         _DISCOVERED = None
     if replicate_threshold is not None:
         _CONFIG["replicate_threshold"] = int(replicate_threshold)
+        _CONFIG["replicate_threshold_overridden"] = True
     if worker_memory_bytes is not None:
         worker_memory_bytes = int(worker_memory_bytes)
         if worker_memory_bytes <= 0:
@@ -484,6 +497,58 @@ def replicate_threshold() -> int:
     return int(_CONFIG["replicate_threshold"])  # type: ignore[arg-type]
 
 
+#: Parent-side record of the last adaptive-threshold update, surfaced
+#: via :func:`numa_stats` so reports show *why* the cutoff moved.
+_ADAPT: Dict[str, object] = {"adaptations": 0, "from": None, "signal": None}
+
+
+def adapt_replicate_threshold(shm_counters: Dict[str, int]) -> Optional[int]:
+    """Revise the ``auto``-mode replicate cutoff from measured traffic.
+
+    The fixed :data:`REPLICATE_THRESHOLD_BYTES` cutoff guesses where
+    replication starts paying off; the shm layer now measures the real
+    signal — ``cross_node_reads`` / ``cross_node_read_bytes`` count each
+    interleaved-segment attach by a worker pinned off the segment's node,
+    scored by segment size (:meth:`repro.perf.shm.SharedGraphRegistry`).
+    After a pool run the parent calls this with the folded counters: the
+    new cutoff is the average cross-node read volume split across nodes
+    (one replica per node amortises that many bytes of remote traffic),
+    clamped to [:data:`MIN_REPLICATE_THRESHOLD_BYTES`,
+    :data:`REPLICATE_THRESHOLD_BYTES`].
+
+    Inert — returns ``None`` without touching the config — unless the
+    mode is ``auto``, the threshold was not pinned explicitly via
+    :func:`configure_numa`, the topology is multi-node, and at least one
+    cross-node read was observed. Placement is still deterministic: the
+    threshold only moves *between* pool runs, never mid-export.
+    """
+    if numa_mode() != "auto" or _CONFIG["replicate_threshold_overridden"]:
+        return None
+    if active_topology().num_nodes <= 1:
+        return None
+    reads = int(shm_counters.get("cross_node_reads", 0) or 0)
+    volume = int(shm_counters.get("cross_node_read_bytes", 0) or 0)
+    if reads <= 0 or volume <= 0:
+        return None
+    per_read = volume // reads
+    revised = per_read // active_topology().num_nodes
+    revised = max(
+        MIN_REPLICATE_THRESHOLD_BYTES,
+        min(revised, REPLICATE_THRESHOLD_BYTES),
+    )
+    previous = int(_CONFIG["replicate_threshold"])  # type: ignore[arg-type]
+    if revised != previous:
+        _ADAPT["from"] = previous
+        _ADAPT["adaptations"] = int(_ADAPT["adaptations"]) + 1
+        _CONFIG["replicate_threshold"] = revised
+    _ADAPT["signal"] = {
+        "cross_node_reads": reads,
+        "cross_node_read_bytes": volume,
+        "bytes_per_read": per_read,
+    }
+    return revised
+
+
 # ----------------------------------------------------------------------
 # Memory-budgeted worker counts (--jobs 0)
 # ----------------------------------------------------------------------
@@ -551,6 +616,16 @@ def numa_stats() -> Dict[str, object]:
         "worker_budget": {
             node: dict(record) for node, record in _BUDGET.items()
         },
+        "replicate_threshold_bytes": replicate_threshold(),
+        "replicate_threshold_overridden": bool(
+            _CONFIG["replicate_threshold_overridden"]
+        ),
+        "replicate_threshold_adaptations": int(_ADAPT["adaptations"]),
+        "replicate_threshold_signal": (
+            dict(_ADAPT["signal"])  # type: ignore[call-overload]
+            if _ADAPT["signal"] is not None
+            else None
+        ),
     }
 
 
@@ -561,10 +636,12 @@ def reset_numa_state() -> None:
         mode="auto",
         topology=None,
         replicate_threshold=REPLICATE_THRESHOLD_BYTES,
+        replicate_threshold_overridden=False,
         worker_memory_bytes=DEFAULT_WORKER_MEMORY_BYTES,
     )
     _DISCOVERED = None
     _WARNED.clear()
     _WORKERS.clear()
     _BUDGET.clear()
+    _ADAPT.update({"adaptations": 0, "from": None, "signal": None})
     _WORKER.update(node=None, pinned=False, slot=None)

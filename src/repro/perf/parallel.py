@@ -166,7 +166,7 @@ def _timed_call(fn: Callable, args: tuple) -> tuple:
     the same dict under a ``shm_`` prefix; the worker's NUMA placement
     rides under ``numa_worker``)."""
     global _TIMING_BASELINE
-    from repro.perf import numa, shm
+    from repro.perf import memory, numa, shm
     from repro.perf.cache import get_cache
 
     if _TIMING_BASELINE is None:  # bootstrapped by an older-style pool
@@ -187,6 +187,9 @@ def _timed_call(fn: Callable, args: tuple) -> tuple:
     placement = numa.worker_placement()
     if placement is not None:
         delta["numa_worker"] = placement
+    peak = memory.peak_rss_bytes()
+    if peak is not None:
+        delta["mem_peak_rss"] = peak
     snap = timings.snapshot()
     shipped = timings.diff(_TIMING_BASELINE, snap)
     _TIMING_BASELINE = snap
@@ -335,7 +338,7 @@ def _pool_map(
             boot_args,
         )
 
-    from repro.perf import shm
+    from repro.perf import memory, shm
     from repro.perf.cache import get_cache
 
     results = []
@@ -344,6 +347,9 @@ def _pool_map(
         placement = stats_delta.pop("numa_worker", None)
         if placement is not None:
             numa.record_worker(**placement)
+        worker_peak = stats_delta.pop("mem_peak_rss", None)
+        if worker_peak is not None:
+            memory.record_worker_peak(int(worker_peak))
         get_cache().stats.merge(stats_delta)
         shm.merge_counters(
             {
@@ -353,6 +359,10 @@ def _pool_map(
             }
         )
         results.append(result)
+    # With the workers' locality counters folded in, let auto mode
+    # revise its replicate-vs-interleave cutoff for the next pool run
+    # (a no-op unless cross-node reads were actually observed).
+    numa.adapt_replicate_threshold(shm.shm_stats())
     return results
 
 

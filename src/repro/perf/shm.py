@@ -141,6 +141,11 @@ class GraphHandle:
     weighted: bool
     replicas: Tuple[Tuple[int, str], ...] = ()
     placement: str = "single"
+    #: CSR directory path for memory-mapped graphs: instead of a copied
+    #: segment, workers re-open the mapped files (``placement`` is then
+    #: ``"mapped"`` and ``segment`` is empty). The page cache makes the
+    #: mapping physically shared across the pool — true zero-copy.
+    mapped_dir: Optional[str] = None
 
     @property
     def nbytes(self) -> int:
@@ -200,6 +205,17 @@ class SharedGraphRegistry:
             "node_local_attaches": 0,
             "huge_page_segments": 0,
             "huge_page_bytes": 0,
+            "mapped_exports": 0,
+            "mapped_attaches": 0,
+            # Observed read locality, the signal behind the adaptive
+            # --numa auto replicate threshold: each attach on a
+            # multi-node topology is scored as one full-graph read from
+            # the segment it landed on (every kernel pass streams the
+            # whole CSR at least once, so segment size per attach is
+            # the honest first-order volume estimate).
+            "cross_node_reads": 0,
+            "cross_node_read_bytes": 0,
+            "local_read_bytes": 0,
         }
 
     def _request_huge_pages(self, segment, nbytes: int) -> None:
@@ -243,6 +259,27 @@ class SharedGraphRegistry:
             self.counters["export_reuses"] += 1
             self._handles[key] = cached[1]
             return cached[1]
+        if graph.mapped:
+            # Memory-mapped graph: the CSR files *are* the shared
+            # segment (page cache), so export records a path, copies
+            # nothing, and workers re-open the maps.
+            handle = GraphHandle(
+                segment="",
+                fingerprint=fingerprint,
+                name=graph.name,
+                directed=graph.directed,
+                indptr_len=graph.indptr.size,
+                indices_len=graph.indices.size,
+                weighted=graph.weights is not None,
+                placement="mapped",
+                mapped_dir=getattr(graph, "directory", None),
+            )
+            if handle.mapped_dir is None:
+                return None
+            self._segments[fingerprint] = (None, handle)
+            self._handles[key] = handle
+            self.counters["mapped_exports"] += 1
+            return handle
         try:
             from multiprocessing import shared_memory
         except ImportError:  # pragma: no cover - always present on Linux
@@ -308,6 +345,8 @@ class SharedGraphRegistry:
     def shutdown(self) -> None:
         """Unlink every exported segment (idempotent; parent only)."""
         for segment, _ in self._segments.values():
+            if segment is None:  # mapped graph: no segment to unlink
+                continue
             try:
                 segment.close()
                 segment.unlink()
@@ -354,6 +393,19 @@ class SharedGraphRegistry:
         if cached is not None:
             self.counters["attach_reuses"] += 1
             return cached[1]
+        if handle.mapped_dir is not None:
+            from repro.errors import GraphFormatError
+            from repro.graph.io import open_mapped
+
+            try:
+                graph = open_mapped(handle.mapped_dir)
+            except (OSError, ValueError, GraphFormatError):
+                return None
+            self._attached[handle.fingerprint] = ((), graph)
+            self.counters["attaches"] += 1
+            self.counters["mapped_attaches"] += 1
+            self._note_read_locality(handle, node_local=False)
+            return graph
         try:
             from multiprocessing import shared_memory
         except ImportError:  # pragma: no cover - always present on Linux
@@ -388,7 +440,31 @@ class SharedGraphRegistry:
         # they ride in the process-lifetime cache alongside the Graph.
         self._attached[handle.fingerprint] = (keepalive, graph)
         self.counters["attaches"] += 1
+        node_local = len(keepalive) > 0 and keepalive[0].name != handle.segment
+        self._note_read_locality(handle, node_local=node_local)
         return graph
+
+    def _note_read_locality(
+        self, handle: GraphHandle, node_local: bool
+    ) -> None:
+        """Score one attach's expected read volume by locality.
+
+        Only meaningful when this worker is pinned to a NUMA node on a
+        multi-node topology: a node-local replica attach reads locally;
+        a primary (interleaved or remote) or mapped attach streams the
+        graph across the interconnect in first-order approximation.
+        These counters ride home through the pool's ``shm_`` delta
+        channel and feed :func:`repro.perf.numa.adapt_replicate_threshold`.
+        """
+        from repro.perf import numa
+
+        if numa.current_worker_node() is None:
+            return
+        if node_local:
+            self.counters["local_read_bytes"] += handle.nbytes
+        else:
+            self.counters["cross_node_reads"] += 1
+            self.counters["cross_node_read_bytes"] += handle.nbytes
 
     def _attach_node_local(self, handle: GraphHandle, shared_memory):
         """Map this worker's node replica, or None for the primary path.

@@ -20,6 +20,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Dict, Iterator, Optional
 
+from repro.perf import memory
+
 __all__ = [
     "PhaseTotal",
     "add",
@@ -57,6 +59,10 @@ def add(name: str, seconds: float, count: int = 1) -> None:
         total = _TIMINGS[name] = PhaseTotal()
     total.seconds += seconds
     total.count += count
+    # Piggyback the per-phase RSS high-water sampling on the timing
+    # ticks: the throttle inside note_phase keeps this off the hot
+    # path (one /proc read per SAMPLE_EVERY calls per phase).
+    memory.note_phase(name, sampled=True)
 
 
 @contextmanager

@@ -22,6 +22,8 @@ from repro.graph.csr import (
     dedup_pairs,
     dedup_pairs_dense,
     expand_frontier,
+    iter_frontier_blocks,
+    streaming_block_arcs,
     use_dense_cells,
 )
 from repro.messages.routing import MessageRouter
@@ -90,6 +92,10 @@ class BKHSKernel(TaskKernel):
                 done=True,
             )
 
+        block_arcs = streaming_block_arcs(graph)
+        if block_arcs is not None:
+            return self._advance_streaming(block_arcs)
+
         arena = self.arena
         arena.new_round()
         rows, verts = self._frontier_rows, self._frontier_verts
@@ -131,8 +137,80 @@ class BKHSKernel(TaskKernel):
             self._frontier_rows = np.empty(0, dtype=np.int64)
             self._frontier_verts = np.empty(0, dtype=np.int64)
 
+        return self._expand_summary(verts)
+
+    def _advance_streaming(self, block_arcs: int) -> RoundSummary:
+        """Block-streaming expansion round for memory-mapped graphs.
+
+        Frontier slices bounded by combined out-degree
+        (:func:`iter_frontier_blocks`) expand one at a time through the
+        arena. Bit-identical to the monolithic round: the visited table
+        makes per-block fresh sets *disjoint* (a cell discovered in an
+        earlier block is already marked when a later block touches it),
+        so concatenating them and sorting the composite keys recovers
+        exactly the monolithic row-major frontier.
+        """
+        graph = self.graph
+        arena = self.arena
+        rows, verts = self._frontier_rows, self._frontier_verts
+        n = graph.num_vertices
+        degrees = self._degrees[verts]
+        fresh_lists = []
+        for lo, hi in iter_frontier_blocks(degrees, block_arcs):
+            blk_rows = rows[lo:hi]
+            blk_verts = verts[lo:hi]
+            arena.new_round()
+            tick = perf_counter()
+            arc_pos, counts, kept = expand_frontier(graph, blk_verts, arena)
+            if arc_pos.size == 0:
+                timings.add("kernel.expand", perf_counter() - tick)
+                continue
+            src_rows = blk_rows if kept is None else blk_rows[kept]
+            nbr = np.take(
+                graph.indices, arc_pos, out=arena.take(arc_pos.size)
+            )
+            msg_rows = np.repeat(src_rows, counts)
+            tock = perf_counter()
+            timings.add("kernel.expand", tock - tick)
+            if use_dense_cells(msg_rows.size, self._pair_mask.size):
+                cell_rows, cell_verts = dedup_pairs_dense(
+                    msg_rows, nbr, self._pair_mask, arena
+                )
+            else:
+                cell_rows, cell_verts = dedup_pairs(msg_rows, nbr, n, arena)
+            tick = perf_counter()
+            timings.add("kernel.dedup", tick - tock)
+            fresh = ~self._visited[cell_rows, cell_verts]
+            # Boolean indexing copies out of the arena, so the fresh
+            # cells survive the next block's new_round().
+            new_rows = cell_rows[fresh]
+            new_verts = cell_verts[fresh]
+            if new_rows.size:
+                self._visited[new_rows, new_verts] = True
+                fresh_lists.append(new_rows * np.int64(n) + new_verts)
+            timings.add("kernel.frontier", perf_counter() - tick)
+
+        tick = perf_counter()
+        if fresh_lists:
+            if len(fresh_lists) == 1:
+                keys = fresh_lists[0]  # row-major within a block already
+            else:
+                keys = np.concatenate(fresh_lists)
+                keys.sort()  # disjoint sets: sort alone restores order
+            self._frontier_rows, self._frontier_verts = np.divmod(
+                keys, np.int64(n)
+            )
+        else:
+            self._frontier_rows = np.empty(0, dtype=np.int64)
+            self._frontier_verts = np.empty(0, dtype=np.int64)
+        timings.add("kernel.frontier", perf_counter() - tick)
+        return self._expand_summary(verts)
+
+    def _expand_summary(self, verts: np.ndarray) -> RoundSummary:
+        """Emission accounting shared by the monolithic and streaming
+        expansion rounds (``verts`` is the round's sending frontier)."""
         updates_per_vertex = np.bincount(
-            verts, minlength=graph.num_vertices
+            verts, minlength=self.graph.num_vertices
         ).astype(np.float64)
         active = np.flatnonzero(updates_per_vertex > 0)
         blocks = updates_per_vertex[active] * self._scale

@@ -24,8 +24,10 @@ import numpy as np
 from repro.graph.csr import (
     Graph,
     expand_frontier,
+    iter_frontier_blocks,
     scatter_min_dense,
     segment_min,
+    streaming_block_arcs,
     use_dense_cells,
 )
 from repro.messages.routing import MessageRouter
@@ -78,6 +80,9 @@ class MSSPKernel(TaskKernel):
 
     def _advance(self) -> RoundSummary:
         graph = self.graph
+        block_arcs = streaming_block_arcs(graph)
+        if block_arcs is not None:
+            return self._advance_streaming(block_arcs)
         arena = self.arena
         arena.new_round()
         rows, verts = self._frontier_rows, self._frontier_verts
@@ -171,6 +176,115 @@ class MSSPKernel(TaskKernel):
         updates_per_vertex = np.bincount(
             verts, minlength=graph.num_vertices
         ).astype(np.float64)
+        return self._summary_for(verts, updates_per_vertex, done)
+
+    def _advance_streaming(self, block_arcs: int) -> RoundSummary:
+        """Block-streaming round for memory-mapped graphs.
+
+        The frontier is cut into slices whose combined out-degree fits
+        ``block_arcs`` (:func:`iter_frontier_blocks`), so at most one
+        block's arc gather is resident at a time; the arena recycles the
+        buffers across blocks. Bit-identical to the monolithic round:
+        the source distances are snapshotted before any scatter (the
+        monolithic path reads every candidate first), ``min`` is
+        order-independent, and per-block improved sets union to exactly
+        the monolithic improved set (a cell improves against a running
+        minimum iff it improves against the round-start value), merged
+        back into row-major frontier order by a sort over composite keys.
+        """
+        graph = self.graph
+        arena = self.arena
+        rows, verts = self._frontier_rows, self._frontier_verts
+        n = graph.num_vertices
+        if verts.size == 0:
+            return self._summary_for(
+                np.empty(0, dtype=np.int64), np.empty(0), done=True
+            )
+        # Snapshot: block K's scatters must not feed block K+1's sends.
+        source_dist = self._dist[rows, verts]
+        degrees = self._degrees[verts]
+        winner_lists = []
+        expanded_any = False
+        for lo, hi in iter_frontier_blocks(degrees, block_arcs):
+            blk_rows = rows[lo:hi]
+            blk_verts = verts[lo:hi]
+            blk_dist = source_dist[lo:hi]
+            arena.new_round()
+            tick = perf_counter()
+            arc_pos, counts, kept = expand_frontier(graph, blk_verts, arena)
+            if arc_pos.size == 0:
+                timings.add("kernel.expand", perf_counter() - tick)
+                continue
+            expanded_any = True
+            src_rows = blk_rows if kept is None else blk_rows[kept]
+            src_dist = blk_dist if kept is None else blk_dist[kept]
+            nbr = np.take(
+                graph.indices, arc_pos, out=arena.take(arc_pos.size)
+            )
+            msg_rows = np.repeat(src_rows, counts)
+            cand = np.repeat(src_dist, counts)
+            if graph.weights is not None:
+                weights = np.take(
+                    graph.weights,
+                    arc_pos,
+                    out=arena.take(arc_pos.size, np.float64),
+                )
+                cand += weights
+            else:
+                cand += 1.0
+            tock = perf_counter()
+            timings.add("kernel.expand", tock - tick)
+            if use_dense_cells(msg_rows.size, self._pair_mask.size):
+                cells, before, best = scatter_min_dense(
+                    msg_rows, nbr, cand, self._dist, self._pair_mask, arena
+                )
+                improved = best < before
+                if improved.any():
+                    # flatnonzero-fresh array; the boolean index copies,
+                    # so the keys survive the next block's new_round().
+                    winner_lists.append(cells[improved])
+            else:
+                cell_rows, cell_verts, best = segment_min(
+                    msg_rows, nbr, cand, n, arena
+                )
+                current = self._dist[cell_rows, cell_verts]
+                improved = best < current
+                if improved.any():
+                    improved_rows = cell_rows[improved]
+                    improved_verts = cell_verts[improved]
+                    self._dist[improved_rows, improved_verts] = best[improved]
+                    winner_lists.append(
+                        improved_rows * np.int64(n) + improved_verts
+                    )
+            timings.add("kernel.reduce", perf_counter() - tock)
+
+        if not expanded_any:
+            return self._summary_for(
+                np.empty(0, dtype=np.int64), np.empty(0), done=True
+            )
+        tick = perf_counter()
+        if winner_lists:
+            if len(winner_lists) == 1:
+                keys = winner_lists[0]  # already row-major within a block
+            else:
+                keys = np.concatenate(winner_lists)
+                keys.sort()
+                boundary = np.empty(keys.size, dtype=bool)
+                boundary[0] = True
+                np.not_equal(keys[1:], keys[:-1], out=boundary[1:])
+                keys = keys[boundary]
+            self._frontier_rows, self._frontier_verts = np.divmod(
+                keys, np.int64(n)
+            )
+            done = self._round >= self.max_rounds
+        else:
+            self._frontier_rows = np.empty(0, dtype=np.int64)
+            self._frontier_verts = np.empty(0, dtype=np.int64)
+            done = True
+        timings.add("kernel.frontier", perf_counter() - tick)
+        updates_per_vertex = np.bincount(verts, minlength=n).astype(
+            np.float64
+        )
         return self._summary_for(verts, updates_per_vertex, done)
 
     def _summary_for(

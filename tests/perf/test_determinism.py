@@ -133,6 +133,84 @@ class TestNumaInvariance:
         assert replicated == interleaved
 
 
+class TestMappedGraphInvariance:
+    """Out-of-core graphs (memory-mapped CSR directories plus the
+    block-streaming kernel variants they dispatch to) vs the in-RAM
+    path: same Markdown rows, same metric streams, same graph bits."""
+
+    @pytest.fixture(autouse=True)
+    def _restore_out_of_core(self):
+        from repro.graph import datasets
+        from repro.graph.csr import configure_streaming
+
+        yield
+        datasets.configure_out_of_core(None, None)
+        configure_streaming(None)
+
+    def _mapped_run(self, jobs, directory):
+        from repro.graph import datasets
+
+        datasets.configure_out_of_core(force=True, directory=str(directory))
+        try:
+            return _run(jobs=jobs)
+        finally:
+            datasets.configure_out_of_core(None, None)
+
+    def test_mapped_vs_in_ram_serial(self, tmp_path):
+        assert self._mapped_run(1, tmp_path) == _run(jobs=1)
+
+    def test_mapped_vs_in_ram_pool(self, tmp_path):
+        assert self._mapped_run(JOBS, tmp_path) == _run(jobs=JOBS)
+
+    def test_mapped_cold_vs_warm(self, tmp_path):
+        cold = self._mapped_run(1, tmp_path)
+        # Same directory: the second run reopens the CSR files on disk.
+        warm = self._mapped_run(1, tmp_path)
+        assert cold == warm
+
+    def test_chunked_build_bits_at_scale_400(self, tmp_path):
+        from repro.graph.datasets import PAPER_DATASETS
+
+        profile = PAPER_DATASETS["twitter"]
+        in_ram = profile.instantiate(scale=400)
+        mapped = profile.instantiate_mapped(
+            scale=400, directory=str(tmp_path / "twitter.csr")
+        )
+        import numpy as np
+
+        assert (
+            np.asarray(in_ram.indptr).tobytes()
+            == np.asarray(mapped.indptr).tobytes()
+        )
+        assert (
+            np.asarray(in_ram.indices).tobytes()
+            == np.asarray(mapped.indices).tobytes()
+        )
+        assert in_ram.fingerprint == mapped.fingerprint
+
+    def test_engine_outputs_at_scale_400(self, tmp_path):
+        from repro.graph import datasets
+
+        def metrics():
+            graph = load_dataset("twitter", scale=400)
+            cluster = cluster_by_name("galaxy-8", scale=400)
+            job = MultiProcessingJob("pregel+", cluster)
+            run = job.run(make_task("mssp", graph, 64.0),
+                          num_batches=2, seed=5)
+            return json.dumps(
+                run.to_dict(include_rounds=True), sort_keys=True
+            )
+
+        in_ram = metrics()
+        clear_cache()
+        datasets.configure_out_of_core(force=True, directory=str(tmp_path))
+        try:
+            mapped = metrics()
+        finally:
+            datasets.configure_out_of_core(None, None)
+        assert in_ram == mapped
+
+
 class TestRoundStreamInvariance:
     """Per-round metric streams, not just rendered tables."""
 

@@ -391,3 +391,68 @@ class TestMemoryBudgetedWorkers:
         # /proc/meminfo exists on Linux; elsewhere the field stays None.
         if os.path.exists("/proc/meminfo"):
             assert topo.nodes[0].memory_bytes > 0
+
+
+class TestAdaptiveReplicateThreshold:
+    """``--numa auto`` revises the replicate cutoff from measured
+    cross-node read traffic instead of trusting the fixed 4 MiB guess."""
+
+    def _signal(self, reads, total_bytes):
+        return {
+            "cross_node_reads": reads,
+            "cross_node_read_bytes": total_bytes,
+        }
+
+    def test_auto_mode_adapts_from_measured_traffic(self):
+        numa.configure_numa(mode="auto", topology=two_node_topology())
+        revised = numa.adapt_replicate_threshold(self._signal(4, 8 << 20))
+        # 2 MiB average read split across 2 nodes -> 1 MiB cutoff.
+        assert revised == 1 << 20
+        stats = numa.numa_stats()
+        assert stats["replicate_threshold_bytes"] == 1 << 20
+        assert stats["replicate_threshold_adaptations"] == 1
+        assert stats["replicate_threshold_signal"]["cross_node_reads"] == 4
+
+    def test_clamped_to_floor_and_ceiling(self):
+        numa.configure_numa(mode="auto", topology=two_node_topology())
+        assert (
+            numa.adapt_replicate_threshold(self._signal(1000, 1000))
+            == numa.MIN_REPLICATE_THRESHOLD_BYTES
+        )
+        assert (
+            numa.adapt_replicate_threshold(self._signal(1, 1 << 40))
+            == numa.REPLICATE_THRESHOLD_BYTES
+        )
+
+    def test_explicit_threshold_is_pinned(self):
+        numa.configure_numa(
+            mode="auto", topology=two_node_topology(), replicate_threshold=1
+        )
+        assert numa.adapt_replicate_threshold(self._signal(4, 8 << 20)) is None
+        assert numa.numa_stats()["replicate_threshold_bytes"] == 1
+        assert numa.numa_stats()["replicate_threshold_overridden"]
+
+    def test_inert_outside_auto_mode(self):
+        numa.configure_numa(mode="replicate", topology=two_node_topology())
+        assert numa.adapt_replicate_threshold(self._signal(4, 8 << 20)) is None
+
+    def test_inert_without_signal_or_second_node(self):
+        numa.configure_numa(mode="auto", topology=two_node_topology())
+        assert numa.adapt_replicate_threshold(self._signal(0, 0)) is None
+        numa.configure_numa(
+            mode="auto",
+            topology=NumaTopology(nodes=(NumaNode(0, (0,)),), source="test"),
+        )
+        assert numa.adapt_replicate_threshold(self._signal(4, 8 << 20)) is None
+
+    def test_reset_restores_default(self):
+        numa.configure_numa(mode="auto", topology=two_node_topology())
+        numa.adapt_replicate_threshold(self._signal(4, 8 << 20))
+        numa.reset_numa_state()
+        stats = numa.numa_stats()
+        assert (
+            stats["replicate_threshold_bytes"]
+            == numa.REPLICATE_THRESHOLD_BYTES
+        )
+        assert stats["replicate_threshold_adaptations"] == 0
+        assert not stats["replicate_threshold_overridden"]
