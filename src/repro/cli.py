@@ -296,7 +296,11 @@ def cmd_experiment(args) -> int:
     """``vcrepro experiment``: regenerate paper figures/tables."""
     _apply_runtime_knobs(args)
     config = ExperimentConfig(
-        scale=args.scale, seed=args.seed, quick=args.quick, jobs=args.jobs
+        scale=args.scale,
+        seed=args.seed,
+        quick=args.quick,
+        jobs=args.jobs,
+        preempt=getattr(args, "preempt", False),
     )
     ids = list(EXPERIMENTS) if args.id == "all" else [args.id]
     failures = 0
@@ -306,7 +310,29 @@ def cmd_experiment(args) -> int:
         print(result.to_text())
         print(f"[{time.time() - start:.1f}s]\n")
         failures += sum(1 for holds in result.claims.values() if not holds)
+        if result.extras.get("resilience"):
+            _merge_bench_section("resilience", result.extras["resilience"])
+            print("recorded resilience section in BENCH_perf.json\n")
     return 1 if failures else 0
+
+
+def _merge_bench_section(section: str, payload) -> None:
+    """Merge one top-level section into ``BENCH_perf.json`` in-place,
+    preserving whatever other sections (timings, sched) already exist."""
+    import json
+
+    bench_path = Path("BENCH_perf.json")
+    existing = {}
+    if bench_path.exists():
+        try:
+            with open(bench_path, encoding="utf-8") as fh:
+                existing = json.load(fh)
+        except (OSError, ValueError):
+            existing = {}
+    existing[section] = payload
+    with open(bench_path, "w", encoding="utf-8") as fh:
+        json.dump(existing, fh, indent=2, sort_keys=True)
+        fh.write("\n")
 
 
 def cmd_tune(args) -> int:
@@ -398,6 +424,8 @@ def cmd_report(args) -> int:
                 else ""
             )
         )
+    from repro.perf.parallel import supervision_stats
+
     bench_path = str(Path(args.output).parent / "BENCH_perf.json")
     timings.write_json(
         bench_path,
@@ -410,6 +438,7 @@ def cmd_report(args) -> int:
             "shm": shm,
             "numa": numa_info,
             "memory": mem_info,
+            "supervision": supervision_stats(),
         },
     )
     print(f"wrote {bench_path} (wall {wall:.1f}s)")
@@ -431,6 +460,7 @@ def cmd_serve(args) -> int:
     from repro.engines.registry import create_engine
     from repro.faults.plan import mixed_fault_plan
     from repro.sched.arrivals import generate_arrivals
+    from repro.sched.policy import ServicePolicy
     from repro.sched.service import SchedulerService
 
     _apply_runtime_knobs(args)
@@ -443,6 +473,22 @@ def cmd_serve(args) -> int:
     plan = None
     if args.faults:
         plan = mixed_fault_plan(args.seed, cluster.num_machines, args.faults)
+    deadlines = {}
+    for spec in args.deadline or []:
+        cls, sep, seconds = spec.partition("=")
+        if sep:
+            deadlines[int(cls)] = float(seconds)
+        else:
+            deadlines[0] = float(spec)
+    policy = ServicePolicy(
+        priority_classes=args.priority_classes,
+        aging_seconds=args.aging if args.aging > 0 else None,
+        preempt=args.preempt,
+        preempt_rule=args.preempt_rule,
+        max_queue=args.max_queue,
+        shed_watermark=args.shed_watermark,
+        drop_expired=args.drop_expired,
+    )
     service = SchedulerService(
         engine,
         graph,
@@ -456,9 +502,15 @@ def cmd_serve(args) -> int:
         },
         fault_plan=plan,
         checkpoint_every=args.checkpoint_every or None,
+        policy=policy,
     )
     requests = generate_arrivals(
-        args.arrivals, args.duration, seed=args.seed, kinds=kinds
+        args.arrivals,
+        args.duration,
+        seed=args.seed,
+        kinds=kinds,
+        priority_classes=args.priority_classes,
+        deadlines=deadlines or None,
     )
     metrics = service.run(
         requests, arrival_rate=args.arrivals, duration_rounds=args.duration
@@ -477,11 +529,12 @@ def cmd_serve(args) -> int:
         except (OSError, ValueError):
             payload = {}
     payload["sched"] = metrics.to_dict()
+    payload["resilience"] = metrics.resilience_summary()
     with open(bench_path, "w", encoding="utf-8") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)
         fh.write("\n")
     if not args.json:
-        print(f"wrote {bench_path} (sched section)")
+        print(f"wrote {bench_path} (sched + resilience sections)")
     return 0
 
 
@@ -547,6 +600,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_exp.add_argument("id", choices=list(EXPERIMENTS) + ["all"])
     p_exp.add_argument("--quick", action="store_true", help="smaller sweeps")
+    p_exp.add_argument(
+        "--preempt",
+        action="store_true",
+        help="throughput experiment only: add the FIFO-versus-preemptive "
+        "serving comparison (small urgent requests behind a large batch "
+        "job) and record its resilience counters in BENCH_perf.json",
+    )
     p_exp.set_defaults(fn=cmd_experiment)
 
     p_tune = sub.add_parser(
@@ -609,6 +669,70 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=48,
         help="source sampling cap for MSSP/BKHS requests (default 48)",
+    )
+    p_srv.add_argument(
+        "--priority-classes",
+        type=int,
+        default=1,
+        metavar="N",
+        help="priority lanes on the stream (class 0 = most urgent, "
+        "drawn per request from the seeded stream); default 1 = "
+        "legacy FIFO, byte-identical to previous releases",
+    )
+    p_srv.add_argument(
+        "--deadline",
+        action="append",
+        default=None,
+        metavar="[CLASS=]SECONDS",
+        help="latency deadline attached to arrivals of a priority "
+        "class (bare SECONDS = class 0); repeatable. Misses are "
+        "counted in the resilience section",
+    )
+    p_srv.add_argument(
+        "--preempt",
+        action="store_true",
+        help="suspend the running batch at a superstep barrier when a "
+        "strictly more urgent cross-kind request is waiting (its "
+        "deadline within the margin; requires --priority-classes > 1)",
+    )
+    p_srv.add_argument(
+        "--preempt-rule",
+        choices=["deadline", "eager"],
+        default="deadline",
+        help="deadline: preempt only to save a blowing deadline "
+        "(default); eager: preempt for any more urgent waiter",
+    )
+    p_srv.add_argument(
+        "--max-queue",
+        type=int,
+        default=4096,
+        metavar="N",
+        help="pending-queue bound; the least urgent untouched request "
+        "is shed deterministically with a Retry-After hint when an "
+        "arrival would exceed it (default 4096)",
+    )
+    p_srv.add_argument(
+        "--aging",
+        type=float,
+        default=120.0,
+        metavar="SECONDS",
+        help="queueing seconds that promote a waiting request one "
+        "priority class (anti-starvation; 0 disables, default 120)",
+    )
+    p_srv.add_argument(
+        "--shed-watermark",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="shed lowest-class arrivals once admitted+pinned residual "
+        "memory exceeds this fraction of the admission budget "
+        "(default: off)",
+    )
+    p_srv.add_argument(
+        "--drop-expired",
+        action="store_true",
+        help="drop queued requests already past their deadline instead "
+        "of running them late (counted under drops_expired)",
     )
     p_srv.add_argument(
         "--json",

@@ -161,6 +161,56 @@ class EngineProfile:
 
 
 @dataclass
+class BatchCheckpoint:
+    """An in-flight batch frozen at a superstep barrier.
+
+    Produced by :meth:`EngineSession.run_batch` when the caller's
+    ``should_suspend`` callback fires; consumed by
+    :meth:`EngineSession.resume`. The object carries everything the
+    round loop needs to continue — the partially-filled
+    :class:`BatchMetrics`, the live kernel (residual/frontier state),
+    and the crash-rollback window — so a suspend → resume cycle
+    replays *nothing* and the finished batch is byte-identical to an
+    uninterrupted run.
+
+    Suspension piggybacks on the engine's checkpoint accounting: the
+    barrier write costs :meth:`SimulatedEngine._checkpoint_seconds`
+    over the last round's peak state, and resuming reads it back at
+    the same price. Both charges land on the *session clock* and this
+    object's counters, never on the batch's own metrics — the
+    suspension is a scheduler artifact, invisible to ``pack_job``.
+    """
+
+    batch: BatchMetrics
+    workload: float
+    kernel: object = field(repr=False, default=None)
+    #: next round index to execute when resumed.
+    next_round: int = 0
+    #: residual bytes of *previous* batches, snapshotted at batch
+    #: start so a mid-suspension flush cannot alter resumed rounds.
+    residual_prev_bytes: float = 0.0
+    #: crash-rollback window (seconds per round since last checkpoint).
+    since_checkpoint: List[float] = field(default_factory=list)
+    last_checkpoint_cost: Optional[float] = None
+    disk_full_pending: float = 0.0
+    #: suspension bookkeeping (scheduler-side accounting only).
+    suspends: int = 0
+    resumes: int = 0
+    #: cost of the most recent suspension write — re-paid on restore.
+    last_suspend_cost_seconds: float = 0.0
+    #: total suspend + restore seconds charged so far.
+    suspend_resume_seconds: float = 0.0
+
+    @property
+    def rounds_done(self) -> int:
+        return len(self.batch.rounds)
+
+    def state_bytes(self) -> float:
+        """Checkpointed task state (accumulated results) in bytes."""
+        return float(self.kernel.residual_bytes())
+
+
+@dataclass
 class _PreparedGraph:
     """Partition-derived state cached per (graph, cluster) pair."""
 
@@ -230,6 +280,8 @@ class EngineSession:
         self.elapsed = 0.0
         self.global_round = 0
         self.batches_run = 0
+        #: the in-flight batch frozen at a barrier, if any.
+        self.suspended: Optional[BatchCheckpoint] = None
 
     def flush_residual(self) -> float:
         """Release the accumulated residual memory (results emitted to
@@ -244,13 +296,29 @@ class EngineSession:
         self.residual_bytes = 0.0
         return released
 
-    def run_batch(self, batch_workload: float) -> BatchMetrics:
+    def run_batch(self, batch_workload, *, should_suspend=None):
         """Execute one batch of ``batch_workload`` unit tasks.
 
-        Returns the batch's metrics; session state (residual memory,
-        elapsed time, round counter, RNG stream) advances so the next
-        batch continues exactly where a fixed-schedule job would.
+        Returns the batch's :class:`BatchMetrics`; session state
+        (residual memory, elapsed time, round counter, RNG stream)
+        advances so the next batch continues exactly where a
+        fixed-schedule job would.
+
+        ``should_suspend`` is an optional callback invoked at every
+        superstep barrier (after a successful, non-final round) with
+        the in-progress :class:`BatchMetrics`. Returning ``True``
+        freezes the batch into a :class:`BatchCheckpoint` — which this
+        method then returns instead of the metrics — at the cost of
+        one checkpoint write charged to the session clock.
+        :meth:`resume` continues it later; the eventual result is
+        byte-identical to an uninterrupted run.
         """
+        if self.suspended is not None:
+            raise EngineError(
+                "session has a suspended batch; resume() it before "
+                "starting a new batch (kernels share the session RNG "
+                "stream, so interleaving would change results)"
+            )
         if batch_workload <= 0:
             raise BatchingError("batch workload must be positive")
         batch = BatchMetrics(
@@ -258,25 +326,63 @@ class EngineSession:
             workload=float(batch_workload),
             residual_memory_bytes=self.residual_bytes,
         )
-        engine = self.engine
         kernel = self.task.make_kernel(
             self.prep.router, float(batch_workload), self.rng, arena=self.arena
         )
-        batch.startup_seconds = engine.profile.per_batch_overhead_seconds
+        batch.startup_seconds = self.engine.profile.per_batch_overhead_seconds
         self.elapsed += batch.startup_seconds
+        state = BatchCheckpoint(
+            batch=batch,
+            workload=float(batch_workload),
+            kernel=kernel,
+            residual_prev_bytes=self.residual_bytes,
+        )
+        return self._drive(state, should_suspend)
+
+    def resume(self, *, should_suspend=None):
+        """Continue the suspended batch from its barrier checkpoint.
+
+        Restoring reads the suspension checkpoint back (≈ the write
+        cost, mirroring crash recovery's restore accounting) before
+        the round loop continues. Returns the finished
+        :class:`BatchMetrics`, or a new :class:`BatchCheckpoint` if
+        ``should_suspend`` fires again.
+        """
+        state = self.suspended
+        if state is None:
+            raise EngineError("no suspended batch to resume")
+        self.suspended = None
+        restore = state.last_suspend_cost_seconds
+        state.suspend_resume_seconds += restore
+        state.resumes += 1
+        self.elapsed += restore
+        return self._drive(state, should_suspend)
+
+    def _drive(self, state: BatchCheckpoint, should_suspend=None):
+        """Run the superstep loop from ``state`` until the batch
+        finishes, overloads, or ``should_suspend`` fires at a barrier.
+
+        This is the engine's only round loop: an uninterrupted
+        ``run_batch`` drives it start to finish, so the suspend path
+        shares every float operation with the straight-through path.
+        """
+        engine = self.engine
+        batch = state.batch
+        kernel = state.kernel
         overloaded = False
         # Rollback window: seconds of the rounds executed since the
         # last checkpoint — what a crash forces the engine to replay.
-        since_checkpoint: List[float] = []
-        last_checkpoint_cost: Optional[float] = None
-        disk_full_pending = 0.0
-        for round_index in range(MAX_ROUNDS_PER_BATCH):
+        since_checkpoint = state.since_checkpoint
+        last_checkpoint_cost = state.last_checkpoint_cost
+        disk_full_pending = state.disk_full_pending
+        for round_index in range(state.next_round, MAX_ROUNDS_PER_BATCH):
             tick = time.perf_counter()
             summary = kernel.step()
             tock = time.perf_counter()
             timings.add("kernel", tock - tick)
             load, splits = engine._round_load(
-                self.task, self.prep, summary, self.residual_bytes, kernel
+                self.task, self.prep, summary, state.residual_prev_bytes,
+                kernel,
             )
             cost = self.cost_model.round_cost(load)
             timings.add("cost-model", time.perf_counter() - tock)
@@ -329,6 +435,27 @@ class EngineSession:
                 break
             if summary.done:
                 break
+            if should_suspend is not None and should_suspend(batch):
+                # Barrier suspension: checkpoint the bottleneck
+                # machine's state (same pricing as a cadence
+                # checkpoint over this round's peak) and hand the
+                # frozen batch back to the caller. The cost stays on
+                # the session clock and the checkpoint object — the
+                # batch's own metrics are untouched, so the finished
+                # result packs byte-identically.
+                suspend_cost = engine._checkpoint_seconds(
+                    metrics.peak_memory_bytes
+                )
+                state.next_round = round_index + 1
+                state.since_checkpoint = since_checkpoint
+                state.last_checkpoint_cost = last_checkpoint_cost
+                state.disk_full_pending = disk_full_pending
+                state.suspends += 1
+                state.last_suspend_cost_seconds = suspend_cost
+                state.suspend_resume_seconds += suspend_cost
+                self.elapsed += suspend_cost
+                self.suspended = state
+                return state
         else:
             raise EngineError(
                 f"batch exceeded {MAX_ROUNDS_PER_BATCH} rounds; "

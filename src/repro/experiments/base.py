@@ -21,13 +21,16 @@ class ExperimentConfig:
     smoke tests, keeping the headline comparison intact. ``jobs``
     fans independent runs out over worker processes (0 = one per CPU,
     1 = serial); results are byte-identical either way because every
-    run derives its RNG stream from the explicit seed.
+    run derives its RNG stream from the explicit seed. ``preempt``
+    extends the throughput experiment with the FIFO-versus-preemptive
+    serving comparison (``vcrepro experiment throughput --preempt``).
     """
 
     scale: int = DEFAULT_SCALE
     seed: int = DEFAULT_SEED
     quick: bool = False
     jobs: int = 1
+    preempt: bool = False
 
 
 @dataclass
@@ -47,6 +50,9 @@ class ExperimentResult:
     paper_summary: str = ""
     notes: str = ""
     claims: Dict[str, bool] = field(default_factory=dict)
+    #: side-channel payloads (e.g. the throughput experiment's
+    #: resilience counters) that callers persist outside the table.
+    extras: Dict[str, Any] = field(default_factory=dict)
 
     def add_row(self, **values: Any) -> None:
         """Append one table row (column -> value)."""

@@ -19,7 +19,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from repro.errors import ConfigurationError, GraphFormatError
+from repro.errors import ConfigurationError
 from repro.graph.csr import Graph, streaming_budget_bytes
 from repro.graph.generators import chung_lu
 from repro.perf import timings
@@ -263,7 +263,7 @@ def _load_mapped(
     cache: bool,
     cache_dir: Optional[str],
 ) -> Graph:
-    from repro.graph.io import is_csr_dir, open_mapped
+    from repro.graph.io import load_csr_dir
 
     key = ("dataset-mapped", key_name, scale, seed)
     cache_obj = get_cache()
@@ -273,13 +273,12 @@ def _load_mapped(
     )
 
     def build() -> Graph:
-        if is_csr_dir(directory):
-            # Warm disk: the CSR file set persists like an .npz artifact
-            # and re-opens in milliseconds.
-            try:
-                return open_mapped(directory)
-            except (OSError, ValueError, GraphFormatError) as exc:
-                del exc  # stale or torn directory: rebuild in place
+        # Warm disk: the CSR file set persists like an .npz artifact
+        # and re-opens in milliseconds. A torn directory (crash mid
+        # build) is quarantined as ``<dir>.corrupt`` and rebuilt fresh.
+        mapped = load_csr_dir(directory)
+        if mapped is not None:
+            return mapped
         with timings.span("graph-gen"):
             return profile.instantiate_mapped(
                 scale=scale, seed=seed, directory=directory

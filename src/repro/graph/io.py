@@ -346,6 +346,11 @@ def open_mapped(directory: PathLike) -> MappedGraph:
         raise GraphFormatError(
             f"{directory}: array sizes disagree with graph.json"
         )
+    if weights is not None and weights.size != meta["num_arcs"]:
+        raise GraphFormatError(
+            f"{directory}: weights.npy holds {weights.size} entries, "
+            f"graph.json promises {meta['num_arcs']}"
+        )
     graph = MappedGraph.__new__(MappedGraph)
     graph.indptr = indptr
     graph.indices = indices
@@ -357,6 +362,52 @@ def open_mapped(directory: PathLike) -> MappedGraph:
     graph._spread = None
     graph.directory = directory
     return graph
+
+
+def quarantine_csr_dir(directory: PathLike) -> str:
+    """Move a torn CSR directory aside as ``<dir>.corrupt``.
+
+    Mirrors the artifact cache's corrupted-``.npz`` handling
+    (:meth:`repro.perf.cache.ArtifactCache._load`): the bad bytes are
+    preserved for post-mortem instead of being overwritten in place, a
+    fresh build can recreate the directory under its original name,
+    and the event is counted in the cache stats (``corruptions``) so
+    it surfaces in ``BENCH_perf.json``. An earlier quarantine of the
+    same directory is replaced — only the latest evidence is kept.
+    Returns the quarantine path.
+    """
+    import shutil
+
+    directory = os.fspath(directory).rstrip(os.sep)
+    target = directory + ".corrupt"
+    if os.path.isdir(target):
+        shutil.rmtree(target, ignore_errors=True)
+    os.replace(directory, target)
+    from repro.perf.cache import get_cache
+
+    get_cache().stats.corruptions += 1
+    return target
+
+
+def load_csr_dir(directory: PathLike) -> Optional[MappedGraph]:
+    """Tolerant :func:`open_mapped`: quarantine-and-``None`` on damage.
+
+    A readable, consistent CSR directory opens as usual. A *torn* one —
+    truncated arrays, sizes disagreeing with ``graph.json``, unparsable
+    metadata (a crash mid-write; the sidecar is written last exactly so
+    this window is detectable) — is moved aside via
+    :func:`quarantine_csr_dir` and ``None`` is returned: callers
+    rebuild into a clean directory. A directory that simply does not
+    exist also returns ``None``, with nothing to quarantine.
+    """
+    directory = os.fspath(directory)
+    if not is_csr_dir(directory):
+        return None
+    try:
+        return open_mapped(directory)
+    except (OSError, ValueError, KeyError, GraphFormatError):
+        quarantine_csr_dir(directory)
+        return None
 
 
 def save_mapped(graph: Graph, directory: PathLike) -> MappedGraph:

@@ -19,6 +19,7 @@ Three coordinated layers added on top of the simulator:
 """
 
 from repro.perf import timings
+from repro.perf.backoff import BackoffPolicy
 from repro.perf.cache import (
     ArtifactCache,
     ArraySerializer,
@@ -35,11 +36,20 @@ from repro.perf.numa import (
     numa_stats,
     reset_numa_state,
 )
-from repro.perf.parallel import parallel_map, parallel_map_fork, resolve_jobs
+from repro.perf.parallel import (
+    configure_watchdog,
+    parallel_map,
+    parallel_map_fork,
+    resolve_jobs,
+    supervision_stats,
+)
 
 __all__ = [
     "ArtifactCache",
     "ArraySerializer",
+    "BackoffPolicy",
+    "configure_watchdog",
+    "supervision_stats",
     "NumaNode",
     "NumaTopology",
     "NumaWarning",

@@ -34,11 +34,21 @@ Crash isolation: a worker process dying (OOM-killed, segfault) breaks
 the whole ``ProcessPoolExecutor`` — every in-flight future raises
 ``BrokenProcessPool``, so one bad item would normally take the batch
 down with it. Items caught in a broken pool are therefore retried in
-fresh single-worker pools with exponential backoff: collateral victims
+fresh single-worker pools with seeded exponential backoff
+(:class:`~repro.perf.backoff.BackoffPolicy`): collateral victims
 succeed on their first isolated attempt, while an item that keeps
 killing its worker exhausts the retry budget and raises
 :class:`~repro.errors.WorkerCrashError` naming the item. Configure the
 budget with :func:`configure_retries` (CLI ``--max-retries``).
+
+Supervision: :func:`configure_watchdog` arms a heartbeat — when no
+future completes for ``heartbeat_seconds``, the pool is declared hung,
+its workers are killed (turning the silent stall into the
+BrokenProcessPool path above) and the caught items are respawned in
+isolation, re-running the worker bootstrap so shared-memory segments
+and NUMA pins re-attach. Every crash, retry, stall, and backoff sleep
+is counted in :func:`supervision_stats`, which ``vcrepro`` folds into
+``BENCH_perf.json``.
 """
 
 from __future__ import annotations
@@ -49,30 +59,84 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.errors import ConfigurationError, WorkerCrashError
 from repro.perf import timings
+from repro.perf.backoff import BackoffPolicy
 
 __all__ = [
     "resolve_jobs",
     "parallel_map",
     "parallel_map_fork",
     "configure_retries",
+    "configure_watchdog",
+    "supervision_stats",
+    "reset_supervision",
+    "set_pool_observer",
 ]
 
 #: Per-item crash-retry budget and backoff base, shared by both entry
 #: points. ``max_retries`` counts the *isolated* re-attempts after an
-#: item was caught in a broken pool; attempt ``n`` sleeps
-#: ``backoff_seconds * 2**(n-1)`` first.
-_RETRY: Dict[str, float] = {"max_retries": 2, "backoff_seconds": 0.05}
+#: item was caught in a broken pool; re-attempt ``k`` sleeps
+#: ``backoff_seconds * 2**(k-1)`` first (jittered when a seed is set).
+_RETRY: Dict[str, float] = {
+    "max_retries": 2,
+    "backoff_seconds": 0.05,
+    "jitter": 0.0,
+}
+
+#: Seeded generator for backoff jitter (``configure_retries(seed=...)``);
+#: ``None`` keeps the legacy exact schedule.
+_RETRY_RNG = None
+
+#: Watchdog heartbeat in wall-clock seconds; ``None`` = disarmed.
+_WATCHDOG: Dict[str, Optional[float]] = {"heartbeat_seconds": None}
+
+#: Test/chaos seam: called with the live executor right after the
+#: items are submitted, so a fault injector can find the worker pids.
+_POOL_OBSERVER: Optional[Callable] = None
+
+#: Worker-supervision counters, surfaced via :func:`supervision_stats`
+#: and folded into ``BENCH_perf.json`` by the CLI.
+_SUPERVISION: Dict[str, float] = {}
+
+
+def reset_supervision() -> None:
+    """Zero the supervision counters (new run / test isolation)."""
+    _SUPERVISION.update(
+        {
+            "pool_crashes": 0,  # futures caught in a broken shared pool
+            "isolated_attempts": 0,  # solo-pool runs, first try included
+            "retries": 0,  # solo-pool re-attempts after a failure
+            "items_recovered": 0,  # crashed items that then succeeded
+            "items_lost": 0,  # items that exhausted the retry budget
+            "watchdog_stalls": 0,  # heartbeat expiries that killed workers
+            "backoff_seconds_total": 0.0,
+        }
+    )
+
+
+reset_supervision()
+
+
+def supervision_stats() -> Dict[str, float]:
+    """A copy of the live worker-supervision counters."""
+    return dict(_SUPERVISION)
 
 
 def configure_retries(
     max_retries: Optional[int] = None,
     backoff_seconds: Optional[float] = None,
+    seed: Optional[int] = None,
+    jitter: Optional[float] = None,
 ) -> Dict[str, float]:
     """Set the process-wide crash-retry policy; returns the live config.
 
     ``max_retries=0`` disables isolated retries entirely: any item in a
     broken pool fails immediately (collateral victims included).
+    ``seed``/``jitter`` arm deterministic jittered backoff: delays are
+    scaled by a draw from the ``perf/backoff`` stream of ``seed``, so
+    a re-run sleeps the same schedule (see
+    :class:`~repro.perf.backoff.BackoffPolicy`).
     """
+    global _RETRY_RNG
     if max_retries is not None:
         max_retries = int(max_retries)
         if max_retries < 0:
@@ -83,7 +147,58 @@ def configure_retries(
         if backoff_seconds < 0:
             raise ConfigurationError("backoff_seconds must be >= 0")
         _RETRY["backoff_seconds"] = backoff_seconds
+    if jitter is not None:
+        jitter = float(jitter)
+        if not 0.0 <= jitter <= 1.0:
+            raise ConfigurationError("jitter must be in [0, 1]")
+        _RETRY["jitter"] = jitter
+    if seed is not None:
+        from repro.rng import make_rng
+
+        _RETRY_RNG = make_rng(int(seed), label="perf/backoff")
     return _RETRY
+
+
+def _retry_policy() -> BackoffPolicy:
+    """The live crash-retry schedule as a :class:`BackoffPolicy`."""
+    return BackoffPolicy(
+        base_seconds=float(_RETRY["backoff_seconds"]),
+        factor=2.0,
+        jitter=float(_RETRY["jitter"]),
+    )
+
+
+def configure_watchdog(
+    heartbeat_seconds: Optional[float],
+) -> Optional[float]:
+    """Arm (or disarm with ``None``) the hung-worker watchdog.
+
+    While armed, :func:`parallel_map`/:func:`parallel_map_fork` declare
+    the pool hung whenever no item completes for ``heartbeat_seconds``
+    of wall clock, kill its workers, and respawn the caught items in
+    isolated single-worker pools (re-running the bootstrap, so
+    shared-memory and NUMA state re-attach). Set the heartbeat well
+    above the longest legitimate item — the watchdog cannot tell a
+    slow item from a hung one, only silence from progress.
+    """
+    if heartbeat_seconds is not None:
+        heartbeat_seconds = float(heartbeat_seconds)
+        if heartbeat_seconds <= 0:
+            raise ConfigurationError("heartbeat_seconds must be positive")
+    _WATCHDOG["heartbeat_seconds"] = heartbeat_seconds
+    return heartbeat_seconds
+
+
+def set_pool_observer(observer: Optional[Callable]) -> Optional[Callable]:
+    """Install a callback invoked with each live executor after submit.
+
+    A chaos injector uses this to discover worker pids and kill them on
+    a schedule; returns the previous observer so tests can restore it.
+    """
+    global _POOL_OBSERVER
+    previous = _POOL_OBSERVER
+    _POOL_OBSERVER = observer
+    return previous
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:
@@ -223,17 +338,26 @@ def _run_isolated(
     Items caught in a broken shared pool land here: a collateral victim
     (its neighbour crashed the worker) succeeds on the first isolated
     attempt; an item that keeps killing its own worker exhausts
-    ``max_retries`` and raises :class:`WorkerCrashError`.
+    ``max_retries`` and raises :class:`WorkerCrashError`. Each fresh
+    pool re-runs the worker bootstrap, so shared-memory segments and
+    NUMA pins re-attach in the respawned process. With the watchdog
+    armed, a *hung* (not dead) isolated worker is also killed and
+    counted once its heartbeat expires.
     """
     import concurrent.futures
     from concurrent.futures.process import BrokenProcessPool
 
     budget = int(_RETRY["max_retries"])
-    backoff = float(_RETRY["backoff_seconds"])
+    policy = _retry_policy()
+    heartbeat = _WATCHDOG["heartbeat_seconds"]
     last: Optional[BaseException] = None
     for attempt in range(1, budget + 1):
         if attempt > 1:
-            time.sleep(backoff * 2 ** (attempt - 2))
+            delay = policy.delay_seconds(attempt - 1, _RETRY_RNG)
+            _SUPERVISION["retries"] += 1
+            _SUPERVISION["backoff_seconds_total"] += delay
+            time.sleep(delay)
+        _SUPERVISION["isolated_attempts"] += 1
         try:
             with concurrent.futures.ProcessPoolExecutor(
                 max_workers=1,
@@ -241,9 +365,21 @@ def _run_isolated(
                 initializer=initializer,
                 initargs=initargs,
             ) as solo:
-                return solo.submit(worker, *payload).result()
+                future = solo.submit(worker, *payload)
+                try:
+                    result = future.result(timeout=heartbeat)
+                except concurrent.futures.TimeoutError as exc:
+                    # The respawned worker hung: kill it and retry.
+                    _SUPERVISION["watchdog_stalls"] += 1
+                    for proc in list(solo._processes.values()):
+                        proc.kill()
+                    last = exc
+                    continue
+                _SUPERVISION["items_recovered"] += 1
+                return result
         except BrokenProcessPool as exc:
             last = exc
+    _SUPERVISION["items_lost"] += 1
     raise WorkerCrashError(
         f"worker process died while computing item {index} and kept dying "
         f"through {budget} isolated retries; the item appears to crash its "
@@ -307,25 +443,55 @@ def _pool_map(
 
     outputs: List[Optional[tuple]] = [None] * len(payloads)
     crashed: List[int] = []
+
+    def _collect(future, index: int) -> bool:
+        """Harvest one future; ``False`` means degrade to serial."""
+        try:
+            outputs[index] = future.result()
+        except BrokenProcessPool:
+            _SUPERVISION["pool_crashes"] += 1
+            crashed.append(index)
+        except Exception as exc:
+            if _is_pickling_error(exc):
+                _warn_serial(
+                    f"payload for item {index} could not be "
+                    f"pickled ({exc})"
+                )
+                return False
+            raise  # the worker function's own error: propagate
+        return True
+
+    heartbeat = _WATCHDOG["heartbeat_seconds"]
     try:
         with executor:
             futures = {
                 executor.submit(worker, *payload): index
                 for index, payload in enumerate(payloads)
             }
-            for future, index in futures.items():
-                try:
-                    outputs[index] = future.result()
-                except BrokenProcessPool:
-                    crashed.append(index)
-                except Exception as exc:
-                    if _is_pickling_error(exc):
-                        _warn_serial(
-                            f"payload for item {index} could not be "
-                            f"pickled ({exc})"
-                        )
+            if _POOL_OBSERVER is not None:
+                _POOL_OBSERVER(executor)
+            if heartbeat is None:
+                for future, index in futures.items():
+                    if not _collect(future, index):
                         return None
-                    raise  # the worker function's own error: propagate
+            else:
+                # Watchdog: harvest as futures finish; a heartbeat
+                # with no completion at all means the pool is hung —
+                # kill its workers, which breaks the pool and routes
+                # every caught item through the isolated-respawn path.
+                pending = set(futures)
+                while pending:
+                    done, pending = concurrent.futures.wait(
+                        pending, timeout=heartbeat
+                    )
+                    if done:
+                        for future in done:
+                            if not _collect(future, futures[future]):
+                                return None
+                        continue
+                    _SUPERVISION["watchdog_stalls"] += 1
+                    for proc in list(executor._processes.values()):
+                        proc.kill()
     except (OSError, BrokenProcessPool) as exc:
         # The pool itself collapsed outside a result() call (e.g. a
         # sandboxed platform killing the management thread).

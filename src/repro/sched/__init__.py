@@ -14,16 +14,20 @@ Modules
     Seeded Poisson arrival streams of task requests.
 :mod:`repro.sched.admission`
     Shared-budget admission control over per-kind memory models.
+:mod:`repro.sched.policy`
+    Priority lanes, aging, preemption, and shed-load policy.
 :mod:`repro.sched.service`
     The queue-driven scheduler loop on persistent engine sessions.
 """
 
 from repro.sched.admission import AdmissionController
 from repro.sched.arrivals import TaskRequest, generate_arrivals
+from repro.sched.policy import ServicePolicy
 from repro.sched.service import SchedulerService, run_degenerate
 
 __all__ = [
     "AdmissionController",
+    "ServicePolicy",
     "TaskRequest",
     "generate_arrivals",
     "SchedulerService",

@@ -63,10 +63,31 @@ class AdmissionController:
             )
             for kind, model in models.items()
         }
+        #: out-of-band reservations (tag → scaled bytes): checkpointed
+        #: state of batches suspended at a barrier. Pins charge the
+        #: shared budget like every kind's residual but survive
+        #: :meth:`release_all` — a backpressure flush frees *emitted*
+        #: results, not the frozen state a resume still needs.
+        self._pins: Dict[str, float] = {}
+
+    def pin(self, tag: str, bytes_: float) -> None:
+        """Reserve ``bytes_`` of the shared budget under ``tag``."""
+        if bytes_ < 0:
+            raise SchedulingError("pinned bytes must be non-negative")
+        self._pins[tag] = float(bytes_)
+
+    def unpin(self, tag: str) -> float:
+        """Drop the reservation under ``tag`` (0.0 if absent)."""
+        return self._pins.pop(tag, 0.0)
+
+    def pinned_bytes(self) -> float:
+        """Total out-of-band reservations (suspended batches)."""
+        return sum(self._pins.values())
 
     def _check_kind(self, kind: str) -> IncrementalPlanner:
         """Fetch the planner for ``kind`` with its budget reduced by the
-        projected residual of every *other* kind's admitted work.
+        projected residual of every *other* kind's admitted work and
+        every pinned (suspended-batch) reservation.
 
         Kinds that have admitted nothing contribute zero (their
         constant residual term only materialises once they run), so a
@@ -81,6 +102,7 @@ class AdmissionController:
             for k, p in self.planners.items()
             if k != kind and p.done > 0
         )
+        others += self.pinned_bytes()
         planner.budget = self.budget - others
         return planner
 
@@ -124,6 +146,7 @@ class AdmissionController:
             for k, p in self.planners.items()
             if k != kind and p.done > 0
         )
+        others += self.pinned_bytes()
         return (
             others + planner.residual_bytes() + float(planner.model.peak(units))
         )

@@ -11,7 +11,7 @@ differential determinism suite leans on.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import SchedulingError
 from repro.rng import SeedLike, make_rng
@@ -27,6 +27,10 @@ DEFAULT_UNITS_RANGE: Tuple[int, int] = (8, 128)
 #: Simulated seconds per arrival tick.
 TICK_SECONDS = 1.0
 
+#: Priority class assigned when the stream does not draw one.
+#: Class 0 is the most urgent; larger numbers are more patient.
+DEFAULT_PRIORITY = 1
+
 
 @dataclass(frozen=True)
 class TaskRequest:
@@ -35,12 +39,28 @@ class TaskRequest:
     ``units`` follows the paper's workload units (walks for BPPR,
     sources for MSSP/BKHS). ``arrival_seconds`` is the virtual clock
     time the request became visible to the scheduler.
+
+    ``priority`` is the request's lane (0 = most urgent); the service
+    only consults it when its :class:`~repro.sched.policy.ServicePolicy`
+    enables more than one class. ``deadline_seconds`` is a *relative*
+    latency target: the request should finish by
+    ``arrival_seconds + deadline_seconds``, and the preemption policy
+    may suspend a running batch to protect it.
     """
 
     task_id: int
     kind: str
     units: float
     arrival_seconds: float
+    priority: int = DEFAULT_PRIORITY
+    deadline_seconds: Optional[float] = None
+
+    @property
+    def deadline_at(self) -> Optional[float]:
+        """Absolute virtual-clock deadline, or ``None``."""
+        if self.deadline_seconds is None:
+            return None
+        return self.arrival_seconds + self.deadline_seconds
 
 
 def generate_arrivals(
@@ -49,6 +69,8 @@ def generate_arrivals(
     seed: SeedLike = None,
     kinds: Sequence[str] = DEFAULT_KINDS,
     units_range: Tuple[int, int] = DEFAULT_UNITS_RANGE,
+    priority_classes: Optional[int] = None,
+    deadlines: Optional[Mapping[int, float]] = None,
 ) -> List[TaskRequest]:
     """Generate the seeded arrival stream.
 
@@ -65,6 +87,14 @@ def generate_arrivals(
         task kinds to draw from, uniformly.
     units_range:
         inclusive (low, high) bounds of one request's unit count.
+    priority_classes:
+        when set (> 1), draw each request's priority class uniformly
+        from ``[0, priority_classes)``. ``None`` assigns every request
+        :data:`DEFAULT_PRIORITY` *without consuming RNG draws*, so
+        legacy streams stay byte-identical.
+    deadlines:
+        optional mapping of priority class → relative deadline
+        seconds, attached to matching requests (no RNG consumed).
 
     Returns requests sorted by arrival time (ties keep draw order).
     """
@@ -79,6 +109,8 @@ def generate_arrivals(
         raise SchedulingError(
             f"units_range must satisfy 1 <= low <= high, got {units_range}"
         )
+    if priority_classes is not None and priority_classes < 1:
+        raise SchedulingError("priority_classes must be >= 1")
     rng = make_rng(seed, label="sched/arrivals")
     requests: List[TaskRequest] = []
     task_id = 0
@@ -87,12 +119,21 @@ def generate_arrivals(
         for _ in range(count):
             kind = str(kinds[int(rng.integers(0, len(kinds)))])
             units = float(int(rng.integers(low, high, endpoint=True)))
+            if priority_classes is not None and priority_classes > 1:
+                priority = int(rng.integers(0, priority_classes))
+            else:
+                priority = DEFAULT_PRIORITY
+            deadline = None
+            if deadlines is not None:
+                deadline = deadlines.get(priority)
             requests.append(
                 TaskRequest(
                     task_id=task_id,
                     kind=kind,
                     units=units,
                     arrival_seconds=tick * TICK_SECONDS,
+                    priority=priority,
+                    deadline_seconds=deadline,
                 )
             )
             task_id += 1

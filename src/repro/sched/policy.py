@@ -1,0 +1,147 @@
+"""Serving policy: priority lanes, aging, preemption, and shedding.
+
+:class:`ServicePolicy` is the one knob bundle the
+:class:`~repro.sched.service.SchedulerService` consults for every
+decision beyond admission arithmetic:
+
+* **priority lanes** — requests carry a class (0 = most urgent); the
+  scheduler serves the numerically lowest *effective* class first;
+* **aging** — a queued request's effective class drops by one for
+  every ``aging_seconds`` it has waited, so low-priority work cannot
+  starve behind a steady high-priority stream (classic multilevel
+  feedback aging);
+* **preemption** — when enabled, a running batch is suspended at the
+  next superstep barrier (PR 7's :class:`~repro.engines.base.BatchCheckpoint`)
+  once a strictly more urgent request of a *different* kind is
+  waiting. Kinds whose kernels draw per-round RNG (BPPR) forbid
+  interleaving two in-flight batches of the same kind, so same-kind
+  waiters never trigger a suspend — they simply extend the current
+  lane;
+* **shedding** — a bounded pending queue plus an optional
+  residual-memory watermark reject the least urgent work
+  deterministically, with a ``Retry-After``-style hint, instead of
+  growing the queue without bound.
+
+The default-constructed policy reproduces the legacy FIFO service
+byte for byte: one class collapses every request to effective class
+0, so selection order degenerates to ``(arrival_seconds, task_id)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.sched.arrivals import TaskRequest
+
+#: Queue bound applied when the caller does not pick one. Generous —
+#: it exists to stop unbounded growth, not to shape normal traffic.
+DEFAULT_MAX_QUEUE = 4096
+
+#: Default seconds of queueing that promote a request one class.
+DEFAULT_AGING_SECONDS = 120.0
+
+#: A preempting deadline must be within this many seconds of blowing.
+DEFAULT_PREEMPT_MARGIN_SECONDS = 30.0
+
+#: Ceiling on suspensions of one batch — bounds suspend/resume churn
+#: so a batch always finishes (no livelock under hostile arrivals).
+DEFAULT_MAX_SUSPENDS_PER_BATCH = 8
+
+#: Floor for the Retry-After hint attached to shed requests.
+DEFAULT_RETRY_AFTER_FLOOR_SECONDS = 1.0
+
+
+@dataclass(frozen=True)
+class ServicePolicy:
+    """Priority/preemption/shedding knobs for the scheduler service."""
+
+    #: number of priority classes; 1 = legacy FIFO (priorities ignored).
+    priority_classes: int = 1
+    #: seconds of queueing that promote a request one class; ``None``
+    #: disables aging (effective class is static).
+    aging_seconds: Optional[float] = DEFAULT_AGING_SECONDS
+    #: suspend the running batch for more urgent cross-kind waiters.
+    preempt: bool = False
+    #: ``"deadline"`` preempts only when a more urgent waiter's
+    #: deadline is within ``preempt_margin_seconds`` of blowing;
+    #: ``"eager"`` preempts for any strictly more urgent waiter.
+    preempt_rule: str = "deadline"
+    preempt_margin_seconds: float = DEFAULT_PREEMPT_MARGIN_SECONDS
+    #: when set, a batch only suspends after this many rounds of the
+    #: current segment — a fault-timing-invariant trigger (round
+    #: counts never depend on injected fault costs), used by the
+    #: chaos determinism scenarios.
+    preempt_after_rounds: Optional[int] = None
+    max_suspends_per_batch: int = DEFAULT_MAX_SUSPENDS_PER_BATCH
+    #: pending-queue depth bound; ``None`` = unbounded (discouraged).
+    max_queue: Optional[int] = DEFAULT_MAX_QUEUE
+    #: shed lowest-class arrivals once admitted+pinned residual memory
+    #: exceeds this fraction of the admission budget; ``None`` = off.
+    shed_watermark: Optional[float] = None
+    #: drop queued, unstarted requests whose deadline already passed.
+    drop_expired: bool = False
+    retry_after_floor_seconds: float = DEFAULT_RETRY_AFTER_FLOOR_SECONDS
+
+    def __post_init__(self) -> None:
+        if self.priority_classes < 1:
+            raise ConfigurationError("priority_classes must be >= 1")
+        if self.aging_seconds is not None and self.aging_seconds <= 0:
+            raise ConfigurationError("aging_seconds must be positive")
+        if self.preempt_rule not in ("deadline", "eager"):
+            raise ConfigurationError(
+                f"preempt_rule must be 'deadline' or 'eager', "
+                f"got {self.preempt_rule!r}"
+            )
+        if self.preempt_margin_seconds < 0:
+            raise ConfigurationError(
+                "preempt_margin_seconds must be non-negative"
+            )
+        if (
+            self.preempt_after_rounds is not None
+            and self.preempt_after_rounds < 1
+        ):
+            raise ConfigurationError(
+                "preempt_after_rounds must be a positive round count"
+            )
+        if self.max_suspends_per_batch < 0:
+            raise ConfigurationError(
+                "max_suspends_per_batch must be non-negative"
+            )
+        if self.max_queue is not None and self.max_queue < 1:
+            raise ConfigurationError("max_queue must be >= 1")
+        if self.shed_watermark is not None and not (
+            0.0 <= self.shed_watermark <= 1.0
+        ):
+            raise ConfigurationError("shed_watermark must be in [0, 1]")
+        if self.retry_after_floor_seconds < 0:
+            raise ConfigurationError(
+                "retry_after_floor_seconds must be non-negative"
+            )
+
+    @property
+    def lowest_class(self) -> int:
+        return self.priority_classes - 1
+
+    def static_class(self, request: TaskRequest) -> int:
+        """The request's class clamped to the configured lane count."""
+        return min(max(int(request.priority), 0), self.lowest_class)
+
+    def effective_class(self, request: TaskRequest, now: float) -> int:
+        """Static class minus one lane per ``aging_seconds`` queued."""
+        cls = self.static_class(request)
+        if self.aging_seconds is not None and cls > 0:
+            waited = max(0.0, now - request.arrival_seconds)
+            cls -= int(waited // self.aging_seconds)
+        return max(cls, 0)
+
+    def selection_key(self, request: TaskRequest, now: float):
+        """Total order for serving: most urgent effective class first,
+        FIFO (arrival, then id) within a class. With one class this is
+        exactly the legacy FIFO order."""
+        return (
+            self.effective_class(request, now),
+            request.arrival_seconds,
+            request.task_id,
+        )

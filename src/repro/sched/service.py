@@ -24,6 +24,16 @@ A degenerate schedule — every unit pre-queued at time zero, a single
 kind, a single planner pass — reproduces the legacy offline runner
 byte-identically (see :func:`run_degenerate` and the determinism
 suite).
+
+PR 7 layers a :class:`~repro.sched.policy.ServicePolicy` on top of
+that loop: priority lanes with aging replace strict FIFO selection, a
+running batch can be *suspended at a superstep barrier* (the engine's
+:class:`~repro.engines.base.BatchCheckpoint`) when a more urgent
+cross-kind request would blow its deadline, the pending queue is
+bounded, and arrivals past a residual-memory watermark are shed
+deterministically with a ``Retry-After``-style hint. The
+default-constructed policy reproduces the legacy FIFO loop byte for
+byte.
 """
 
 from __future__ import annotations
@@ -32,13 +42,18 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.engines.base import EngineSession, SimulatedEngine
+from repro.engines.base import (
+    BatchCheckpoint,
+    EngineSession,
+    SimulatedEngine,
+)
 from repro.errors import RecoveryError, SchedulingError
 from repro.faults.recovery import OverloadRecovery
 from repro.graph.csr import Graph
 from repro.rng import SeedLike
 from repro.sched.admission import AdmissionController
 from repro.sched.arrivals import DEFAULT_KINDS, TaskRequest
+from repro.sched.policy import ServicePolicy
 from repro.sim.metrics import JobMetrics, ServiceMetrics, TaskLatency
 from repro.tasks.base import make_task
 from repro.tuning.memory_model import MemoryCostModel
@@ -58,6 +73,42 @@ class _Pending:
     remaining: float
     #: clock time the batch containing the request's first unit started.
     started_seconds: Optional[float] = None
+    #: units currently frozen inside a suspended batch — such a pending
+    #: must never be shed or double-scheduled.
+    inflight: float = 0.0
+
+
+@dataclass
+class _InFlight:
+    """Service-side bookkeeping for one formed batch (running or
+    suspended at a barrier)."""
+
+    kind: str
+    parts: List[Tuple[_Pending, float]]
+    batch_units: float
+    admissible: float
+    projected: float
+    #: residual logged at formation (batch_log reports this) and the
+    #: value to restore on abort (reset by intervening flushes).
+    residual_log: float
+    residual_restore: float
+    #: clock when the batch was first formed (latency start time).
+    start_clock: float
+    #: effective class of the head request at formation time.
+    priority: int
+    #: formation sequence number — resume order is oldest-first.
+    order: int
+    #: engine-side frozen state while suspended.
+    checkpoint: Optional[BatchCheckpoint] = None
+    #: ``batch.seconds`` already charged to the service clock.
+    charged_seconds: float = 0.0
+    #: suspend/restore cost already charged to the service clock.
+    charged_suspend_seconds: float = 0.0
+    suspend_count: int = 0
+
+    @property
+    def pin_tag(self) -> str:
+        return f"suspended:{self.kind}"
 
 
 class SchedulerService:
@@ -101,9 +152,13 @@ class SchedulerService:
         task_params: Optional[Mapping[str, Mapping[str, object]]] = None,
         fault_plan=None,
         checkpoint_every: Optional[int] = None,
+        policy: Optional[ServicePolicy] = None,
     ) -> None:
         if not kinds:
             raise SchedulingError("at least one task kind is required")
+        #: priority/preemption/shedding policy; the default reproduces
+        #: the legacy FIFO loop byte for byte.
+        self.policy = policy or ServicePolicy()
         #: optional fault plan injected into every kind's session
         #: (rounds counted per session, as in the offline runner).
         self.fault_plan = fault_plan
@@ -140,6 +195,10 @@ class SchedulerService:
         #: the byte-identity tests; :class:`ServiceMetrics` carries the
         #: JSON-friendly summaries.
         self.executed_batches: List[Tuple[str, object]] = []
+        #: running seconds-per-unit average over completed batches,
+        #: feeding the Retry-After hint attached to shed requests.
+        self._completed_units = 0.0
+        self._completed_seconds = 0.0
 
     # ------------------------------------------------------------------
     # Internals
@@ -169,13 +228,23 @@ class SchedulerService:
             )
         return self.sessions[kind]
 
-    def _flush(self, metrics: ServiceMetrics) -> float:
+    def _flush(
+        self,
+        metrics: ServiceMetrics,
+        suspended: Optional[Dict[str, _InFlight]] = None,
+    ) -> float:
         """Backpressure: ship all residual results to their callers.
 
         Every session's residual memory is released and priced like the
         offline runner's final aggregation (the results cross the same
         network paths); the admission budget resets. Returns the
         simulated seconds the flush cost.
+
+        Suspended batches are untouched — their checkpointed state
+        stays pinned in admission and their rounds keep pricing the
+        residual snapshot taken at formation (byte-identity with the
+        uninterrupted run) — but their abort restore point drops to
+        zero, since the pre-flush residual no longer exists.
         """
         cost = 0.0
         for session in self.sessions.values():
@@ -183,9 +252,192 @@ class SchedulerService:
             if freed > 0:
                 cost += self.engine._aggregation_seconds(session.task, freed)
         self.admission.release_all()
+        if suspended:
+            for inflight in suspended.values():
+                inflight.residual_restore = 0.0
         metrics.flushes += 1
         metrics.flush_seconds += cost
         return cost
+
+    # ------------------------------------------------------------------
+    # Queue admission, shedding, and preemption helpers
+    # ------------------------------------------------------------------
+    def _retry_after_hint(self, queue: List[_Pending]) -> float:
+        """Deterministic ``Retry-After`` estimate for a shed request:
+        the queued backlog times the observed seconds-per-unit."""
+        backlog = sum(p.remaining for p in queue)
+        if self._completed_units > 0:
+            per_unit = self._completed_seconds / self._completed_units
+        else:
+            per_unit = 1.0
+        return max(
+            self.policy.retry_after_floor_seconds, backlog * per_unit
+        )
+
+    def _drop(
+        self,
+        request: TaskRequest,
+        reason: str,
+        now: float,
+        queue: List[_Pending],
+        metrics: ServiceMetrics,
+    ) -> None:
+        """Record one shed request."""
+        metrics.dropped_requests += 1
+        if reason == "queue-full":
+            metrics.drops_queue_full += 1
+        elif reason == "watermark":
+            metrics.drops_watermark += 1
+        elif reason == "expired":
+            metrics.drops_expired += 1
+        metrics.drop_log.append(
+            {
+                "task_id": request.task_id,
+                "kind": request.kind,
+                "units": request.units,
+                "priority": request.priority,
+                "reason": reason,
+                "clock_seconds": now,
+                "retry_after_seconds": self._retry_after_hint(queue),
+            }
+        )
+
+    def _enqueue(
+        self,
+        request: TaskRequest,
+        queue: List[_Pending],
+        metrics: ServiceMetrics,
+        now: float,
+    ) -> None:
+        """Queue one arrival, shedding deterministically at the
+        watermark and the queue-depth bound."""
+        policy = self.policy
+        if (
+            policy.shed_watermark is not None
+            and policy.priority_classes > 1
+            and policy.static_class(request) >= policy.lowest_class
+        ):
+            used = (
+                self.admission.residual_bytes()
+                + self.admission.pinned_bytes()
+            )
+            if used > policy.shed_watermark * self.admission.budget:
+                self._drop(request, "watermark", now, queue, metrics)
+                return
+        queue.append(_Pending(request, remaining=request.units))
+        if policy.max_queue is not None and len(queue) > policy.max_queue:
+            # Evict the least urgent *untouched* request — lowest
+            # static class first, then the youngest arrival (LIFO
+            # within the class, so earlier arrivals keep their place).
+            candidates = [
+                p
+                for p in queue
+                if p.inflight == 0 and p.remaining >= p.request.units
+            ]
+            if not candidates:
+                return  # everything is partially executed; keep it
+            victim = max(
+                candidates,
+                key=lambda p: (
+                    policy.static_class(p.request),
+                    p.request.arrival_seconds,
+                    p.request.task_id,
+                ),
+            )
+            queue.remove(victim)
+            self._drop(victim.request, "queue-full", now, queue, metrics)
+
+    def _admit_arrivals(
+        self,
+        arrivals: Deque[TaskRequest],
+        queue: List[_Pending],
+        metrics: ServiceMetrics,
+        now: float,
+    ) -> None:
+        while arrivals and arrivals[0].arrival_seconds <= now:
+            self._enqueue(arrivals.popleft(), queue, metrics, now)
+
+    def _drop_expired(
+        self,
+        queue: List[_Pending],
+        metrics: ServiceMetrics,
+        now: float,
+    ) -> None:
+        """Shed queued requests whose deadline passed before any of
+        their units started (``policy.drop_expired``)."""
+        for pending in list(queue):
+            deadline = pending.request.deadline_at
+            if (
+                deadline is not None
+                and now > deadline
+                and pending.inflight == 0
+                and pending.remaining >= pending.request.units
+            ):
+                queue.remove(pending)
+                self._drop(pending.request, "expired", now, queue, metrics)
+
+    def _preempt_callback(
+        self,
+        inflight: _InFlight,
+        segment_clock: float,
+        arrivals: Deque[TaskRequest],
+        queue: List[_Pending],
+        metrics: ServiceMetrics,
+    ):
+        """Build the barrier callback for one batch segment, or
+        ``None`` when this batch can never be preempted.
+
+        The callback runs at every superstep barrier: it advances the
+        virtual clock by the batch's accrued seconds, admits arrivals
+        up to that instant, and asks for suspension when a strictly
+        more urgent *cross-kind* request justifies it. Same-kind
+        waiters never preempt — kernels share the session RNG stream
+        (BPPR draws per round), so two in-flight batches of one kind
+        would change results.
+        """
+        policy = self.policy
+        if not policy.preempt or policy.priority_classes <= 1:
+            return None
+        if inflight.priority <= 0:
+            return None  # already the most urgent lane
+        if inflight.suspend_count >= policy.max_suspends_per_batch:
+            return None
+        kind = inflight.kind
+        batch_class = inflight.priority
+        segment_start = segment_clock
+        seconds_before = inflight.charged_seconds
+        rounds_before = (
+            inflight.checkpoint.rounds_done if inflight.checkpoint else 0
+        )
+
+        def should_suspend(batch) -> bool:
+            now = segment_start + (batch.seconds - seconds_before)
+            self._admit_arrivals(arrivals, queue, metrics, now)
+            if (
+                policy.preempt_after_rounds is not None
+                and len(batch.rounds) - rounds_before
+                < policy.preempt_after_rounds
+            ):
+                return False
+            for pending in queue:
+                request = pending.request
+                if request.kind == kind or pending.inflight > 0:
+                    continue
+                if policy.effective_class(request, now) >= batch_class:
+                    continue
+                if policy.preempt_after_rounds is not None:
+                    return True
+                if policy.preempt_rule == "eager":
+                    return True
+                deadline = request.deadline_at
+                if (
+                    deadline is not None
+                    and deadline - now <= policy.preempt_margin_seconds
+                ):
+                    return True
+            return False
+
+        return should_suspend
 
     # ------------------------------------------------------------------
     # The scheduler loop
@@ -204,6 +456,8 @@ class SchedulerService:
         whatever ``requests`` holds — pre-queueing everything at time
         zero gives the degenerate offline schedule).
         """
+        policy = self.policy
+        machines = self.engine.cluster.num_machines
         metrics = ServiceMetrics(
             engine=self.engine.name,
             cluster=self.engine.cluster.name,
@@ -214,60 +468,167 @@ class SchedulerService:
         arrivals: Deque[TaskRequest] = deque(
             sorted(requests, key=lambda r: (r.arrival_seconds, r.task_id))
         )
-        queue: Deque[_Pending] = deque()
+        queue: List[_Pending] = []
+        #: batches suspended at a barrier, by kind (at most one per
+        #: kind — kernels share the session RNG stream).
+        suspended: Dict[str, _InFlight] = {}
+        formed = 0
         clock = 0.0
         failures = 0
         resplit_cap: Optional[float] = None
 
-        while arrivals or queue:
-            while arrivals and arrivals[0].arrival_seconds <= clock:
-                request = arrivals.popleft()
-                queue.append(_Pending(request, remaining=request.units))
-            if not queue:
+        while arrivals or queue or suspended:
+            self._admit_arrivals(arrivals, queue, metrics, clock)
+            if policy.drop_expired:
+                self._drop_expired(queue, metrics, clock)
+            resume_kind: Optional[str] = None
+            if queue:
+                head = min(
+                    queue,
+                    key=lambda p: policy.selection_key(p.request, clock),
+                )
+                kind = head.request.kind
+                if kind in suspended:
+                    # The lane's kind has a frozen batch: it must
+                    # finish before a new same-kind batch may start.
+                    resume_kind = kind
+            elif suspended:
+                resume_kind = min(
+                    suspended, key=lambda k: suspended[k].order
+                )
+                kind = resume_kind
+            else:
+                if not arrivals:
+                    # The tail of the stream was shed (watermark or
+                    # expiry) without ever joining the queue.
+                    break
                 # Idle: jump the clock to the next arrival.
                 clock = max(clock, arrivals[0].arrival_seconds)
                 continue
 
-            kind = queue[0].request.kind
-            admissible = self.admission.admissible_units(kind)
-            if admissible < 1.0:
-                # Backpressure: residual memory ate the budget. Flush
-                # results, reset the planners, try again.
-                clock += self._flush(metrics)
+            if resume_kind is None:
                 admissible = self.admission.admissible_units(kind)
                 if admissible < 1.0:
-                    raise SchedulingError(
-                        f"memory budget below the {kind} model's constant "
-                        "terms; no admissible batch even after flushing "
-                        "all residual memory"
-                    )
-            if resplit_cap is not None:
-                admissible = min(admissible, resplit_cap)
-
-            # Form the largest admissible FIFO batch of this kind.
-            # Requests are divisible into unit tasks, so the head may be
-            # partially scheduled; a request finishes when the batch
-            # holding its last unit completes.
-            batch_units = 0.0
-            parts: List[Tuple[_Pending, float]] = []
-            for pending in queue:
-                if pending.request.kind != kind:
-                    break
-                take = min(pending.remaining, admissible - batch_units)
-                take = float(int(take))
-                if take < 1.0:
-                    break
-                parts.append((pending, take))
-                batch_units += take
-                if batch_units >= admissible:
-                    break
-            batch_units = float(int(batch_units))
-            projected = self.admission.projected_bytes(kind, batch_units)
+                    # Backpressure: residual memory ate the budget.
+                    # Flush results, reset the planners, try again.
+                    clock += self._flush(metrics, suspended)
+                    admissible = self.admission.admissible_units(kind)
+                    if admissible < 1.0:
+                        if suspended:
+                            # Checkpointed state holds the remaining
+                            # budget pinned: finish a frozen batch to
+                            # release it instead of giving up.
+                            resume_kind = min(
+                                suspended,
+                                key=lambda k: suspended[k].order,
+                            )
+                            kind = resume_kind
+                        else:
+                            raise SchedulingError(
+                                f"memory budget below the {kind} model's "
+                                "constant terms; no admissible batch even "
+                                "after flushing all residual memory"
+                            )
 
             session = self._session(kind)
-            residual_before = session.residual_bytes
-            start_clock = clock
-            batch = session.run_batch(batch_units)
+            if resume_kind is None:
+                if resplit_cap is not None:
+                    admissible = min(admissible, resplit_cap)
+
+                # Form the largest admissible batch of this kind, in
+                # priority order. Requests are divisible into unit
+                # tasks, so the head may be partially scheduled; a
+                # request finishes when the batch holding its last
+                # unit completes. With one priority class the scan
+                # order is exactly the legacy FIFO queue order.
+                batch_units = 0.0
+                parts: List[Tuple[_Pending, float]] = []
+                for pending in sorted(
+                    queue,
+                    key=lambda p: policy.selection_key(p.request, clock),
+                ):
+                    if pending.request.kind != kind:
+                        break
+                    take = min(pending.remaining, admissible - batch_units)
+                    take = float(int(take))
+                    if take < 1.0:
+                        break
+                    parts.append((pending, take))
+                    batch_units += take
+                    if batch_units >= admissible:
+                        break
+                batch_units = float(int(batch_units))
+                projected = self.admission.projected_bytes(kind, batch_units)
+                inflight = _InFlight(
+                    kind=kind,
+                    parts=parts,
+                    batch_units=batch_units,
+                    admissible=admissible,
+                    projected=projected,
+                    residual_log=session.residual_bytes,
+                    residual_restore=session.residual_bytes,
+                    start_clock=clock,
+                    priority=policy.effective_class(head.request, clock),
+                    order=formed,
+                )
+                formed += 1
+                callback = self._preempt_callback(
+                    inflight, clock, arrivals, queue, metrics
+                )
+                result = session.run_batch(
+                    inflight.batch_units, should_suspend=callback
+                )
+            else:
+                inflight = suspended.pop(resume_kind)
+                self.admission.unpin(inflight.pin_tag)
+                metrics.resumes += 1
+                callback = self._preempt_callback(
+                    inflight, clock, arrivals, queue, metrics
+                )
+                result = session.resume(should_suspend=callback)
+
+            if isinstance(result, BatchCheckpoint):
+                # Suspended at a barrier: charge this segment's rounds
+                # plus the suspension checkpoint to the clock, pin the
+                # frozen state in admission, and go serve the urgent
+                # lane. No batch_log entry yet — the batch is not done.
+                checkpoint = result
+                batch = checkpoint.batch
+                segment = max(0.0, batch.seconds - inflight.charged_seconds)
+                suspend_cost = (
+                    checkpoint.suspend_resume_seconds
+                    - inflight.charged_suspend_seconds
+                )
+                clock += segment + suspend_cost
+                inflight.charged_seconds = batch.seconds
+                inflight.charged_suspend_seconds = (
+                    checkpoint.suspend_resume_seconds
+                )
+                inflight.checkpoint = checkpoint
+                inflight.suspend_count = checkpoint.suspends
+                for pending, take in inflight.parts:
+                    pending.inflight = take
+                self.admission.pin(
+                    inflight.pin_tag, checkpoint.state_bytes() / machines
+                )
+                suspended[kind] = inflight
+                metrics.preemptions += 1
+                metrics.preempt_seconds += suspend_cost
+                continue
+
+            batch = result
+            checkpoint = inflight.checkpoint
+            suspend_cost = 0.0
+            if checkpoint is not None:
+                suspend_cost = (
+                    checkpoint.suspend_resume_seconds
+                    - inflight.charged_suspend_seconds
+                )
+                metrics.preempt_seconds += suspend_cost
+            for pending, take in inflight.parts:
+                pending.inflight = 0.0
+            batch_units = inflight.batch_units
+            start_clock = inflight.start_clock
 
             if batch.overloaded:
                 # The memory model under-predicted: abort the batch
@@ -276,8 +637,11 @@ class SchedulerService:
                 failures += 1
                 batch.aborted = True
                 batch.abort_seconds = self.recovery.abort_overhead_seconds
-                session.residual_bytes = residual_before
-                clock += batch.seconds
+                session.residual_bytes = inflight.residual_restore
+                clock += (
+                    max(0.0, batch.seconds - inflight.charged_seconds)
+                    + suspend_cost
+                )
                 metrics.resplits += 1
                 resplit_cap = max(
                     1.0, float(int(batch_units / self.recovery.split_factor))
@@ -290,45 +654,61 @@ class SchedulerService:
                     )
             else:
                 self.admission.admit(kind, batch_units)
-                clock += batch.seconds
+                clock += (
+                    max(0.0, batch.seconds - inflight.charged_seconds)
+                    + suspend_cost
+                )
                 failures = 0
                 resplit_cap = None
-                for pending, take in parts:
+                self._completed_units += batch_units
+                self._completed_seconds += batch.seconds
+                for pending, take in inflight.parts:
                     if pending.started_seconds is None:
                         pending.started_seconds = start_clock
                     pending.remaining -= take
                     if pending.remaining <= 0:
-                        metrics.latencies.append(
-                            TaskLatency(
-                                task_id=pending.request.task_id,
-                                kind=kind,
-                                units=pending.request.units,
-                                arrival_seconds=(
-                                    pending.request.arrival_seconds
-                                ),
-                                start_seconds=pending.started_seconds,
-                                finish_seconds=clock,
-                            )
+                        latency = TaskLatency(
+                            task_id=pending.request.task_id,
+                            kind=kind,
+                            units=pending.request.units,
+                            arrival_seconds=(
+                                pending.request.arrival_seconds
+                            ),
+                            start_seconds=pending.started_seconds,
+                            finish_seconds=clock,
+                            priority=pending.request.priority,
+                            deadline_seconds=(
+                                pending.request.deadline_seconds
+                            ),
                         )
-                while queue and queue[0].remaining <= 0:
-                    queue.popleft()
+                        if latency.missed_deadline:
+                            metrics.deadline_misses += 1
+                        metrics.latencies.append(latency)
+                queue[:] = [p for p in queue if p.remaining > 0]
 
             entry = {
                 "index": len(metrics.batch_log),
                 "kind": kind,
                 "workload": batch.workload,
-                "admissible_units": admissible,
-                "projected_bytes": projected,
+                "admissible_units": inflight.admissible,
+                "projected_bytes": inflight.projected,
                 "budget_bytes": self.admission.budget,
                 "start_seconds": start_clock,
                 "finish_seconds": clock,
                 "seconds": batch.seconds,
                 "rounds": batch.num_rounds,
                 "peak_memory_bytes": batch.peak_memory_bytes,
-                "residual_before_bytes": residual_before,
+                "residual_before_bytes": inflight.residual_log,
                 "residual_after_bytes": session.residual_bytes,
                 "overloaded": batch.overloaded,
                 "aborted": batch.aborted,
+                "priority": inflight.priority,
+                "preemptions": inflight.suspend_count,
+                "preempt_seconds": (
+                    checkpoint.suspend_resume_seconds
+                    if checkpoint is not None
+                    else 0.0
+                ),
             }
             if self.record_rounds:
                 entry["round_trace"] = [

@@ -554,11 +554,22 @@ class TaskLatency:
     arrival_seconds: float
     start_seconds: float
     finish_seconds: float
+    #: priority lane the request arrived on (0 = most urgent).
+    priority: int = 1
+    #: relative latency target, when the request carried one.
+    deadline_seconds: Optional[float] = None
 
     @property
     def queue_seconds(self) -> float:
         """Time spent waiting in the arrival queue."""
         return self.start_seconds - self.arrival_seconds
+
+    @property
+    def missed_deadline(self) -> bool:
+        """Whether the request finished past its deadline."""
+        if self.deadline_seconds is None:
+            return False
+        return self.latency_seconds > self.deadline_seconds
 
     @property
     def execution_seconds(self) -> float:
@@ -598,6 +609,24 @@ class ServiceMetrics:
     resplits: int = 0
     #: simulated seconds from service start to last batch completion.
     elapsed_seconds: float = 0.0
+    #: batches suspended at a superstep barrier for a more urgent lane.
+    preemptions: int = 0
+    #: suspended batches resumed (each eventually completes).
+    resumes: int = 0
+    #: simulated suspend/restore checkpoint cost paid for preemption.
+    preempt_seconds: float = 0.0
+    #: requests shed instead of queued (all reasons).
+    dropped_requests: int = 0
+    #: shed because the pending queue hit its depth bound.
+    drops_queue_full: int = 0
+    #: shed because residual memory crossed the shed watermark.
+    drops_watermark: int = 0
+    #: queued requests dropped after their deadline expired unstarted.
+    drops_expired: int = 0
+    #: completed requests that finished past their deadline.
+    deadline_misses: int = 0
+    #: one record per shed request (task_id, kind, reason, hint).
+    drop_log: List[Dict[str, Any]] = field(default_factory=list)
     #: tasks still queued when the stream ended (drained before stop).
     extras: Dict[str, float] = field(default_factory=dict)
 
@@ -642,6 +671,21 @@ class ServiceMetrics:
             "execution_p99_seconds": percentile(execution, 99),
         }
 
+    def resilience_summary(self) -> Dict[str, Any]:
+        """Preemption/shedding/deadline counters (the ``"resilience"``
+        section of ``BENCH_perf.json``)."""
+        return {
+            "preemptions": self.preemptions,
+            "resumes": self.resumes,
+            "preempt_seconds": self.preempt_seconds,
+            "dropped_requests": self.dropped_requests,
+            "drops_queue_full": self.drops_queue_full,
+            "drops_watermark": self.drops_watermark,
+            "drops_expired": self.drops_expired,
+            "deadline_misses": self.deadline_misses,
+            "drops": [dict(d) for d in self.drop_log],
+        }
+
     def to_dict(self, include_latencies: bool = False) -> Dict[str, Any]:
         """JSON-serialisable dump (stable key order for diffing).
 
@@ -664,6 +708,7 @@ class ServiceMetrics:
             "resplits": self.resplits,
             "num_batches": len(self.batch_log),
             "latency": self.latency_percentiles(),
+            "resilience": self.resilience_summary(),
             "batches": [dict(b) for b in self.batch_log],
             "extras": dict(self.extras),
         }
@@ -673,6 +718,8 @@ class ServiceMetrics:
                     "task_id": t.task_id,
                     "kind": t.kind,
                     "units": t.units,
+                    "priority": t.priority,
+                    "deadline_seconds": t.deadline_seconds,
                     "arrival_seconds": t.arrival_seconds,
                     "start_seconds": t.start_seconds,
                     "finish_seconds": t.finish_seconds,
@@ -711,6 +758,17 @@ class ServiceMetrics:
                 f"(flushes={self.flushes}, resplits={self.resplits})"
             ),
         ]
+        if (
+            self.preemptions
+            or self.dropped_requests
+            or self.deadline_misses
+        ):
+            lines.append(
+                "resilience        "
+                f"preemptions={self.preemptions} resumes={self.resumes} "
+                f"dropped={self.dropped_requests} "
+                f"deadline_misses={self.deadline_misses}"
+            )
         return "\n".join(lines)
 
     def summary(self) -> str:

@@ -1,0 +1,136 @@
+"""Torn CSR directories: detection, quarantine, and rebuild.
+
+A crash mid-write leaves a CSR directory torn — truncated arrays, an
+unparsable sidecar, or sizes that disagree with ``graph.json``. The
+tolerant loader must never hand such a directory to an engine: it moves
+the evidence aside as ``<dir>.corrupt`` (counted in the cache stats so
+it surfaces in ``BENCH_perf.json``) and returns ``None`` so the caller
+rebuilds under the original name.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.graph.build import from_edges
+from repro.graph.io import (
+    is_csr_dir,
+    load_csr_dir,
+    quarantine_csr_dir,
+    save_mapped,
+)
+from repro.perf.cache import get_cache
+
+
+@pytest.fixture()
+def graph():
+    src = np.array([0, 0, 1, 2, 3, 3], dtype=np.int64)
+    dst = np.array([1, 2, 3, 0, 1, 2], dtype=np.int64)
+    weights = np.array([1.0, 2.0, 0.5, 4.0, 1.5, 3.0])
+    return from_edges(src, dst, weights=weights, name="tiny")
+
+
+@pytest.fixture()
+def csr_dir(graph, tmp_path):
+    directory = str(tmp_path / "tiny.csr")
+    save_mapped(graph, directory)
+    return directory
+
+
+def corruptions():
+    return get_cache().stats.corruptions
+
+
+class TestCleanDirectory:
+    def test_round_trips_byte_identical(self, graph, csr_dir):
+        mapped = load_csr_dir(csr_dir)
+        assert mapped is not None
+        assert np.asarray(mapped.indptr).tobytes() == np.asarray(
+            graph.indptr
+        ).tobytes()
+        assert np.asarray(mapped.indices).tobytes() == np.asarray(
+            graph.indices
+        ).tobytes()
+        assert np.asarray(mapped.weights).tobytes() == np.asarray(
+            graph.weights
+        ).tobytes()
+        assert mapped.fingerprint == graph.fingerprint
+
+    def test_missing_directory_is_not_quarantined(self, tmp_path):
+        before = corruptions()
+        assert load_csr_dir(tmp_path / "never-built.csr") is None
+        assert corruptions() == before
+        assert not os.path.exists(str(tmp_path / "never-built.csr.corrupt"))
+
+
+class TestTornDirectories:
+    def assert_quarantined(self, directory):
+        before = corruptions()
+        assert load_csr_dir(directory) is None
+        assert not os.path.exists(directory)
+        assert os.path.isdir(directory + ".corrupt")
+        assert corruptions() == before + 1
+
+    def test_truncated_indices_quarantine(self, csr_dir):
+        path = os.path.join(csr_dir, "indices.npy")
+        with open(path, "r+b") as fh:
+            fh.truncate(os.path.getsize(path) - 16)
+        self.assert_quarantined(csr_dir)
+
+    def test_unparsable_sidecar_quarantines(self, csr_dir):
+        with open(os.path.join(csr_dir, "graph.json"), "w") as fh:
+            fh.write("{ torn mid-write")
+        self.assert_quarantined(csr_dir)
+
+    def test_weights_size_mismatch_quarantines(self, csr_dir):
+        np.save(os.path.join(csr_dir, "weights.npy"), np.zeros(2))
+        self.assert_quarantined(csr_dir)
+
+    def test_sidecar_disagreeing_with_arrays_quarantines(self, csr_dir):
+        meta_path = os.path.join(csr_dir, "graph.json")
+        with open(meta_path, "r", encoding="utf-8") as fh:
+            meta = json.load(fh)
+        meta["num_arcs"] += 1
+        with open(meta_path, "w", encoding="utf-8") as fh:
+            json.dump(meta, fh)
+        self.assert_quarantined(csr_dir)
+
+    def test_missing_sidecar_means_incomplete_build_not_corruption(
+        self, csr_dir
+    ):
+        # The sidecar is written last: its absence is the normal
+        # crashed-before-commit window, not damage worth preserving.
+        os.unlink(os.path.join(csr_dir, "graph.json"))
+        before = corruptions()
+        assert not is_csr_dir(csr_dir)
+        assert load_csr_dir(csr_dir) is None
+        assert corruptions() == before
+
+    def test_rebuild_replaces_quarantine_under_original_name(
+        self, graph, csr_dir
+    ):
+        with open(os.path.join(csr_dir, "graph.json"), "w") as fh:
+            fh.write("not json")
+        assert load_csr_dir(csr_dir) is None
+        # Rebuild into the now-free original name and load cleanly.
+        save_mapped(graph, csr_dir)
+        mapped = load_csr_dir(csr_dir)
+        assert mapped is not None
+        assert mapped.fingerprint == graph.fingerprint
+        assert os.path.isdir(csr_dir + ".corrupt")
+
+    def test_repeated_quarantine_keeps_latest_evidence(self, graph, csr_dir):
+        marker = os.path.join(csr_dir, "marker-first")
+        open(marker, "w").close()
+        quarantine_csr_dir(csr_dir)
+        save_mapped(graph, csr_dir)
+        quarantine_csr_dir(csr_dir)
+        quarantined = csr_dir + ".corrupt"
+        assert os.path.isdir(quarantined)
+        assert not os.path.exists(
+            os.path.join(quarantined, "marker-first")
+        )

@@ -32,6 +32,7 @@ import pytest
 
 from repro.batching.executor import MultiProcessingJob
 from repro.cluster.cluster import cluster_by_name
+from repro.engines.registry import ENGINE_NAMES
 from repro.experiments.base import ExperimentConfig
 from repro.experiments.common import sweep_batches
 from repro.experiments.runner import run_all, run_experiment
@@ -247,6 +248,63 @@ class TestRoundStreamInvariance:
         ) == json.dumps(
             second.to_dict(include_rounds=True), sort_keys=True
         )
+
+
+class TestSuspendResumeInvariance:
+    """Barrier suspend/resume must be invisible in the metrics: a batch
+    frozen at superstep barriers and resumed — for every engine and
+    every preemptable task kind — must serialize byte-identically
+    (``pack_job``) to the same batch run straight through."""
+
+    KINDS = ("bppr", "mssp", "bkhs")
+    BATCH_UNITS = 16.0
+
+    def _job(self, engine_name, kind, suspend):
+        from repro.engines.base import BatchCheckpoint, EngineSession
+        from repro.engines.registry import create_engine
+        from repro.sim.metrics import JobMetrics, pack_job
+
+        graph = load_dataset("dblp", scale=SCALE)
+        cluster = cluster_by_name("galaxy-8", scale=SCALE)
+        engine = create_engine(engine_name, cluster)
+        session = EngineSession(
+            engine, make_task(kind, graph, self.BATCH_UNITS), seed=7
+        )
+
+        def at_even_barriers(batch):
+            return len(batch.rounds) % 2 == 0
+
+        callback = at_even_barriers if suspend else None
+        suspends = 0
+        job = JobMetrics(
+            engine=engine.name,
+            task=kind,
+            dataset=graph.name,
+            cluster=cluster.name,
+            num_machines=cluster.num_machines,
+            total_workload=2 * self.BATCH_UNITS,
+            batch_sizes=[self.BATCH_UNITS, self.BATCH_UNITS],
+        )
+        for _ in range(2):
+            result = session.run_batch(
+                self.BATCH_UNITS, should_suspend=callback
+            )
+            while isinstance(result, BatchCheckpoint):
+                suspends += 1
+                result = session.resume(should_suspend=callback)
+            job.batches.append(result)
+        return bytes(pack_job(job)["payload"]), suspends
+
+    @pytest.mark.parametrize("engine_name", ENGINE_NAMES)
+    def test_every_engine_and_kind(self, engine_name):
+        total_suspends = 0
+        for kind in self.KINDS:
+            interrupted, suspends = self._job(engine_name, kind, True)
+            straight, zero = self._job(engine_name, kind, False)
+            assert zero == 0
+            assert interrupted == straight, (engine_name, kind)
+            total_suspends += suspends
+        assert total_suspends > 0, "no barrier ever fired; test is vacuous"
 
 
 class TestSchedulerInvariance:

@@ -1,0 +1,260 @@
+"""Worker supervision: backoff policy, watchdog, and chaos counters.
+
+The pool's crash handling is covered by ``test_parallel_faults``; this
+module exercises the supervision layer added on top of it — the seeded
+exponential :class:`~repro.perf.backoff.BackoffPolicy`, the hung-worker
+watchdog, the chaos observer seam, and the counters that land in
+``BENCH_perf.json``.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.perf import parallel
+from repro.perf.backoff import DEFAULT_BACKOFF, BackoffPolicy
+from repro.perf.parallel import (
+    configure_retries,
+    configure_watchdog,
+    parallel_map,
+    reset_supervision,
+    set_pool_observer,
+    supervision_stats,
+)
+from repro.rng import make_rng
+
+
+@pytest.fixture(autouse=True)
+def _restore_supervision_state():
+    """Snapshot and restore every module-level supervision knob."""
+    retry = dict(parallel._RETRY)
+    rng = parallel._RETRY_RNG
+    heartbeat = parallel._WATCHDOG["heartbeat_seconds"]
+    observer = set_pool_observer(None)
+    reset_supervision()
+    yield
+    parallel._RETRY.update(retry)
+    parallel._RETRY_RNG = rng
+    configure_watchdog(heartbeat)
+    set_pool_observer(observer)
+    reset_supervision()
+
+
+class TestBackoffPolicy:
+    def test_exponential_schedule(self):
+        policy = BackoffPolicy(base_seconds=0.1, factor=2.0, jitter=0.0)
+        assert [policy.delay_seconds(r) for r in (1, 2, 3, 4)] == [
+            0.1,
+            0.2,
+            0.4,
+            0.8,
+        ]
+
+    def test_cap(self):
+        policy = BackoffPolicy(
+            base_seconds=1.0, factor=10.0, max_seconds=5.0, jitter=0.0
+        )
+        assert policy.delay_seconds(4) == 5.0
+
+    def test_seeded_jitter_is_deterministic(self):
+        policy = BackoffPolicy(base_seconds=0.1, factor=2.0, jitter=0.5)
+        first = [
+            policy.delay_seconds(r, make_rng(7, label="perf/backoff"))
+            for r in (1, 2, 3)
+        ]
+        second = [
+            policy.delay_seconds(r, make_rng(7, label="perf/backoff"))
+            for r in (1, 2, 3)
+        ]
+        assert first == second
+        assert first != [0.1, 0.2, 0.4]  # jitter actually moved them
+        for delay, base in zip(first, (0.1, 0.2, 0.4)):
+            assert 0.5 * base <= delay <= 1.5 * base
+
+    def test_no_rng_means_exact_schedule_even_with_jitter(self):
+        policy = BackoffPolicy(base_seconds=0.1, factor=2.0, jitter=0.5)
+        assert policy.delay_seconds(2, None) == 0.2
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BackoffPolicy(base_seconds=-1.0)
+        with pytest.raises(ConfigurationError):
+            BackoffPolicy(factor=0.5)
+        with pytest.raises(ConfigurationError):
+            BackoffPolicy(jitter=1.5)
+        with pytest.raises(ConfigurationError):
+            BackoffPolicy(max_seconds=-1.0)
+        with pytest.raises(ConfigurationError):
+            BackoffPolicy().delay_seconds(0)
+
+    def test_default_matches_legacy_pool_schedule(self):
+        assert DEFAULT_BACKOFF.base_seconds == 0.05
+        assert DEFAULT_BACKOFF.factor == 2.0
+        assert DEFAULT_BACKOFF.jitter == 0.0
+
+
+def _crash_once(x, flag_path):
+    if x == 2 and not os.path.exists(flag_path):
+        with open(flag_path, "w"):
+            pass
+        os.kill(os.getpid(), signal.SIGKILL)
+    return x + 100
+
+
+def _crash_twice(x, flag_dir):
+    """Item 2 SIGKILLs its worker on its first two executions."""
+    if x == 2:
+        crashes = len(os.listdir(flag_dir))
+        if crashes < 2:
+            with open(os.path.join(flag_dir, f"crash{crashes}"), "w"):
+                pass
+            os.kill(os.getpid(), signal.SIGKILL)
+    return x + 100
+
+
+def _hang_once(x, flag_path):
+    if x == 1 and not os.path.exists(flag_path):
+        with open(flag_path, "w"):
+            pass
+        time.sleep(60.0)
+    return x * 7
+
+
+class TestSupervisionCounters:
+    def test_clean_run_counts_nothing(self):
+        assert parallel_map(_crash_once, [(0, "/nonexistent-flag")], jobs=1) \
+            == [100]
+        stats = supervision_stats()
+        assert stats["pool_crashes"] == 0
+        assert stats["items_recovered"] == 0
+        assert stats["items_lost"] == 0
+
+    def test_crash_recovery_is_counted(self, tmp_path):
+        flag = str(tmp_path / "crashed")
+        configure_retries(max_retries=2, backoff_seconds=0.0)
+        args = [(i, flag) for i in range(4)]
+        assert parallel_map(_crash_once, args, jobs=2) == [
+            100,
+            101,
+            102,
+            103,
+        ]
+        stats = supervision_stats()
+        assert stats["pool_crashes"] >= 1
+        assert stats["isolated_attempts"] >= 1
+        assert stats["items_recovered"] >= 1
+        assert stats["items_lost"] == 0
+
+    def test_seeded_backoff_accumulates_jittered_sleep(self, tmp_path):
+        flag_dir = str(tmp_path)
+        configure_retries(
+            max_retries=3, backoff_seconds=0.01, seed=11, jitter=0.5
+        )
+        # Item 2 dies in the shared pool AND on its first isolated
+        # attempt, so the second isolated attempt must sleep one
+        # jittered backoff delay first — drawn from the seeded
+        # ``perf/backoff`` stream, hence exactly reproducible.
+        assert parallel_map(
+            _crash_twice, [(i, flag_dir) for i in range(4)], jobs=2
+        ) == [100, 101, 102, 103]
+        stats = supervision_stats()
+        assert stats["retries"] >= 1
+        expected = BackoffPolicy(
+            base_seconds=0.01, factor=2.0, jitter=0.5
+        ).delay_seconds(1, make_rng(11, label="perf/backoff"))
+        assert stats["backoff_seconds_total"] == pytest.approx(expected)
+
+    def test_reset_zeroes_counters(self, tmp_path):
+        flag = str(tmp_path / "crashed")
+        configure_retries(max_retries=2, backoff_seconds=0.0)
+        parallel_map(_crash_once, [(i, flag) for i in range(4)], jobs=2)
+        assert supervision_stats()["pool_crashes"] >= 1
+        reset_supervision()
+        assert supervision_stats()["pool_crashes"] == 0
+
+
+class TestWatchdog:
+    def test_validation_and_disarm(self):
+        with pytest.raises(ConfigurationError):
+            configure_watchdog(0.0)
+        with pytest.raises(ConfigurationError):
+            configure_watchdog(-1.0)
+        assert configure_watchdog(2.5) == 2.5
+        assert configure_watchdog(None) is None
+
+    def test_hung_worker_is_killed_and_item_recovers(self, tmp_path):
+        flag = str(tmp_path / "hung")
+        configure_retries(max_retries=2, backoff_seconds=0.0)
+        configure_watchdog(0.5)
+        args = [(i, flag) for i in range(3)]
+        assert parallel_map(_hang_once, args, jobs=2) == [0, 7, 14]
+        assert os.path.exists(flag)  # the hang really happened
+        stats = supervision_stats()
+        assert stats["watchdog_stalls"] >= 1
+        assert stats["items_recovered"] >= 1
+        assert stats["items_lost"] == 0
+
+    def test_disarmed_watchdog_keeps_legacy_path(self):
+        configure_watchdog(None)
+        assert parallel_map(
+            _crash_once, [(i, "/nonexistent-flag") for i in range(3)], jobs=2
+        ) == [100, 101, 102]
+        assert supervision_stats()["watchdog_stalls"] == 0
+
+
+class _Killer:
+    """Chaos observer: SIGKILL one worker shortly after submit."""
+
+    def __init__(self):
+        self.kills = 0
+
+    def __call__(self, executor):
+        import threading
+
+        pids = sorted(executor._processes)
+        if not pids or self.kills:
+            return
+        victim = pids[0]
+
+        def strike():
+            time.sleep(0.2)
+            try:
+                os.kill(victim, signal.SIGKILL)
+                self.kills += 1
+            except OSError:
+                pass
+
+        threading.Thread(target=strike, daemon=True).start()
+
+
+def _slow_square(x):
+    time.sleep(0.5)
+    return x * x
+
+
+class TestPoolObserver:
+    def test_observer_sees_executor_and_chaos_recovers(self):
+        configure_retries(max_retries=2, backoff_seconds=0.0)
+        killer = _Killer()
+        set_pool_observer(killer)
+        try:
+            result = parallel_map(_slow_square, [(i,) for i in range(4)],
+                                  jobs=2)
+        finally:
+            set_pool_observer(None)
+        assert result == [0, 1, 4, 9]
+        assert killer.kills == 1
+        stats = supervision_stats()
+        assert stats["pool_crashes"] >= 1
+        assert stats["items_recovered"] >= 1
+        assert stats["items_lost"] == 0
+
+    def test_set_pool_observer_returns_previous(self):
+        sentinel = object()
+        assert set_pool_observer(sentinel) is None
+        assert set_pool_observer(None) is sentinel

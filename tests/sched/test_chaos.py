@@ -1,0 +1,152 @@
+"""Chaos under service: fault injection must not change scheduling.
+
+The service loop makes every decision — batch formation, priority
+selection, preemption — on quantities that injected machine faults do
+not perturb when the preemption trigger is round-based
+(``preempt_after_rounds``): faults add replay *seconds*, never extra
+rounds or different workloads. These tests run the same preemptive
+scenario fault-free and under a seeded fault plan and assert the
+timing-free scheduling digest is identical, that no request is ever
+lost to chaos, and that the faulty run itself is reproducible.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cluster.cluster import cluster_by_name
+from repro.engines.registry import create_engine
+from repro.faults.plan import mixed_fault_plan
+from repro.graph.datasets import load_dataset
+from repro.sched.arrivals import TaskRequest
+from repro.sched.policy import ServicePolicy
+from repro.sched.service import SchedulerService
+
+SCALE = 400
+SEED = 23
+FAULT_RATE = 0.15
+
+#: Round-count preemption trigger: fault-timing invariant (replay adds
+#: seconds, not rounds), so the faulty and fault-free runs suspend at
+#: the same barriers.
+POLICY = ServicePolicy(
+    priority_classes=3,
+    aging_seconds=None,
+    preempt=True,
+    preempt_after_rounds=2,
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return load_dataset("dblp", scale=SCALE)
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return cluster_by_name("galaxy-8", scale=SCALE)
+
+
+def requests():
+    """One patient BKHS job plus urgent BPPR queries arriving just
+    after it starts — enough to exercise suspend/resume."""
+    stream = [TaskRequest(0, "bkhs", 96.0, 0.0, priority=2)]
+    stream += [
+        TaskRequest(i, "bppr", 8.0, 0.001 * i, priority=0)
+        for i in range(1, 4)
+    ]
+    return stream
+
+
+def run_service(graph, cluster, fault_plan):
+    service = SchedulerService(
+        create_engine("pregel+", cluster),
+        graph,
+        kinds=("bppr", "bkhs"),
+        seed=SEED,
+        task_params={"bkhs": {"sample_limit": 16}},
+        fault_plan=fault_plan,
+        checkpoint_every=2,
+        policy=POLICY,
+    )
+    metrics = service.run(requests())
+    return service, metrics
+
+
+def scheduling_digest(service, metrics):
+    """Everything chaos must not change: batch formation, ordering,
+    preemption pattern, completions — no clock values."""
+    return json.dumps(
+        {
+            "batches": [
+                {
+                    "kind": entry["kind"],
+                    "workload": entry["workload"],
+                    "rounds": entry["rounds"],
+                    "priority": entry["priority"],
+                    "preemptions": entry["preemptions"],
+                    "aborted": entry["aborted"],
+                }
+                for entry in metrics.batch_log
+            ],
+            "completed": sorted(l.task_id for l in metrics.latencies),
+            "preemptions": metrics.preemptions,
+            "resumes": metrics.resumes,
+            "dropped": metrics.dropped_requests,
+            "flushes": metrics.flushes,
+        },
+        sort_keys=True,
+    )
+
+
+@pytest.fixture(scope="module")
+def warmed(graph, cluster):
+    """Discarded warmup: the first service in a process trains its
+    memory models cold, which perturbs downstream RNG streams."""
+    run_service(graph, cluster, None)
+    return True
+
+
+class TestChaosInvariance:
+    def test_faults_do_not_change_scheduling(self, graph, cluster, warmed):
+        plan = mixed_fault_plan(SEED, cluster.num_machines, FAULT_RATE)
+        _, clean = run_service(graph, cluster, None)
+        faulty_service, faulty = run_service(graph, cluster, plan)
+
+        crashes = sum(
+            batch.crashes
+            for _, batch in faulty_service.executed_batches
+        )
+        assert crashes > 0, "fault plan injected no crashes; test is vacuous"
+        assert clean.preemptions >= 1, "scenario never preempted"
+        assert scheduling_digest(None, clean) == scheduling_digest(
+            None, faulty
+        )
+
+    def test_no_request_lost_to_chaos(self, graph, cluster, warmed):
+        plan = mixed_fault_plan(SEED, cluster.num_machines, FAULT_RATE)
+        _, metrics = run_service(graph, cluster, plan)
+        assert metrics.completed_tasks == len(requests())
+        assert metrics.dropped_requests == 0
+        assert {l.task_id for l in metrics.latencies} == {
+            r.task_id for r in requests()
+        }
+
+    def test_faulty_run_is_reproducible(self, graph, cluster, warmed):
+        plan = mixed_fault_plan(SEED, cluster.num_machines, FAULT_RATE)
+        _, first = run_service(graph, cluster, plan)
+        _, second = run_service(graph, cluster, plan)
+        assert json.dumps(
+            first.to_dict(include_latencies=True), sort_keys=True
+        ) == json.dumps(
+            second.to_dict(include_latencies=True), sort_keys=True
+        )
+
+    def test_chaos_costs_show_up_in_the_clock(self, graph, cluster, warmed):
+        plan = mixed_fault_plan(SEED, cluster.num_machines, FAULT_RATE)
+        _, clean = run_service(graph, cluster, None)
+        _, faulty = run_service(graph, cluster, plan)
+        # Same schedule, strictly more simulated time: replay is paid.
+        assert faulty.elapsed_seconds > clean.elapsed_seconds
