@@ -7,6 +7,8 @@ Run from the repo root (CI does)::
     python benchmarks/kernel_bench.py --strict     # non-zero exit on drift
     python benchmarks/kernel_bench.py --crossover  # dense/sparse sweep
     python benchmarks/kernel_bench.py --streaming  # block-streaming kernels
+    python benchmarks/kernel_bench.py --workers 1 2 4   # sharded kernels
+    python benchmarks/kernel_bench.py --parallel-smoke  # digest identity
 
 The default mode measures the median (p50) ``kernel.step()`` wall-clock
 per task on a fixed mid-size Chung-Lu graph and compares it against
@@ -26,6 +28,18 @@ every round streams multiple CSR row blocks through the scratch arena.
 The results land under ``streaming.<task>`` keys in the baseline and
 drift only ever warns — the mode exists to keep an eye on the
 out-of-core overhead ratio, not to gate merges.
+
+``--workers N [N ...]`` reruns the suite with the intra-task kernel
+pool at each worker count (the sharding crossover forced down so the
+small benchmark graph actually shards). Results land under
+``parallel.wN.<task>`` keys and, like streaming, only ever warn — the
+1-CPU CI runners cannot see a thread-level speedup, so the keys track
+the dispatch/merge *overhead* trajectory instead.
+
+``--parallel-smoke`` is the blocking leg: it runs every task serially
+and at worker counts 2 and 4, digesting each run's full round-summary
+stream plus its final result arrays, and exits non-zero on any digest
+mismatch — the serial and sharded kernels must agree byte for byte.
 """
 
 from __future__ import annotations
@@ -100,6 +114,125 @@ def measure_streaming() -> dict:
         finally:
             csr_mod.MIN_STREAM_BLOCK_ARCS = saved_min
             csr_mod.configure_streaming(None)
+
+
+#: Crossover forced for the parallel modes: the benchmark graph has
+#: ~32 K arcs, so the production ``DEFAULT_MIN_SHARD_CANDIDATES`` would
+#: keep every round serial and the sweep would measure nothing.
+PARALLEL_MIN_SHARD_CANDIDATES = 1 << 10
+
+#: Worker counts exercised by the blocking digest smoke.
+SMOKE_WORKER_COUNTS = (2, 4)
+
+
+def measure_parallel(worker_counts) -> dict:
+    """p50 step milliseconds with the sharded kernels at each count."""
+    from repro.perf import kernel_pool
+
+    graph = _bench_graph()
+    results = {}
+    try:
+        for workers in worker_counts:
+            kernel_pool.configure_kernel_workers(
+                workers,
+                min_shard_candidates=PARALLEL_MIN_SHARD_CANDIDATES,
+            )
+            results.update(
+                _measure_tasks(graph, prefix=f"parallel.w{workers}.")
+            )
+    finally:
+        kernel_pool.reset_kernel_pool()
+    return results
+
+
+def _digest_update(h, obj) -> None:
+    """Fold one round-summary / result object into a running digest."""
+    if isinstance(obj, np.ndarray):
+        h.update(obj.tobytes())
+    elif isinstance(obj, dict):
+        for key in sorted(obj):
+            h.update(str(key).encode())
+            _digest_update(h, obj[key])
+    elif isinstance(obj, (list, tuple)):
+        for item in obj:
+            _digest_update(h, item)
+    else:
+        h.update(repr(obj).encode())
+
+
+def _digest_tasks(graph) -> dict:
+    """blake2b over every task's round stream + final result arrays."""
+    import hashlib
+
+    partition = hash_partition(graph, 4)
+    plan = build_mirror_plan(graph, partition)
+    digests = {}
+    for task_name, workload, batches in SETTINGS:
+        h = hashlib.blake2b(digest_size=16)
+        for batch in range(batches):
+            spec = make_task(task_name, graph, workload)
+            router = PointToPointRouter(graph, plan)
+            kernel = spec.make_kernel(
+                router, workload, make_rng(97 + batch, label=task_name)
+            )
+            for _ in range(MAX_STEPS):
+                summary = kernel.step()
+                _digest_update(
+                    h,
+                    (
+                        summary.routed.network_messages,
+                        summary.routed.local_messages,
+                        summary.compute_ops,
+                        summary.task_state_bytes,
+                        summary.active_vertices,
+                        summary.done,
+                    ),
+                )
+                if summary.done:
+                    break
+            _digest_update(h, kernel.result)
+        digests[task_name] = h.hexdigest()
+    return digests
+
+
+def run_parallel_smoke() -> int:
+    """Blocking check: sharded digests must equal the serial digests."""
+    from repro.perf import kernel_pool
+
+    graph = _bench_graph()
+    try:
+        kernel_pool.reset_kernel_pool()
+        serial = _digest_tasks(graph)
+        failures = 0
+        for workers in SMOKE_WORKER_COUNTS:
+            kernel_pool.configure_kernel_workers(
+                workers, min_shard_candidates=1
+            )
+            before = kernel_pool.kernel_pool_stats()["sharded_dispatches"]
+            sharded = _digest_tasks(graph)
+            after = kernel_pool.kernel_pool_stats()["sharded_dispatches"]
+            for task_name, digest in sharded.items():
+                status = "ok" if digest == serial[task_name] else "MISMATCH"
+                print(
+                    f"workers={workers} {task_name}: serial "
+                    f"{serial[task_name]} vs sharded {digest} [{status}]"
+                )
+                failures += digest != serial[task_name]
+            if after <= before:
+                # A digest match proves nothing if the sharded path
+                # never actually dispatched.
+                print(
+                    f"workers={workers}: no sharded dispatches — the "
+                    "parallel path did not run"
+                )
+                failures += 1
+    finally:
+        kernel_pool.reset_kernel_pool()
+    if failures:
+        print(f"FAILED: {failures} parallel-kernel digest mismatches")
+        return 1
+    print("all parallel-kernel digests byte-identical to serial")
+    return 0
 
 
 def _measure_tasks(graph, prefix: str = "") -> dict:
@@ -213,12 +346,34 @@ def main(argv=None) -> int:
         action="store_true",
         help="benchmark the block-streaming kernels (warn-only)",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        nargs="+",
+        default=None,
+        metavar="N",
+        help="benchmark the sharded kernels at these intra-task worker "
+        "counts (warn-only; keys parallel.wN.<task>)",
+    )
+    parser.add_argument(
+        "--parallel-smoke",
+        action="store_true",
+        help="blocking digest check: serial vs sharded kernels must "
+        "match byte for byte",
+    )
     args = parser.parse_args(argv)
 
     if args.crossover:
         return run_crossover()
+    if args.parallel_smoke:
+        return run_parallel_smoke()
 
-    current = measure_streaming() if args.streaming else measure()
+    if args.workers:
+        current = measure_parallel(args.workers)
+    elif args.streaming:
+        current = measure_streaming()
+    else:
+        current = measure()
     for task, entry in current.items():
         print(f"{task}: p50 {entry['p50_ms']:.3f} ms over {entry['steps']} steps")
 
@@ -244,9 +399,10 @@ def main(argv=None) -> int:
         print(f"WARNING: {line}")
     if not warnings:
         print(f"all tasks within ±{TOLERANCE * 100:.0f}% of baseline")
-    if args.streaming:
-        # The streaming comparison is informational: overhead depends on
-        # the forced block size and page-cache state, so it never blocks.
+    if args.streaming or args.workers:
+        # The streaming and parallel comparisons are informational:
+        # overhead depends on the forced block size / host core count
+        # and page-cache state, so they never block.
         return 0
     return 1 if (warnings and args.strict) else 0
 

@@ -18,7 +18,8 @@ Subcommands
     Run the online scheduling service on a seeded arrival stream.
 
 Shared flags (``--scale``, ``--seed``, ``--jobs``, ``--cache-dir``,
-``--max-retries``, ``--numa``, the setting flags, and the fault knobs)
+``--max-retries``, ``--numa``, ``--max-ram``, ``--kernel-workers``,
+the setting flags, and the fault knobs)
 are declared once on common *parent parsers* and inherited by every
 subcommand that needs them, so a new subcommand can never drift out of
 sync with the rest of the CLI.
@@ -132,6 +133,17 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "a memory-mapped CSR directory and processed with the "
         "block-streaming kernels; results are byte-identical",
     )
+    parser.add_argument(
+        "--kernel-workers",
+        type=_job_count,
+        default=0,
+        metavar="N",
+        help="intra-task worker threads for the sharded MSSP/BKHS/BPPR "
+        "kernels (row-sharded expand/reduce with a deterministic "
+        "winner-key merge); 0 or 1 = serial (default). Orthogonal to "
+        "--jobs, which parallelises across independent runs; results "
+        "are byte-identical at any worker count",
+    )
 
 
 def _add_setting(parser: argparse.ArgumentParser) -> None:
@@ -188,6 +200,10 @@ def _apply_runtime_knobs(args) -> None:
         from repro.perf import numa
 
         numa.configure_numa(mode=args.numa)
+    if getattr(args, "kernel_workers", None):
+        from repro.perf.kernel_pool import configure_kernel_workers
+
+        configure_kernel_workers(args.kernel_workers)
     max_ram = getattr(args, "max_ram", None)
     if max_ram is None:
         env = os.environ.get("REPRO_MAX_RAM", "").strip()
@@ -424,8 +440,17 @@ def cmd_report(args) -> int:
                 else ""
             )
         )
+    from repro.perf.kernel_pool import kernel_pool_stats
     from repro.perf.parallel import supervision_stats
 
+    pool_info = kernel_pool_stats()
+    if pool_info["sharded_dispatches"]:
+        print(
+            f"kernel pool: {pool_info['workers']} workers, "
+            f"{pool_info['sharded_dispatches']} sharded rounds "
+            f"({pool_info['shards_executed']} shards, "
+            f"{pool_info['serial_fallbacks']} serial fallbacks)"
+        )
     bench_path = str(Path(args.output).parent / "BENCH_perf.json")
     timings.write_json(
         bench_path,
@@ -439,6 +464,7 @@ def cmd_report(args) -> int:
             "numa": numa_info,
             "memory": mem_info,
             "supervision": supervision_stats(),
+            "kernel_pool": pool_info,
         },
     )
     print(f"wrote {bench_path} (wall {wall:.1f}s)")
@@ -488,6 +514,7 @@ def cmd_serve(args) -> int:
         max_queue=args.max_queue,
         shed_watermark=args.shed_watermark,
         drop_expired=args.drop_expired,
+        intra_workers=args.kernel_workers,
     )
     service = SchedulerService(
         engine,

@@ -475,6 +475,9 @@ def propagate_mass(graph: Graph, per_vertex: np.ndarray) -> np.ndarray:
         return _propagate_mass_streaming(graph, per_vertex, block_arcs)
     op = _spread_operator(graph)
     if op is not None:
+        shards = kernel_shards(graph.num_arcs)
+        if shards > 1:
+            return _propagate_mass_sharded(op, per_vertex, shards)
         return op @ per_vertex
     per_arc = np.repeat(per_vertex, graph.degrees)
     return np.bincount(
@@ -686,6 +689,169 @@ def _merge_reduce(
     np.not_equal(keys[1:], keys[:-1], out=boundary[1:])
     starts = np.flatnonzero(boundary)
     return keys[starts], ufunc.reduceat(vals, starts)
+
+
+# ----------------------------------------------------------------------
+# Intra-task sharding (repro.perf.kernel_pool)
+#
+# The sharded variants below cut the candidate list into contiguous
+# shards, reduce each shard on the persistent pinned thread pool, and
+# fold the per-shard results with :func:`_merge_reduce` in shard order —
+# exactly the accumulation the block-streaming kernels perform, so the
+# byte-identity arguments carry over verbatim: ``min`` is
+# order-independent (any split is bit-identical), and ``sum`` keeps the
+# documented exactness regime (all-ones walk counts or size-one cells).
+# The kernel_pool import stays lazy so serial processes never pay for —
+# or even load — the pool machinery.
+# ----------------------------------------------------------------------
+
+
+def kernel_shards(num_candidates: int) -> int:
+    """Shard count for ``num_candidates`` in-flight arcs — 1 (serial)
+    unless :mod:`repro.perf.kernel_pool` has been imported *and*
+    configured with workers, so untouched processes pay one dict
+    lookup, nothing else."""
+    import sys
+
+    pool_mod = sys.modules.get("repro.perf.kernel_pool")
+    if pool_mod is None:
+        return 1
+    return pool_mod.choose_shards(num_candidates)
+
+
+def segment_min_sharded(
+    rows: np.ndarray,
+    cols: np.ndarray,
+    values: np.ndarray,
+    num_cols: int,
+    shards: int,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """:func:`segment_min` over candidate shards run in parallel.
+
+    Each contiguous shard reduces independently (fresh buffers — shard
+    workers never share an arena), then the sorted-unique runs fold left
+    to right with ``np.minimum``. Bit-identical to the monolithic
+    reduction at any shard count: per-cell minima of shard minima equal
+    the global minima, and the fold emits cells in row-major order.
+    """
+    if shards <= 1 or rows.size == 0:
+        return segment_min(rows, cols, values, num_cols)
+    from repro.perf import kernel_pool
+
+    ranges = [
+        (rows.size * k // shards, rows.size * (k + 1) // shards)
+        for k in range(shards)
+    ]
+    results = kernel_pool.run_sharded(
+        [
+            (
+                lambda lo=lo, hi=hi: segment_min(
+                    rows[lo:hi], cols[lo:hi], values[lo:hi], num_cols
+                )
+            )
+            for lo, hi in ranges
+            if hi > lo
+        ]
+    )
+    return _fold_segments(results, num_cols, np.minimum)
+
+
+def segment_sum_sharded(
+    rows: np.ndarray,
+    cols: np.ndarray,
+    values: np.ndarray,
+    num_cols: int,
+    shards: int,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """:func:`segment_sum` over candidate shards run in parallel.
+
+    Same exactness regime as :func:`segment_sum_streaming`: all-ones
+    walk counts and size-one cells are bit-identical at any shard
+    count; arbitrary float mixes can differ in the last ulp across
+    shard boundaries (float addition is not associative).
+    """
+    if shards <= 1 or rows.size == 0:
+        return segment_sum(rows, cols, values, num_cols)
+    from repro.perf import kernel_pool
+
+    ranges = [
+        (rows.size * k // shards, rows.size * (k + 1) // shards)
+        for k in range(shards)
+    ]
+    results = kernel_pool.run_sharded(
+        [
+            (
+                lambda lo=lo, hi=hi: segment_sum(
+                    rows[lo:hi], cols[lo:hi], values[lo:hi], num_cols
+                )
+            )
+            for lo, hi in ranges
+            if hi > lo
+        ]
+    )
+    return _fold_segments(results, num_cols, np.add)
+
+
+def _fold_segments(
+    results, num_cols: int, ufunc
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Fold per-shard ``(rows, cols, values)`` reductions in shard order."""
+    acc_keys: Optional[np.ndarray] = None
+    acc_vals: Optional[np.ndarray] = None
+    for c_rows, c_cols, c_vals in results:
+        if c_rows.size == 0:
+            continue
+        keys = c_rows * np.int64(num_cols) + c_cols
+        if acc_keys is None:
+            acc_keys, acc_vals = keys, c_vals
+        else:
+            acc_keys, acc_vals = _merge_reduce(
+                acc_keys, acc_vals, keys, c_vals, ufunc
+            )
+    if acc_keys is None:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty, np.empty(0, dtype=np.float64)
+    cell_rows, cell_cols = np.divmod(acc_keys, np.int64(num_cols))
+    return cell_rows, cell_cols, acc_vals
+
+
+def _propagate_mass_sharded(op, per_vertex: np.ndarray, shards: int):
+    """Row-sharded CSR matvec for :func:`propagate_mass`.
+
+    The reverse operator's rows are independent dot products, so
+    splitting the *output* rows across pool workers is embarrassingly
+    parallel and bit-identical: each sub-operator row holds exactly the
+    bytes of the full operator's row, and scipy's per-row sequential
+    accumulation computes the identical sum. Sub-operators are sliced
+    once per (operator, shard count) and cached on the operator object.
+    """
+    from repro.perf import kernel_pool
+
+    cache = getattr(op, "_repro_row_shards", None)
+    if cache is None:
+        cache = {}
+        op._repro_row_shards = cache
+    subops = cache.get(shards)
+    if subops is None:
+        in_deg = np.diff(op.indptr)
+        subops = [
+            (lo, hi, op[lo:hi])
+            for lo, hi in kernel_pool.shard_bounds(in_deg, shards)
+            if hi > lo
+        ]
+        cache[shards] = subops
+    out = np.empty(op.shape[0], dtype=np.float64)
+
+    def matvec(lo: int, hi: int, subop) -> None:
+        out[lo:hi] = subop @ per_vertex
+
+    kernel_pool.run_sharded(
+        [
+            (lambda lo=lo, hi=hi, subop=subop: matvec(lo, hi, subop))
+            for lo, hi, subop in subops
+        ]
+    )
+    return out
 
 
 # ----------------------------------------------------------------------

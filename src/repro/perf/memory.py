@@ -36,6 +36,7 @@ __all__ = [
     "peak_rss_bytes",
     "note_phase",
     "record_worker_peak",
+    "record_state_spill",
     "memory_stats",
     "reset_memory_state",
 ]
@@ -55,6 +56,10 @@ _TICKS: Dict[str, int] = {}
 
 #: Largest worker-process peak RSS folded back through the pool.
 _WORKER_PEAK: Dict[str, int] = {"bytes": 0}
+
+#: Dense kernel-state matrices spilled to mapped scratch files under the
+#: ``--max-ram`` budget (:func:`repro.tasks.base.alloc_state_matrix`).
+_STATE_SPILLS: Dict[str, int] = {"count": 0, "bytes": 0}
 
 
 def rss_bytes() -> Optional[int]:
@@ -113,12 +118,25 @@ def record_worker_peak(peak_bytes: int) -> None:
         _WORKER_PEAK["bytes"] = peak_bytes
 
 
+def record_state_spill(nbytes: int) -> None:
+    """Count one dense state matrix spilled to a mapped scratch file."""
+    _STATE_SPILLS["count"] += 1
+    _STATE_SPILLS["bytes"] += int(nbytes)
+
+
 def memory_stats() -> Dict[str, object]:
-    """The ``"memory"`` section of ``vcrepro report`` / BENCH_perf.json."""
+    """The ``"memory"`` section of ``vcrepro report`` / BENCH_perf.json.
+
+    ``worker_peak_rss_bytes`` falls back to the parent's own lifetime
+    peak when no pool worker reported one (``--jobs 1`` runs the
+    experiments in-process — the parent *is* the worker), so the field
+    is populated whenever the platform can measure RSS at all.
+    """
     return {
         "peak_rss_bytes": peak_rss_bytes(),
         "current_rss_bytes": rss_bytes(),
-        "worker_peak_rss_bytes": _WORKER_PEAK["bytes"] or None,
+        "worker_peak_rss_bytes": _WORKER_PEAK["bytes"] or peak_rss_bytes(),
+        "state_spills": dict(_STATE_SPILLS),
         "phase_high_water_bytes": dict(sorted(_PHASES.items())),
     }
 
@@ -131,3 +149,5 @@ def reset_memory_state() -> None:
     _PHASES.clear()
     _TICKS.clear()
     _WORKER_PEAK["bytes"] = 0
+    _STATE_SPILLS["count"] = 0
+    _STATE_SPILLS["bytes"] = 0

@@ -83,6 +83,15 @@ class ServicePolicy:
     #: drop queued, unstarted requests whose deadline already passed.
     drop_expired: bool = False
     retry_after_floor_seconds: float = DEFAULT_RETRY_AFTER_FLOOR_SECONDS
+    #: total intra-task kernel workers the service may hand out
+    #: (Hauck et al.'s intra-query axis): each admitted batch runs its
+    #: sharded kernel rounds with its *share* of this pool — the total
+    #: split across the sessions concurrently in flight (running plus
+    #: suspended mid-batch), recomputed as batches start, suspend, and
+    #: resume. 0 (the default) never touches the kernel-pool
+    #: configuration, so every schedule stays byte-identical to the
+    #: pre-parallel service.
+    intra_workers: int = 0
 
     def __post_init__(self) -> None:
         if self.priority_classes < 1:
@@ -119,10 +128,21 @@ class ServicePolicy:
             raise ConfigurationError(
                 "retry_after_floor_seconds must be non-negative"
             )
+        if self.intra_workers < 0:
+            raise ConfigurationError("intra_workers must be >= 0")
 
     @property
     def lowest_class(self) -> int:
         return self.priority_classes - 1
+
+    def worker_share(self, concurrent_sessions: int) -> int:
+        """Intra-task workers one session gets with ``concurrent_sessions``
+        in flight: an even split of the pool, floored at one worker (a
+        session never loses its compute entirely; over-subscription is
+        bounded by the session count)."""
+        if self.intra_workers <= 0:
+            return 0
+        return max(1, self.intra_workers // max(int(concurrent_sessions), 1))
 
     def static_class(self, request: TaskRequest) -> int:
         """The request's class clamped to the configured lane count."""

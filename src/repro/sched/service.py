@@ -50,6 +50,7 @@ from repro.engines.base import (
 from repro.errors import RecoveryError, SchedulingError
 from repro.faults.recovery import OverloadRecovery
 from repro.graph.csr import Graph
+from repro.perf import kernel_pool
 from repro.rng import SeedLike
 from repro.sched.admission import AdmissionController
 from repro.sched.arrivals import DEFAULT_KINDS, TaskRequest
@@ -227,6 +228,22 @@ class SchedulerService:
                 cutoff_seconds=None,
             )
         return self.sessions[kind]
+
+    def _apply_worker_share(self, concurrent_sessions: int) -> int:
+        """Split the intra-task kernel pool across in-flight sessions.
+
+        Called at every dispatch point (batch start and resume) with the
+        number of sessions concurrently in flight — the one about to run
+        plus any still suspended at a barrier. When the policy grants no
+        workers (``intra_workers == 0``, the default) the kernel-pool
+        configuration is never touched, so schedules stay byte-identical
+        to the pre-parallel service. Returns the share applied (0 when
+        the policy grants none).
+        """
+        share = self.policy.worker_share(concurrent_sessions)
+        if self.policy.intra_workers > 0:
+            kernel_pool.configure_kernel_workers(share)
+        return share
 
     def _flush(
         self,
@@ -575,6 +592,7 @@ class SchedulerService:
                 callback = self._preempt_callback(
                     inflight, clock, arrivals, queue, metrics
                 )
+                share = self._apply_worker_share(1 + len(suspended))
                 result = session.run_batch(
                     inflight.batch_units, should_suspend=callback
                 )
@@ -585,6 +603,7 @@ class SchedulerService:
                 callback = self._preempt_callback(
                     inflight, clock, arrivals, queue, metrics
                 )
+                share = self._apply_worker_share(1 + len(suspended))
                 result = session.resume(should_suspend=callback)
 
             if isinstance(result, BatchCheckpoint):
@@ -710,6 +729,11 @@ class SchedulerService:
                     else 0.0
                 ),
             }
+            if self.policy.intra_workers > 0:
+                # Share applied to the batch's final segment; omitted
+                # entirely when the policy grants no workers so the
+                # legacy batch-log shape is byte-identical.
+                entry["intra_workers"] = share
             if self.record_rounds:
                 entry["round_trace"] = [
                     {

@@ -15,16 +15,62 @@ paired implementations.
 
 from __future__ import annotations
 
+import shutil
+import tempfile
+import weakref
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.errors import TaskError
 from repro.graph.arena import ScratchArena
-from repro.graph.csr import Graph
+from repro.graph.csr import Graph, streaming_budget_bytes
 from repro.messages.routing import MessageRouter, RoutedMessages
+
+#: Fraction of the ``--max-ram`` budget one dense state matrix may
+#: occupy before :func:`alloc_state_matrix` spills it to a mapped
+#: scratch file. Half, because the kernels hold two comparable matrices
+#: (``dist`` + ``pair_mask`` / ``visited`` + ``pair_mask``) and the
+#: streaming arc blocks need the rest of the budget.
+STATE_SPILL_FRACTION = 0.5
+
+
+def alloc_state_matrix(
+    shape: Tuple[int, ...], dtype, fill: Any = None
+) -> np.ndarray:
+    """A dense kernel-state matrix (``sources × n``), spilled to disk
+    when it would blow the ``--max-ram`` budget.
+
+    In-RAM is the default: without a streaming budget, or for matrices
+    small against it, this is exactly ``np.full``/``np.zeros``. When the
+    matrix alone would exceed :data:`STATE_SPILL_FRACTION` of the
+    configured budget, the array is backed by an ``open_memmap`` scratch
+    file instead — same dtype, same shape, same initial fill, so every
+    subsequent read/scatter produces identical bits; the OS pages the
+    cold rows out instead of the process holding them resident. The
+    scratch directory is removed when the array is garbage-collected.
+    """
+    dtype = np.dtype(dtype)
+    nbytes = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+    budget = streaming_budget_bytes()
+    if budget is None or nbytes <= budget * STATE_SPILL_FRACTION:
+        if fill is None or fill == 0:
+            return np.zeros(shape, dtype=dtype)
+        return np.full(shape, fill, dtype=dtype)
+    from repro.perf.memory import record_state_spill
+
+    scratch_dir = tempfile.mkdtemp(prefix="repro-state-")
+    arr = np.lib.format.open_memmap(
+        f"{scratch_dir}/state.npy", mode="w+", dtype=dtype, shape=shape
+    )
+    if fill is not None and fill != 0:
+        arr[...] = fill
+    # open_memmap zero-fills new pages, so fill == 0 needs no pass.
+    weakref.finalize(arr, shutil.rmtree, scratch_dir, ignore_errors=True)
+    record_state_spill(nbytes)
+    return arr
 
 
 @dataclass
@@ -75,6 +121,7 @@ class TaskKernel(ABC):
         self.graph = graph
         self.router = router
         self.arena = ScratchArena()
+        self._shard_arenas: List[ScratchArena] = []
         self._started = False
         self._finished = False
         self._round = 0
@@ -119,6 +166,20 @@ class TaskKernel(ABC):
         return self._finished
 
     # -- helpers for subclasses -----------------------------------------
+    def shard_arenas(self, count: int) -> List[ScratchArena]:
+        """Per-shard scratch arenas for intra-task parallel rounds.
+
+        Grown lazily and reused round over round, so sharded steady
+        state allocates nothing — the same contract as ``self.arena``,
+        one pool per shard slot. Shard workers must never share an
+        arena (or touch ``self.arena``): the pool free-lists are not
+        thread-safe, and per-shard ownership is what keeps them
+        contention-free without locks.
+        """
+        while len(self._shard_arenas) < count:
+            self._shard_arenas.append(ScratchArena())
+        return self._shard_arenas[:count]
+
     def route_emissions(
         self,
         vertex_ids: np.ndarray,

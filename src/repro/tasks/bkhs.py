@@ -27,11 +27,12 @@ from repro.graph.csr import (
     use_dense_cells,
 )
 from repro.messages.routing import MessageRouter
-from repro.perf import timings
+from repro.perf import kernel_pool, timings
 from repro.tasks.base import (
     RoundSummary,
     TaskKernel,
     TaskSpec,
+    alloc_state_matrix,
     choose_sources,
 )
 
@@ -69,9 +70,9 @@ class BKHSKernel(TaskKernel):
         self._scale = sampled.scale_factor
         n = self.graph.num_vertices
         s = self._sources.size
-        self._visited = np.zeros((s, n), dtype=bool)
+        self._visited = alloc_state_matrix((s, n), bool)
         self._visited[np.arange(s), self._sources] = True
-        self._pair_mask = np.zeros((s, n), dtype=bool)
+        self._pair_mask = alloc_state_matrix((s, n), bool)
         self._frontier_rows = np.arange(s, dtype=np.int64)
         self._frontier_verts = self._sources.copy()
 
@@ -95,6 +96,12 @@ class BKHSKernel(TaskKernel):
         block_arcs = streaming_block_arcs(graph)
         if block_arcs is not None:
             return self._advance_streaming(block_arcs)
+        if kernel_pool.kernel_workers() > 1:
+            shards = kernel_pool.choose_shards(
+                int(self._degrees[self._frontier_verts].sum())
+            )
+            if shards > 1:
+                return self._advance_parallel(shards)
 
         arena = self.arena
         arena.new_round()
@@ -137,6 +144,84 @@ class BKHSKernel(TaskKernel):
             self._frontier_rows = np.empty(0, dtype=np.int64)
             self._frontier_verts = np.empty(0, dtype=np.int64)
 
+        return self._expand_summary(verts)
+
+    def _advance_parallel(self, shards: int) -> RoundSummary:
+        """Row-sharded expansion round on the intra-task kernel pool.
+
+        Each contiguous frontier shard expands and sort-dedups into its
+        own arena, then probes the visited table *read-only* — unlike
+        the streaming path, whose sequential blocks may mark visited as
+        they go, concurrent shards must not write while siblings read
+        (two shards reaching the same cell would race and both or
+        neither could see it fresh). So the per-shard fresh sets are
+        fresh-versus-round-start, their union is exactly the monolithic
+        fresh set, and the parent dedups the concatenated keys (shards
+        *can* overlap, unlike the disjoint streaming blocks) before
+        marking visited once, serially. Byte-identical frontier and
+        visited table at any shard count.
+        """
+        graph = self.graph
+        n = graph.num_vertices
+        rows, verts = self._frontier_rows, self._frontier_verts
+        tick = perf_counter()
+        bounds = [
+            (lo, hi)
+            for lo, hi in kernel_pool.shard_bounds(
+                self._degrees[verts], shards
+            )
+            if hi > lo
+        ]
+        arenas = self.shard_arenas(len(bounds))
+
+        def run_shard(lo: int, hi: int, arena) -> Optional[np.ndarray]:
+            # Thread body: no shared-state writes, no timings (the
+            # accumulators are not thread-safe); sparse dedup only —
+            # the dense variant scribbles on the shared pair mask.
+            blk_rows = rows[lo:hi]
+            blk_verts = verts[lo:hi]
+            arena.new_round()
+            arc_pos, counts, kept = expand_frontier(graph, blk_verts, arena)
+            if arc_pos.size == 0:
+                return None
+            src_rows = blk_rows if kept is None else blk_rows[kept]
+            nbr = np.take(
+                graph.indices, arc_pos, out=arena.take(arc_pos.size)
+            )
+            msg_rows = np.repeat(src_rows, counts)
+            cell_rows, cell_verts = dedup_pairs(msg_rows, nbr, n, arena)
+            fresh = ~self._visited[cell_rows, cell_verts]
+            if not fresh.any():
+                return np.empty(0, dtype=np.int64)
+            # Boolean indexing copies out of the shard arena.
+            return cell_rows[fresh] * np.int64(n) + cell_verts[fresh]
+
+        results = kernel_pool.run_sharded(
+            [
+                (lambda lo=lo, hi=hi, arena=arena: run_shard(lo, hi, arena))
+                for (lo, hi), arena in zip(bounds, arenas)
+            ]
+        )
+        tock = perf_counter()
+        timings.add("kernel.expand", tock - tick)
+        fresh_lists = [res for res in results if res is not None and res.size]
+        if fresh_lists:
+            if len(fresh_lists) == 1:
+                keys = fresh_lists[0]  # row-major within a shard already
+            else:
+                keys = np.concatenate(fresh_lists)
+                keys.sort()
+                boundary = np.empty(keys.size, dtype=bool)
+                boundary[0] = True
+                np.not_equal(keys[1:], keys[:-1], out=boundary[1:])
+                keys = keys[boundary]
+            new_rows, new_verts = np.divmod(keys, np.int64(n))
+            self._visited[new_rows, new_verts] = True
+            self._frontier_rows, self._frontier_verts = new_rows, new_verts
+        else:
+            self._frontier_rows = np.empty(0, dtype=np.int64)
+            self._frontier_verts = np.empty(0, dtype=np.int64)
+        timings.add("kernel.frontier", perf_counter() - tock)
         return self._expand_summary(verts)
 
     def _advance_streaming(self, block_arcs: int) -> RoundSummary:

@@ -32,10 +32,20 @@ from typing import Optional
 import numpy as np
 
 from repro.errors import TaskError
-from repro.graph.csr import Graph, propagate_mass, segment_sum
+from repro.graph.csr import (
+    Graph,
+    propagate_mass,
+    segment_sum,
+    segment_sum_sharded,
+)
 from repro.messages.routing import MessageRouter
-from repro.perf import timings
-from repro.tasks.base import RoundSummary, TaskKernel, TaskSpec
+from repro.perf import kernel_pool, timings
+from repro.tasks.base import (
+    RoundSummary,
+    TaskKernel,
+    TaskSpec,
+    alloc_state_matrix,
+)
 
 #: The α-decay parameter; 0.15 is the PageRank-standard choice.
 DEFAULT_ALPHA = 0.15
@@ -141,7 +151,7 @@ class BPPRKernel(TaskKernel):
             )
             self._src = self._cur.copy()
             self._alive = np.ones(total, dtype=bool)
-            self._stop_counts = np.zeros((n, n), dtype=np.float64)
+            self._stop_counts = alloc_state_matrix((n, n), np.float64)
 
     # ------------------------------------------------------------------
     # Rounds
@@ -295,15 +305,30 @@ class BPPRKernel(TaskKernel):
         if stopping.size:
             # Segment reduction instead of the unbuffered np.add.at
             # scatter: per-cell counts are exact integers, so summation
-            # order cannot change the result.
+            # order cannot change the result — which also licenses the
+            # sharded variant below (shard partial counts sum exactly).
             tick = perf_counter()
-            stop_rows, stop_cols, stop_sums = segment_sum(
-                self._src[stopping],
-                self._cur[stopping],
-                np.ones(stopping.size, dtype=np.float64),
-                self.graph.num_vertices,
-                self.arena,
+            shards = (
+                kernel_pool.choose_shards(stopping.size)
+                if kernel_pool.kernel_workers() > 1
+                else 1
             )
+            if shards > 1:
+                stop_rows, stop_cols, stop_sums = segment_sum_sharded(
+                    self._src[stopping],
+                    self._cur[stopping],
+                    np.ones(stopping.size, dtype=np.float64),
+                    self.graph.num_vertices,
+                    shards,
+                )
+            else:
+                stop_rows, stop_cols, stop_sums = segment_sum(
+                    self._src[stopping],
+                    self._cur[stopping],
+                    np.ones(stopping.size, dtype=np.float64),
+                    self.graph.num_vertices,
+                    self.arena,
+                )
             self._stop_counts[stop_rows, stop_cols] += stop_sums
             timings.add("kernel.reduce", perf_counter() - tick)
         self._alive[stopping] = False

@@ -31,11 +31,12 @@ from repro.graph.csr import (
     use_dense_cells,
 )
 from repro.messages.routing import MessageRouter
-from repro.perf import timings
+from repro.perf import kernel_pool, timings
 from repro.tasks.base import (
     RoundSummary,
     TaskKernel,
     TaskSpec,
+    alloc_state_matrix,
     choose_sources,
 )
 
@@ -71,9 +72,9 @@ class MSSPKernel(TaskKernel):
         self._scale = sampled.scale_factor
         n = self.graph.num_vertices
         s = self._sources.size
-        self._dist = np.full((s, n), np.inf, dtype=np.float64)
+        self._dist = alloc_state_matrix((s, n), np.float64, np.inf)
         self._dist[np.arange(s), self._sources] = 0.0
-        self._pair_mask = np.zeros((s, n), dtype=bool)
+        self._pair_mask = alloc_state_matrix((s, n), bool)
         # Frontier: (source-row, vertex) pairs improved last round.
         self._frontier_rows = np.arange(s, dtype=np.int64)
         self._frontier_verts = self._sources.copy()
@@ -83,6 +84,12 @@ class MSSPKernel(TaskKernel):
         block_arcs = streaming_block_arcs(graph)
         if block_arcs is not None:
             return self._advance_streaming(block_arcs)
+        if kernel_pool.kernel_workers() > 1:
+            shards = kernel_pool.choose_shards(
+                int(self._degrees[self._frontier_verts].sum())
+            )
+            if shards > 1:
+                return self._advance_parallel(shards)
         arena = self.arena
         arena.new_round()
         rows, verts = self._frontier_rows, self._frontier_verts
@@ -176,6 +183,132 @@ class MSSPKernel(TaskKernel):
         updates_per_vertex = np.bincount(
             verts, minlength=graph.num_vertices
         ).astype(np.float64)
+        return self._summary_for(verts, updates_per_vertex, done)
+
+    def _advance_parallel(self, shards: int) -> RoundSummary:
+        """Row-sharded round on the intra-task kernel pool.
+
+        The frontier is cut into contiguous shards of roughly equal
+        out-degree (:func:`repro.perf.kernel_pool.shard_bounds`); each
+        shard expands and segment-reduces into its *own* scratch arena
+        against the round-start distance snapshot — no shard writes
+        shared state while siblings read — and returns copied winner
+        keys + minima. The parent then folds the per-shard minima into
+        the distance table with ``np.minimum`` in shard order and
+        sort-dedups the winner keys. Bit-identical to the monolithic
+        round at any shard count: ``min`` is order-independent and
+        exact, a cell improves against the round-start value iff it
+        improves overall (so the shard-union *is* the monolithic
+        improved set), and the key merge restores row-major frontier
+        order — the same winner-key semantics the block-streaming path
+        proved out.
+        """
+        graph = self.graph
+        n = graph.num_vertices
+        rows, verts = self._frontier_rows, self._frontier_verts
+        tick = perf_counter()
+        # Snapshot before any scatter: shard K's updates must not feed
+        # shard J's candidate values (the monolithic path reads every
+        # candidate before writing).
+        source_dist = self._dist[rows, verts]
+        bounds = [
+            (lo, hi)
+            for lo, hi in kernel_pool.shard_bounds(
+                self._degrees[verts], shards
+            )
+            if hi > lo
+        ]
+        arenas = self.shard_arenas(len(bounds))
+
+        def run_shard(lo: int, hi: int, arena) -> object:
+            # Thread body: touches only its slice, its arena, and
+            # read-only shared state (graph CSR, dist snapshot rows).
+            # No timings here — the phase accumulators are not
+            # thread-safe; the parent times the whole dispatch.
+            blk_rows = rows[lo:hi]
+            blk_verts = verts[lo:hi]
+            blk_dist = source_dist[lo:hi]
+            arena.new_round()
+            arc_pos, counts, kept = expand_frontier(graph, blk_verts, arena)
+            if arc_pos.size == 0:
+                return None
+            src_rows = blk_rows if kept is None else blk_rows[kept]
+            src_dist = blk_dist if kept is None else blk_dist[kept]
+            nbr = np.take(
+                graph.indices, arc_pos, out=arena.take(arc_pos.size)
+            )
+            msg_rows = np.repeat(src_rows, counts)
+            cand = np.repeat(src_dist, counts)
+            if graph.weights is not None:
+                weights = np.take(
+                    graph.weights,
+                    arc_pos,
+                    out=arena.take(arc_pos.size, np.float64),
+                )
+                cand += weights
+            else:
+                cand += 1.0
+            cell_rows, cell_verts, best = segment_min(
+                msg_rows, nbr, cand, n, arena
+            )
+            current = self._dist[cell_rows, cell_verts]
+            improved = best < current
+            if not improved.any():
+                return False
+            # Boolean indexing copies out of the shard arena, so the
+            # keys and minima survive past the thunk.
+            keys = cell_rows[improved] * np.int64(n) + cell_verts[improved]
+            return keys, best[improved]
+
+        results = kernel_pool.run_sharded(
+            [
+                (lambda lo=lo, hi=hi, arena=arena: run_shard(lo, hi, arena))
+                for (lo, hi), arena in zip(bounds, arenas)
+            ]
+        )
+        tock = perf_counter()
+        timings.add("kernel.expand", tock - tick)
+        if all(res is None for res in results):
+            return self._summary_for(
+                np.empty(0, dtype=np.int64), np.empty(0), done=True
+            )
+        winner_lists = []
+        for res in results:
+            if not res:
+                continue
+            keys, best = res
+            srows, sverts = np.divmod(keys, np.int64(n))
+            # Per-shard minima can overlap across shards; folding with
+            # ``np.minimum`` in shard order is order-independent and
+            # lands exactly the global per-cell minimum.
+            self._dist[srows, sverts] = np.minimum(
+                self._dist[srows, sverts], best
+            )
+            winner_lists.append(keys)
+        tick = perf_counter()
+        timings.add("kernel.reduce", tick - tock)
+        if winner_lists:
+            if len(winner_lists) == 1:
+                keys = winner_lists[0]  # row-major within a shard already
+            else:
+                keys = np.concatenate(winner_lists)
+                keys.sort()
+                boundary = np.empty(keys.size, dtype=bool)
+                boundary[0] = True
+                np.not_equal(keys[1:], keys[:-1], out=boundary[1:])
+                keys = keys[boundary]
+            self._frontier_rows, self._frontier_verts = np.divmod(
+                keys, np.int64(n)
+            )
+            done = self._round >= self.max_rounds
+        else:
+            self._frontier_rows = np.empty(0, dtype=np.int64)
+            self._frontier_verts = np.empty(0, dtype=np.int64)
+            done = True
+        timings.add("kernel.frontier", perf_counter() - tick)
+        updates_per_vertex = np.bincount(verts, minlength=n).astype(
+            np.float64
+        )
         return self._summary_for(verts, updates_per_vertex, done)
 
     def _advance_streaming(self, block_arcs: int) -> RoundSummary:

@@ -1,0 +1,127 @@
+"""Streamed mirror-plan and partition construction for mapped graphs.
+
+Mapped graphs build their partitions and mirror plans in CSR row blocks
+(:func:`repro.graph.csr.iter_row_blocks`) instead of materialising the
+O(m) per-arc owner arrays. The contract is the same byte-identity the
+streaming kernels promise: every tally, replication factor and owner
+array must equal the in-RAM pass exactly, at any block size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import csr
+from repro.graph.generators import chung_lu
+from repro.graph.io import save_mapped
+from repro.graph.mirrors import build_mirror_plan
+from repro.graph.partition import (
+    edge_partition,
+    hash_partition,
+    partition_graph,
+    range_partition,
+)
+from repro.perf.cache import clear_cache
+
+STRATEGIES = ("hash", "range", "edge-cut")
+
+
+@pytest.fixture(autouse=True)
+def _fresh_state():
+    saved_min = csr.MIN_STREAM_BLOCK_ARCS
+    clear_cache()
+    yield
+    csr.MIN_STREAM_BLOCK_ARCS = saved_min
+    csr.configure_streaming(None)
+    clear_cache()
+
+
+@pytest.fixture()
+def graphs(tmp_path):
+    """The same graph twice: in-RAM and memory-mapped with tiny blocks,
+    so every plan pass streams multiple row blocks."""
+    in_ram = chung_lu(600, 9.0, seed=42, name="plans")
+    mapped = save_mapped(in_ram, tmp_path / "plans.csr")
+    csr.MIN_STREAM_BLOCK_ARCS = 256
+    csr.configure_streaming(max_ram_bytes=1)  # clamp to the floor
+    assert csr.streaming_block_arcs(mapped) is not None
+    return in_ram, mapped
+
+
+def assert_same_partition(a, b) -> None:
+    assert a.owner.tobytes() == b.owner.tobytes()
+    assert (
+        a.vertices_per_machine.tobytes() == b.vertices_per_machine.tobytes()
+    )
+    assert a.arcs_per_machine.tobytes() == b.arcs_per_machine.tobytes()
+    assert a.cut_arcs == b.cut_arcs
+    assert a.replication_factor == b.replication_factor
+    assert a.strategy == b.strategy
+
+
+class TestStreamedPartitions:
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_mapped_matches_in_ram(self, graphs, strategy):
+        in_ram, mapped = graphs
+        for machines in (1, 4, 7):
+            expected = partition_graph(in_ram, machines, strategy)
+            clear_cache()  # the fingerprints match; force a rebuild
+            streamed = partition_graph(mapped, machines, strategy)
+            assert_same_partition(expected, streamed)
+
+    def test_mapped_leaves_arc_dst_owner_unset(self, graphs):
+        in_ram, mapped = graphs
+        assert hash_partition(in_ram, 4).arc_dst_owner is not None
+        assert hash_partition(mapped, 4).arc_dst_owner is None
+        assert range_partition(mapped, 4).arc_dst_owner is None
+        assert edge_partition(mapped, 4).arc_dst_owner is None
+
+    def test_block_size_does_not_change_plans(self, graphs):
+        _in_ram, mapped = graphs
+        small = edge_partition(mapped, 5)
+        csr.MIN_STREAM_BLOCK_ARCS = 1024
+        large = edge_partition(mapped, 5)
+        assert_same_partition(small, large)
+
+
+class TestStreamedMirrorPlans:
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_mapped_matches_in_ram(self, graphs, strategy):
+        in_ram, mapped = graphs
+        expected_part = partition_graph(in_ram, 4, strategy)
+        expected = build_mirror_plan(in_ram, expected_part, 12)
+        clear_cache()
+        streamed_part = partition_graph(mapped, 4, strategy)
+        streamed = build_mirror_plan(mapped, streamed_part, 12)
+        assert (
+            expected.mirrored.tobytes() == streamed.mirrored.tobytes()
+        )
+        assert (
+            expected.remote_machines.tobytes()
+            == streamed.remote_machines.tobytes()
+        )
+        assert (
+            expected.remote_neighbors.tobytes()
+            == streamed.remote_neighbors.tobytes()
+        )
+        assert (
+            expected.local_neighbors.tobytes()
+            == streamed.local_neighbors.tobytes()
+        )
+        assert expected.num_mirrors == streamed.num_mirrors
+
+    def test_isolated_vertices_counted(self, tmp_path):
+        """Replication factor must count isolated vertices' master
+        replicas in the streamed pass too."""
+        from repro.graph.build import from_edges
+
+        src = np.array([0, 1], dtype=np.int64)
+        dst = np.array([1, 0], dtype=np.int64)
+        in_ram = from_edges(src, dst, num_vertices=6, name="isolated")
+        mapped = save_mapped(in_ram, tmp_path / "isolated.csr")
+        csr.MIN_STREAM_BLOCK_ARCS = 1
+        csr.configure_streaming(max_ram_bytes=1)
+        expected = edge_partition(in_ram, 3)
+        streamed = edge_partition(mapped, 3)
+        assert expected.replication_factor == streamed.replication_factor

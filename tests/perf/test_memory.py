@@ -52,8 +52,28 @@ class TestWorkerPeaks:
         memory.record_worker_peak(50)
         assert memory.memory_stats()["worker_peak_rss_bytes"] == 100
 
-    def test_none_until_any_worker_reports(self):
-        assert memory.memory_stats()["worker_peak_rss_bytes"] is None
+    def test_parent_peak_until_any_worker_reports(self):
+        # jobs=1 runs have no pool workers: the parent *is* the worker,
+        # so its own peak is folded in instead of reporting null.
+        stats = memory.memory_stats()
+        assert stats["worker_peak_rss_bytes"] is not None
+        # Both read the same VmHWM; peak RSS is monotone, so the two
+        # samples can differ by at most an allocation between them.
+        assert stats["worker_peak_rss_bytes"] >= stats["peak_rss_bytes"]
+
+
+class TestStateSpills:
+    def test_record_state_spill_accumulates(self):
+        memory.record_state_spill(1000)
+        memory.record_state_spill(24)
+        spills = memory.memory_stats()["state_spills"]
+        assert spills == {"count": 2, "bytes": 1024}
+
+    def test_reset_clears_spills(self):
+        memory.record_state_spill(8)
+        memory.reset_memory_state()
+        spills = memory.memory_stats()["state_spills"]
+        assert spills == {"count": 0, "bytes": 0}
 
 
 class TestStatsShape:
@@ -64,6 +84,7 @@ class TestStatsShape:
             "current_rss_bytes",
             "worker_peak_rss_bytes",
             "phase_high_water_bytes",
+            "state_spills",
         }
 
     def test_phases_sorted(self):
