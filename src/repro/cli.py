@@ -37,7 +37,7 @@ from typing import List, Optional
 from repro.batching.executor import MultiProcessingJob
 from repro.cluster.cluster import PRESETS, cluster_by_name
 from repro.engines.registry import ENGINE_NAMES
-from repro.errors import ReproError
+from repro.errors import ConfigurationError, ReproError
 from repro.experiments.base import ExperimentConfig
 from repro.experiments.runner import EXPERIMENTS, run_experiment
 from repro.graph.datasets import DEFAULT_SCALE, PAPER_DATASETS, load_dataset
@@ -317,6 +317,7 @@ def cmd_experiment(args) -> int:
         quick=args.quick,
         jobs=args.jobs,
         preempt=getattr(args, "preempt", False),
+        multi_tenant=getattr(args, "multi_tenant", False),
     )
     ids = list(EXPERIMENTS) if args.id == "all" else [args.id]
     failures = 0
@@ -329,6 +330,9 @@ def cmd_experiment(args) -> int:
         if result.extras.get("resilience"):
             _merge_bench_section("resilience", result.extras["resilience"])
             print("recorded resilience section in BENCH_perf.json\n")
+        if result.extras.get("tenants"):
+            _merge_bench_section("tenants", result.extras["tenants"])
+            print("recorded tenants section in BENCH_perf.json\n")
     return 1 if failures else 0
 
 
@@ -471,6 +475,42 @@ def cmd_report(args) -> int:
     return 0
 
 
+def _parse_kv_flags(pairs, cast, flag: str):
+    """Parse repeatable ``NAME=VALUE`` flags into a dict (None if none)."""
+    if not pairs:
+        return None
+    out = {}
+    for spec in pairs:
+        name, sep, value = spec.partition("=")
+        name = name.strip()
+        if not sep or not name or not value.strip():
+            raise ConfigurationError(
+                f"{flag} expects NAME=VALUE, got {spec!r}"
+            )
+        try:
+            out[name] = cast(value.strip())
+        except ValueError as exc:
+            raise ConfigurationError(f"{flag} {spec!r}: {exc}") from exc
+    return out
+
+
+def _parse_tenants(raw):
+    """``--tenants`` value: a count (``3`` → tenant-0..2) or a comma
+    list of names; None when the flag is absent."""
+    if not raw:
+        return None
+    raw = raw.strip()
+    if raw.isdigit():
+        count = int(raw)
+        if count < 1:
+            raise ConfigurationError("--tenants count must be >= 1")
+        return tuple(f"tenant-{i}" for i in range(count))
+    names = tuple(t.strip() for t in raw.split(",") if t.strip())
+    if not names:
+        raise ConfigurationError("--tenants needs at least one name")
+    return names
+
+
 def cmd_serve(args) -> int:
     """``vcrepro serve``: online scheduling on a seeded arrival stream.
 
@@ -506,6 +546,15 @@ def cmd_serve(args) -> int:
             deadlines[int(cls)] = float(seconds)
         else:
             deadlines[0] = float(spec)
+    tenants = _parse_tenants(args.tenants)
+    routes = None
+    if args.route:
+        if len(args.route) == 1 and args.route[0].strip() == "table4":
+            from repro.sched.policy import TABLE4_ROUTES
+
+            routes = dict(TABLE4_ROUTES)
+        else:
+            routes = _parse_kv_flags(args.route, str, "--route")
     policy = ServicePolicy(
         priority_classes=args.priority_classes,
         aging_seconds=args.aging if args.aging > 0 else None,
@@ -515,6 +564,16 @@ def cmd_serve(args) -> int:
         shed_watermark=args.shed_watermark,
         drop_expired=args.drop_expired,
         intra_workers=args.kernel_workers,
+        routes=routes,
+        tenant_quotas=_parse_kv_flags(
+            args.tenant_quota, float, "--tenant-quota"
+        ),
+        tenant_priorities=_parse_kv_flags(
+            args.tenant_priority, int, "--tenant-priority"
+        ),
+        result_cache=args.result_cache,
+        result_ttl_seconds=args.result_ttl,
+        result_cache_bytes=args.result_cache_bytes,
     )
     service = SchedulerService(
         engine,
@@ -538,6 +597,7 @@ def cmd_serve(args) -> int:
         kinds=kinds,
         priority_classes=args.priority_classes,
         deadlines=deadlines or None,
+        tenants=tenants,
     )
     metrics = service.run(
         requests, arrival_rate=args.arrivals, duration_rounds=args.duration
@@ -557,11 +617,16 @@ def cmd_serve(args) -> int:
             payload = {}
     payload["sched"] = metrics.to_dict()
     payload["resilience"] = metrics.resilience_summary()
+    if tenants is not None:
+        payload["tenants"] = metrics.tenant_summary()
     with open(bench_path, "w", encoding="utf-8") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)
         fh.write("\n")
     if not args.json:
-        print(f"wrote {bench_path} (sched + resilience sections)")
+        sections = "sched + resilience"
+        if tenants is not None:
+            sections += " + tenants"
+        print(f"wrote {bench_path} ({sections} sections)")
     return 0
 
 
@@ -633,6 +698,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="throughput experiment only: add the FIFO-versus-preemptive "
         "serving comparison (small urgent requests behind a large batch "
         "job) and record its resilience counters in BENCH_perf.json",
+    )
+    p_exp.add_argument(
+        "--multi-tenant",
+        action="store_true",
+        help="throughput experiment only: add the single-versus-multi-"
+        "tenant serving comparison (tenant quotas, Table-4 engine "
+        "routing, content-keyed result cache with request coalescing) "
+        "and record its tenants section in BENCH_perf.json",
     )
     p_exp.set_defaults(fn=cmd_experiment)
 
@@ -760,6 +833,65 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="drop queued requests already past their deadline instead "
         "of running them late (counted under drops_expired)",
+    )
+    p_srv.add_argument(
+        "--tenants",
+        default=None,
+        metavar="NAMES|N",
+        help="multi-tenant arrival stream: a comma-separated list of "
+        "tenant names, or a count N (tenant-0..tenant-N-1); requests "
+        "draw their tenant from the seeded stream. Default: single "
+        "implicit tenant, byte-identical to previous releases",
+    )
+    p_srv.add_argument(
+        "--tenant-quota",
+        action="append",
+        default=None,
+        metavar="TENANT=FRACTION",
+        help="per-tenant memory quota as a fraction (0,1] of the shared "
+        "admission budget; repeatable. Unlisted tenants are "
+        "unconstrained",
+    )
+    p_srv.add_argument(
+        "--tenant-priority",
+        action="append",
+        default=None,
+        metavar="TENANT=CLASS",
+        help="map a tenant's requests to a fixed priority class "
+        "(0 = most urgent); repeatable, overrides the request's own "
+        "class before clamping to --priority-classes",
+    )
+    p_srv.add_argument(
+        "--route",
+        action="append",
+        default=None,
+        metavar="KIND=ENGINE",
+        help="route a task kind to a specific engine (repeatable), or "
+        "the single value 'table4' for the paper's Table-4 split "
+        "(async-capable kinds on graphlab(async), heavy BPPR on "
+        "pregel+). Unrouted kinds use --engine",
+    )
+    p_srv.add_argument(
+        "--result-cache",
+        action="store_true",
+        help="serve repeat queries from a content-keyed result cache "
+        "(graph fingerprint + kind + engine + params) and coalesce "
+        "duplicate in-flight requests onto one execution",
+    )
+    p_srv.add_argument(
+        "--result-ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="expire cached results after this many simulated seconds "
+        "(default: no expiry)",
+    )
+    p_srv.add_argument(
+        "--result-cache-bytes",
+        type=float,
+        default=None,
+        metavar="BYTES",
+        help="LRU bytes budget for the result cache (default: unbounded)",
     )
     p_srv.add_argument(
         "--json",

@@ -23,7 +23,10 @@ class ExperimentConfig:
     1 = serial); results are byte-identical either way because every
     run derives its RNG stream from the explicit seed. ``preempt``
     extends the throughput experiment with the FIFO-versus-preemptive
-    serving comparison (``vcrepro experiment throughput --preempt``).
+    serving comparison (``vcrepro experiment throughput --preempt``);
+    ``multi_tenant`` adds the single-tenant-versus-multi-tenant A/B
+    (tenant quotas, Table-4 engine routing, and the content-keyed
+    result cache; ``vcrepro experiment throughput --multi-tenant``).
     """
 
     scale: int = DEFAULT_SCALE
@@ -31,6 +34,7 @@ class ExperimentConfig:
     quick: bool = False
     jobs: int = 1
     preempt: bool = False
+    multi_tenant: bool = False
 
 
 @dataclass

@@ -39,6 +39,8 @@ __all__ = [
     "ArtifactCache",
     "ArraySerializer",
     "CacheStats",
+    "ResultCache",
+    "ResultCacheStats",
     "get_cache",
     "configure_cache",
     "clear_cache",
@@ -315,6 +317,176 @@ class ArtifactCache:
             except OSError:
                 pass
             return None
+
+
+# ----------------------------------------------------------------------
+# Serving-tier result cache (TTL + LRU bytes + single-flight)
+# ----------------------------------------------------------------------
+@dataclass
+class ResultCacheStats:
+    """Counters for one :class:`ResultCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    #: in-flight duplicates joined to a leader's execution.
+    coalesced: int = 0
+    stores: int = 0
+    #: entries dropped because their TTL lapsed.
+    expirations: int = 0
+    #: entries dropped by the LRU bytes budget (oversized payloads that
+    #: were never stored count here too).
+    evictions: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        """Plain-dict form for reports and ``BENCH_perf.json``."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "coalesced": self.coalesced,
+            "stores": self.stores,
+            "expirations": self.expirations,
+            "evictions": self.evictions,
+        }
+
+
+class ResultCache:
+    """Content-keyed result cache with single-flight coalescing.
+
+    The serving tier's front-door memo: completed request payloads
+    (opaque bytes, content-keyed like every artifact) are served from
+    memory until they expire or the LRU bytes budget evicts them, and
+    duplicate requests arriving while the first is still executing are
+    *coalesced* — registered as joiners on the in-flight leader and
+    fanned the leader's payload byte-identically, so N concurrent
+    duplicates cost exactly one execution.
+
+    Time is the caller's clock (the scheduler's simulated seconds), so
+    TTL expiry is deterministic. The cache itself stores only payload
+    bytes; durability across processes comes from the artifact cache
+    the payload *builder* is memoised in — a cold :class:`ResultCache`
+    backed by a warm artifact store rebuilds payloads from disk instead
+    of re-running the engine.
+
+    Single-threaded by design (the scheduler loop drives it between
+    batches); "concurrent" means queued on the same virtual clock.
+    """
+
+    def __init__(
+        self,
+        ttl_seconds: Optional[float] = None,
+        max_bytes: Optional[float] = None,
+    ) -> None:
+        if ttl_seconds is not None and ttl_seconds <= 0:
+            raise ValueError("ttl_seconds must be positive")
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError("max_bytes must be positive")
+        self.ttl_seconds = ttl_seconds
+        self.max_bytes = max_bytes
+        self.stats = ResultCacheStats()
+        #: key → (payload bytes, store time); insertion order is LRU.
+        self._entries: "OrderedDict[Tuple, Tuple[bytes, float]]" = (
+            OrderedDict()
+        )
+        self._bytes = 0.0
+        #: key → list of joiner tokens riding the in-flight leader.
+        self._inflight: Dict[Tuple, list] = {}
+
+    @property
+    def total_bytes(self) -> float:
+        """Bytes of payload currently cached (never above the budget)."""
+        return self._bytes
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def _expire(self, now: float) -> None:
+        if self.ttl_seconds is None:
+            return
+        stale = [
+            key
+            for key, (_, stored_at) in self._entries.items()
+            if now - stored_at > self.ttl_seconds
+        ]
+        for key in stale:
+            payload, _ = self._entries.pop(key)
+            self._bytes -= len(payload)
+            self.stats.expirations += 1
+
+    def lookup(self, key: Tuple, now: float) -> Optional[bytes]:
+        """The cached payload for ``key``, or ``None`` on a miss.
+
+        Expired entries are dropped first, so an entry stored at ``t``
+        is servable exactly while ``now - t <= ttl`` — the monotone
+        expiry contract the property suite checks. Hits refresh LRU
+        recency.
+        """
+        self._expire(now)
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry[0]
+
+    def leader(self, key: Tuple) -> bool:
+        """Claim single-flight leadership of ``key``.
+
+        Returns True when no execution is in flight (the caller must
+        run the request and eventually :meth:`complete` or
+        :meth:`abandon` the key); False when a leader already exists —
+        join it with :meth:`enlist` instead of executing.
+        """
+        if key in self._inflight:
+            return False
+        self._inflight[key] = []
+        return True
+
+    def enlist(self, key: Tuple, token) -> None:
+        """Register a duplicate request on the in-flight leader; the
+        token is handed back verbatim by :meth:`complete`/:meth:`abandon`."""
+        if key not in self._inflight:
+            raise KeyError(f"no in-flight leader for {key!r}")
+        self._inflight[key].append(token)
+        self.stats.coalesced += 1
+
+    def complete(self, key: Tuple, payload: bytes, now: float) -> list:
+        """Finish the leader's execution: store the payload and return
+        the joiner tokens to fan it out to.
+
+        The payload enters the TTL/LRU store (unless it alone exceeds
+        the bytes budget, in which case it is served to the joiners but
+        not retained). Eviction is LRU until the budget holds — the
+        never-exceeds-budget invariant.
+        """
+        joiners = self._inflight.pop(key, [])
+        payload = bytes(payload)
+        self._expire(now)
+        if key in self._entries:
+            old, _ = self._entries.pop(key)
+            self._bytes -= len(old)
+        if self.max_bytes is not None and len(payload) > self.max_bytes:
+            self.stats.evictions += 1
+            return joiners
+        self._entries[key] = (payload, float(now))
+        self._bytes += len(payload)
+        self.stats.stores += 1
+        if self.max_bytes is not None:
+            while self._bytes > self.max_bytes and self._entries:
+                _, (old, _) = self._entries.popitem(last=False)
+                self._bytes -= len(old)
+                self.stats.evictions += 1
+        return joiners
+
+    def abandon(self, key: Tuple) -> list:
+        """Drop the in-flight leader without a result (the leader was
+        shed); returns the joiner tokens so the caller can fail them
+        the same way."""
+        return self._inflight.pop(key, [])
+
+    def inflight(self, key: Tuple) -> bool:
+        """Whether ``key`` has an in-flight leader."""
+        return key in self._inflight
 
 
 # ----------------------------------------------------------------------

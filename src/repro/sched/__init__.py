@@ -21,12 +21,18 @@ Modules
 """
 
 from repro.sched.admission import AdmissionController
-from repro.sched.arrivals import TaskRequest, generate_arrivals
-from repro.sched.policy import ServicePolicy
+from repro.sched.arrivals import (
+    DEFAULT_TENANT,
+    TaskRequest,
+    generate_arrivals,
+)
+from repro.sched.policy import TABLE4_ROUTES, ServicePolicy
 from repro.sched.service import SchedulerService, run_degenerate
 
 __all__ = [
     "AdmissionController",
+    "DEFAULT_TENANT",
+    "TABLE4_ROUTES",
     "ServicePolicy",
     "TaskRequest",
     "generate_arrivals",

@@ -31,6 +31,10 @@ TICK_SECONDS = 1.0
 #: Class 0 is the most urgent; larger numbers are more patient.
 DEFAULT_PRIORITY = 1
 
+#: Tenant assigned when the stream does not draw one — the anonymous
+#: single-tenant stream every pre-tenant release served.
+DEFAULT_TENANT = "default"
+
 
 @dataclass(frozen=True)
 class TaskRequest:
@@ -46,6 +50,12 @@ class TaskRequest:
     latency target: the request should finish by
     ``arrival_seconds + deadline_seconds``, and the preemption policy
     may suspend a running batch to protect it.
+
+    ``tenant`` names the account the request bills against; the
+    multi-tenant service enforces per-tenant memory quotas and
+    priority mappings on it and reports per-tenant latency
+    percentiles. The default tenant reproduces the anonymous
+    single-tenant stream.
     """
 
     task_id: int
@@ -54,6 +64,7 @@ class TaskRequest:
     arrival_seconds: float
     priority: int = DEFAULT_PRIORITY
     deadline_seconds: Optional[float] = None
+    tenant: str = DEFAULT_TENANT
 
     @property
     def deadline_at(self) -> Optional[float]:
@@ -71,6 +82,7 @@ def generate_arrivals(
     units_range: Tuple[int, int] = DEFAULT_UNITS_RANGE,
     priority_classes: Optional[int] = None,
     deadlines: Optional[Mapping[int, float]] = None,
+    tenants: Optional[Sequence[str]] = None,
 ) -> List[TaskRequest]:
     """Generate the seeded arrival stream.
 
@@ -95,6 +107,12 @@ def generate_arrivals(
     deadlines:
         optional mapping of priority class → relative deadline
         seconds, attached to matching requests (no RNG consumed).
+    tenants:
+        when given with two or more names, draw each request's tenant
+        uniformly from them. A single name is assigned directly and
+        ``None`` assigns :data:`DEFAULT_TENANT` — both *without
+        consuming RNG draws*, so single-tenant streams stay
+        byte-identical to pre-tenant releases.
 
     Returns requests sorted by arrival time (ties keep draw order).
     """
@@ -111,6 +129,13 @@ def generate_arrivals(
         )
     if priority_classes is not None and priority_classes < 1:
         raise SchedulingError("priority_classes must be >= 1")
+    tenant_names: Optional[Tuple[str, ...]] = None
+    if tenants is not None:
+        tenant_names = tuple(str(t) for t in tenants)
+        if not tenant_names or any(not t for t in tenant_names):
+            raise SchedulingError(
+                "tenants must be a non-empty sequence of non-empty names"
+            )
     rng = make_rng(seed, label="sched/arrivals")
     requests: List[TaskRequest] = []
     task_id = 0
@@ -126,6 +151,12 @@ def generate_arrivals(
             deadline = None
             if deadlines is not None:
                 deadline = deadlines.get(priority)
+            if tenant_names is None:
+                tenant = DEFAULT_TENANT
+            elif len(tenant_names) == 1:
+                tenant = tenant_names[0]
+            else:
+                tenant = tenant_names[int(rng.integers(0, len(tenant_names)))]
             requests.append(
                 TaskRequest(
                     task_id=task_id,
@@ -134,6 +165,7 @@ def generate_arrivals(
                     arrival_seconds=tick * TICK_SECONDS,
                     priority=priority,
                     deadline_seconds=deadline,
+                    tenant=tenant,
                 )
             )
             task_id += 1

@@ -30,7 +30,7 @@ byte for byte: one class collapses every request to effective class
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Mapping, Optional, Tuple, Union
 
 from repro.errors import ConfigurationError
 from repro.sched.arrivals import TaskRequest
@@ -51,6 +51,40 @@ DEFAULT_MAX_SUSPENDS_PER_BATCH = 8
 
 #: Floor for the Retry-After hint attached to shed requests.
 DEFAULT_RETRY_AFTER_FLOOR_SECONDS = 1.0
+
+#: Table 4's sync/async split as a routing table: async-capable kinds
+#: run on GraphLab's asynchronous mode, while the heavy batched walk
+#: workloads stay on Pregel+ (the paper's strongest sync engine for
+#: them). ``ServicePolicy(routes=TABLE4_ROUTES)`` turns the table into
+#: a live per-kind dispatch policy.
+TABLE4_ROUTES: Mapping[str, str] = {
+    "pagerank": "graphlab(async)",
+    "mssp": "graphlab(async)",
+    "bppr": "pregel+",
+    "bppr-query": "pregel+",
+    "bkhs": "pregel+",
+}
+
+#: Pairs-tuple form of a mapping field on the frozen policy (sorted,
+#: hashable, order-independent equality).
+_Pairs = Tuple[Tuple[str, object], ...]
+
+
+def _freeze_mapping(
+    value: Optional[Union[Mapping, _Pairs]], field_name: str
+) -> Optional[_Pairs]:
+    """Normalise a mapping-valued policy field to sorted key/value
+    pairs so the frozen dataclass stays hashable and two policies with
+    the same entries compare equal regardless of insertion order."""
+    if value is None:
+        return None
+    items = dict(value).items()
+    for key, _ in items:
+        if not isinstance(key, str) or not key:
+            raise ConfigurationError(
+                f"{field_name} keys must be non-empty strings"
+            )
+    return tuple(sorted(items))
 
 
 @dataclass(frozen=True)
@@ -92,8 +126,46 @@ class ServicePolicy:
     #: configuration, so every schedule stays byte-identical to the
     #: pre-parallel service.
     intra_workers: int = 0
+    #: per-kind engine routing (kind → engine name, e.g.
+    #: :data:`TABLE4_ROUTES`). ``None`` (the default) runs every kind
+    #: on the service's base engine — the legacy single-engine loop.
+    #: Unrouted kinds also fall back to the base engine.
+    routes: Optional[Mapping[str, str]] = None
+    #: per-tenant memory quotas as *fractions of the shared admission
+    #: budget* (tenant → fraction in (0, 1]). ``None`` disables tenant
+    #: accounting entirely; tenants absent from the mapping are
+    #: unconstrained (the global Equation-1 budget still applies).
+    tenant_quotas: Optional[Mapping[str, float]] = None
+    #: per-tenant static priority class (tenant → class, 0 = most
+    #: urgent), overriding the request's own class. ``None`` keeps the
+    #: request-carried priorities.
+    tenant_priorities: Optional[Mapping[str, int]] = None
+    #: serve repeat queries from the content-keyed result cache and
+    #: coalesce in-flight duplicates onto one execution. Off by
+    #: default: the cache-off loop never computes result payloads, so
+    #: it stays byte-identical to the pre-cache service.
+    result_cache: bool = False
+    #: seconds a cached result stays servable on the virtual clock;
+    #: ``None`` = no expiry.
+    result_ttl_seconds: Optional[float] = None
+    #: LRU bytes budget for cached result payloads; ``None`` = no
+    #: bound (entries only leave via TTL expiry).
+    result_cache_bytes: Optional[float] = None
 
     def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "routes", _freeze_mapping(self.routes, "routes")
+        )
+        object.__setattr__(
+            self,
+            "tenant_quotas",
+            _freeze_mapping(self.tenant_quotas, "tenant_quotas"),
+        )
+        object.__setattr__(
+            self,
+            "tenant_priorities",
+            _freeze_mapping(self.tenant_priorities, "tenant_priorities"),
+        )
         if self.priority_classes < 1:
             raise ConfigurationError("priority_classes must be >= 1")
         if self.aging_seconds is not None and self.aging_seconds <= 0:
@@ -130,10 +202,57 @@ class ServicePolicy:
             )
         if self.intra_workers < 0:
             raise ConfigurationError("intra_workers must be >= 0")
+        if self.routes is not None:
+            for _, engine in self.routes:
+                if not isinstance(engine, str) or not engine:
+                    raise ConfigurationError(
+                        "routes values must be engine names"
+                    )
+        if self.tenant_quotas is not None:
+            for tenant, fraction in self.tenant_quotas:
+                if not 0 < float(fraction) <= 1:
+                    raise ConfigurationError(
+                        f"tenant quota for {tenant!r} must be a budget "
+                        f"fraction in (0, 1], got {fraction!r}"
+                    )
+        if self.tenant_priorities is not None:
+            for tenant, cls in self.tenant_priorities:
+                if int(cls) < 0:
+                    raise ConfigurationError(
+                        f"tenant priority for {tenant!r} must be >= 0"
+                    )
+        if (
+            self.result_ttl_seconds is not None
+            and self.result_ttl_seconds <= 0
+        ):
+            raise ConfigurationError("result_ttl_seconds must be positive")
+        if (
+            self.result_cache_bytes is not None
+            and self.result_cache_bytes <= 0
+        ):
+            raise ConfigurationError("result_cache_bytes must be positive")
 
     @property
     def lowest_class(self) -> int:
         return self.priority_classes - 1
+
+    def route_for(self, kind: str) -> Optional[str]:
+        """Engine name ``kind`` is routed to, or ``None`` (base engine)."""
+        if self.routes is None:
+            return None
+        for route_kind, engine in self.routes:
+            if route_kind == kind:
+                return str(engine)
+        return None
+
+    def quota_fraction(self, tenant: str) -> Optional[float]:
+        """The tenant's budget-fraction quota, or ``None`` (unbounded)."""
+        if self.tenant_quotas is None:
+            return None
+        for quota_tenant, fraction in self.tenant_quotas:
+            if quota_tenant == tenant:
+                return float(fraction)
+        return None
 
     def worker_share(self, concurrent_sessions: int) -> int:
         """Intra-task workers one session gets with ``concurrent_sessions``
@@ -145,8 +264,19 @@ class ServicePolicy:
         return max(1, self.intra_workers // max(int(concurrent_sessions), 1))
 
     def static_class(self, request: TaskRequest) -> int:
-        """The request's class clamped to the configured lane count."""
-        return min(max(int(request.priority), 0), self.lowest_class)
+        """The request's class clamped to the configured lane count.
+
+        A tenant listed in ``tenant_priorities`` overrides the class
+        the request arrived with — the tenant's contract outranks the
+        caller's self-declared urgency.
+        """
+        priority = int(request.priority)
+        if self.tenant_priorities is not None:
+            for tenant, cls in self.tenant_priorities:
+                if tenant == getattr(request, "tenant", "default"):
+                    priority = int(cls)
+                    break
+        return min(max(priority, 0), self.lowest_class)
 
     def effective_class(self, request: TaskRequest, now: float) -> int:
         """Static class minus one lane per ``aging_seconds`` queued."""

@@ -38,8 +38,9 @@ byte.
 
 from __future__ import annotations
 
+import hashlib
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.engines.base import (
@@ -49,13 +50,19 @@ from repro.engines.base import (
 )
 from repro.errors import RecoveryError, SchedulingError
 from repro.faults.recovery import OverloadRecovery
-from repro.graph.csr import Graph
+from repro.graph.csr import Graph, streaming_budget_bytes
 from repro.perf import kernel_pool
+from repro.perf.cache import ResultCache
 from repro.rng import SeedLike
 from repro.sched.admission import AdmissionController
 from repro.sched.arrivals import DEFAULT_KINDS, TaskRequest
 from repro.sched.policy import ServicePolicy
-from repro.sim.metrics import JobMetrics, ServiceMetrics, TaskLatency
+from repro.sim.metrics import (
+    JobMetrics,
+    ServiceMetrics,
+    TaskLatency,
+    pack_job,
+)
 from repro.tasks.base import make_task
 from repro.tuning.memory_model import MemoryCostModel
 from repro.tuning.planner import DEFAULT_OVERLOAD_FRACTION, plan_batches
@@ -64,6 +71,13 @@ from repro.tuning.trainer import TaskFactory, train_memory_models
 #: Default training reference workload for the per-kind memory models —
 #: large enough for the probe ladder, small enough to train quickly.
 DEFAULT_REFERENCE_WORKLOAD = 512.0
+
+#: Per-unit host-state estimate for the ``--max-ram`` admission cap:
+#: the dense kernel-state matrices are ``units × num_vertices`` rows
+#: (:func:`repro.tasks.base.alloc_state_matrix`), and the kernels hold
+#: two comparable matrices (dist/visited + pair_mask), so one unit
+#: costs roughly two float64 rows of the vertex set.
+STREAMING_STATE_BYTES_PER_VERTEX = 16.0
 
 
 @dataclass
@@ -101,6 +115,8 @@ class _InFlight:
     order: int
     #: engine-side frozen state while suspended.
     checkpoint: Optional[BatchCheckpoint] = None
+    #: units taken per tenant (empty when tenant accounting is off).
+    tenant_units: Dict[str, float] = field(default_factory=dict)
     #: ``batch.seconds`` already charged to the service clock.
     charged_seconds: float = 0.0
     #: suspend/restore cost already charged to the service clock.
@@ -178,18 +194,64 @@ class SchedulerService:
             kind: dict(params)
             for kind, params in (task_params or {}).items()
         }
+        #: per-kind engines from the policy's routing table, all bound
+        #: to the base engine's cluster so every session draws from the
+        #: one shared admission budget. Unrouted kinds (and the
+        #: ``routes=None`` default) use the base engine itself — the
+        #: legacy single-engine service, byte for byte.
+        self.engines: Dict[str, SimulatedEngine] = {}
+        opened: Dict[str, SimulatedEngine] = {engine.name: engine}
+        for kind in self.kinds:
+            route = self.policy.route_for(kind)
+            if route is None or route == engine.name:
+                self.engines[kind] = engine
+            else:
+                if route not in opened:
+                    from repro.engines.registry import create_engine
+
+                    opened[route] = create_engine(route, engine.cluster)
+                self.engines[kind] = opened[route]
         models: Dict[str, MemoryCostModel] = {
             kind: train_memory_models(
-                engine,
+                self.engines[kind],
                 self._task_factory(kind),
                 self.reference_workload,
                 seed=seed,
             )
             for kind in self.kinds
         }
+        machine = engine.cluster.scaled_machine
+        tenant_quotas: Optional[Dict[str, float]] = None
+        if self.policy.tenant_quotas is not None:
+            budget = self.overload_fraction * machine.memory_bytes
+            tenant_quotas = {
+                tenant: float(fraction) * budget
+                for tenant, fraction in self.policy.tenant_quotas
+            }
         self.admission = AdmissionController(
-            models, engine.cluster.scaled_machine, self.overload_fraction
+            models,
+            machine,
+            self.overload_fraction,
+            tenant_quotas=tenant_quotas,
         )
+        #: content-keyed result cache with single-flight coalescing;
+        #: ``None`` (cache off) leaves every code path byte-identical
+        #: to the pre-cache service.
+        self.result_cache: Optional[ResultCache] = (
+            ResultCache(
+                ttl_seconds=self.policy.result_ttl_seconds,
+                max_bytes=self.policy.result_cache_bytes,
+            )
+            if self.policy.result_cache
+            else None
+        )
+        #: completed response payloads by task id (``pack_job`` bytes),
+        #: recorded only when the result cache is enabled.
+        self.responses: Dict[int, bytes] = {}
+        #: task id → content key for queued single-flight leaders, so a
+        #: dropped leader abandons its key (and its joiners) while a
+        #: watermark-shed duplicate never touches another leader's key.
+        self._leaders: Dict[int, Tuple[object, ...]] = {}
         #: persistent per-kind sessions (opened lazily on first batch).
         self.sessions: Dict[str, EngineSession] = {}
         #: executed batches as ``(kind, BatchMetrics)`` — raw objects for
@@ -220,7 +282,7 @@ class SchedulerService:
         """
         if kind not in self.sessions:
             task = self._task_factory(kind)(self.reference_workload)
-            self.sessions[kind] = self.engine.open_session(
+            self.sessions[kind] = self.engines[kind].open_session(
                 task,
                 self.seed,
                 fault_plan=self.fault_plan,
@@ -245,6 +307,117 @@ class SchedulerService:
             kernel_pool.configure_kernel_workers(share)
         return share
 
+    def _streaming_unit_cap(self) -> Optional[float]:
+        """Largest batch the ``--max-ram`` streaming budget can hold in
+        dense kernel state, or ``None`` when no budget is configured.
+
+        Batches over the cap are split across admissions instead of
+        allocating ``units × num_vertices`` state past the budget (the
+        mapped-scratch spill in :func:`repro.tasks.base.alloc_state_matrix`
+        would save them from an OOM kill, but at mapped-I/O cost the
+        admission estimate should avoid up front).
+        """
+        budget = streaming_budget_bytes()
+        if budget is None:
+            return None
+        per_unit = self.graph.num_vertices * STREAMING_STATE_BYTES_PER_VERTEX
+        if per_unit <= 0:
+            return None
+        return max(1.0, float(int(budget / per_unit)))
+
+    def _quota_feasible(
+        self, kind: str, queue: List[_Pending], clock: float
+    ) -> bool:
+        """Whether any queued ``kind`` request in the head scan prefix
+        has tenant-quota headroom for at least one unit. Only called
+        when tenant quotas are configured."""
+        policy = self.policy
+        for pending in sorted(
+            queue, key=lambda p: policy.selection_key(p.request, clock)
+        ):
+            if pending.request.kind != kind:
+                break
+            allowed = self.admission.tenant_admissible_units(
+                kind, pending.request.tenant
+            )
+            if allowed >= 1.0:
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Result cache (content-keyed, single-flight)
+    # ------------------------------------------------------------------
+    def _result_key(self, request: TaskRequest) -> Tuple[object, ...]:
+        """Content key of a request's response: engine, graph
+        fingerprint, kind, units and task params — everything the
+        canonical payload is a function of. Tenant and arrival time are
+        deliberately absent: identical queries share one entry."""
+        kind = request.kind
+        params = self.task_params.get(kind, {})
+        return (
+            "result",
+            self.engines[kind].name,
+            self.graph.fingerprint,
+            kind,
+            float(request.units),
+            repr(sorted(params.items())),
+        )
+
+    def _result_payload(self, request: TaskRequest) -> bytes:
+        """Hermetic response bytes for a request: the ``pack_job``
+        payload of a one-batch canonical run keyed only by the content
+        key (seed derived from it), so every request with the same key
+        yields byte-identical bytes. The run executes on a fresh
+        session via :meth:`SimulatedEngine.run_canonical` and is
+        memoised in the artifact cache by ``run_job``; it never touches
+        the serving sessions, the admission state, or the service
+        clock."""
+        key = self._result_key(request)
+        digest = hashlib.blake2b(repr(key).encode(), digest_size=8)
+        seed = int.from_bytes(digest.digest(), "big") % (2**63)
+        kind = request.kind
+        task = self._task_factory(kind)(float(request.units))
+        job = self.engines[kind].run_canonical(task, seed=seed)
+        return bytes(pack_job(job)["payload"])
+
+    def _finish_result(
+        self,
+        pending: _Pending,
+        clock: float,
+        metrics: ServiceMetrics,
+    ) -> None:
+        """Complete a leader request in the result cache: store its
+        payload, fan the same bytes out to every coalesced joiner, and
+        record the joiners' latencies (they finish with the leader)."""
+        cache = self.result_cache
+        if cache is None:
+            return
+        request = pending.request
+        key = self._result_key(request)
+        payload = self._result_payload(request)
+        joiners = cache.complete(key, payload, clock)
+        self.responses[request.task_id] = payload
+        start = pending.started_seconds
+        if start is None:
+            start = clock
+        for joiner in joiners:
+            self.responses[joiner.task_id] = payload
+            latency = TaskLatency(
+                task_id=joiner.task_id,
+                kind=joiner.kind,
+                units=joiner.units,
+                arrival_seconds=joiner.arrival_seconds,
+                start_seconds=max(joiner.arrival_seconds, start),
+                finish_seconds=clock,
+                priority=joiner.priority,
+                deadline_seconds=joiner.deadline_seconds,
+                tenant=joiner.tenant,
+                served_by="coalesced",
+            )
+            if latency.missed_deadline:
+                metrics.deadline_misses += 1
+            metrics.latencies.append(latency)
+
     def _flush(
         self,
         metrics: ServiceMetrics,
@@ -267,7 +440,9 @@ class SchedulerService:
         for session in self.sessions.values():
             freed = session.flush_residual()
             if freed > 0:
-                cost += self.engine._aggregation_seconds(session.task, freed)
+                cost += session.engine._aggregation_seconds(
+                    session.task, freed
+                )
         self.admission.release_all()
         if suspended:
             for inflight in suspended.values():
@@ -313,11 +488,20 @@ class SchedulerService:
                 "kind": request.kind,
                 "units": request.units,
                 "priority": request.priority,
+                "tenant": request.tenant,
                 "reason": reason,
                 "clock_seconds": now,
                 "retry_after_seconds": self._retry_after_hint(queue),
             }
         )
+        cache = self.result_cache
+        if cache is not None:
+            key = self._leaders.pop(request.task_id, None)
+            if key is not None and cache.inflight(key):
+                # A dropped leader takes its coalesced joiners with it:
+                # nothing will execute their shared key any more.
+                for joiner in cache.abandon(key):
+                    self._drop(joiner, reason, now, queue, metrics)
 
     def _enqueue(
         self,
@@ -341,6 +525,36 @@ class SchedulerService:
             if used > policy.shed_watermark * self.admission.budget:
                 self._drop(request, "watermark", now, queue, metrics)
                 return
+        cache = self.result_cache
+        if cache is not None:
+            key = self._result_key(request)
+            hit = cache.lookup(key, now)
+            if hit is not None:
+                # Served from memory: the exact payload bytes a cold
+                # execution produced, at zero simulated cost.
+                self.responses[request.task_id] = hit
+                latency = TaskLatency(
+                    task_id=request.task_id,
+                    kind=request.kind,
+                    units=request.units,
+                    arrival_seconds=request.arrival_seconds,
+                    start_seconds=now,
+                    finish_seconds=now,
+                    priority=request.priority,
+                    deadline_seconds=request.deadline_seconds,
+                    tenant=request.tenant,
+                    served_by="cache-hit",
+                )
+                if latency.missed_deadline:
+                    metrics.deadline_misses += 1
+                metrics.latencies.append(latency)
+                return
+            if not cache.leader(key):
+                # Single-flight: an identical request is already
+                # queued or running; join it instead of queueing.
+                cache.enlist(key, request)
+                return
+            self._leaders[request.task_id] = key
         queue.append(_Pending(request, remaining=request.units))
         if policy.max_queue is not None and len(queue) > policy.max_queue:
             # Evict the least urgent *untouched* request — lowest
@@ -525,32 +739,49 @@ class SchedulerService:
 
             if resume_kind is None:
                 admissible = self.admission.admissible_units(kind)
-                if admissible < 1.0:
-                    # Backpressure: residual memory ate the budget.
-                    # Flush results, reset the planners, try again.
+                feasible = admissible >= 1.0
+                if feasible and self.admission.tenant_quotas is not None:
+                    feasible = self._quota_feasible(kind, queue, clock)
+                if not feasible:
+                    # Backpressure: residual memory ate the budget (or
+                    # every candidate tenant's quota). Flush results,
+                    # reset the planners, try again.
                     clock += self._flush(metrics, suspended)
                     admissible = self.admission.admissible_units(kind)
-                    if admissible < 1.0:
+                    feasible = admissible >= 1.0
+                    if feasible and self.admission.tenant_quotas is not None:
+                        feasible = self._quota_feasible(kind, queue, clock)
+                    if not feasible:
                         if suspended:
                             # Checkpointed state holds the remaining
-                            # budget pinned: finish a frozen batch to
-                            # release it instead of giving up.
+                            # budget (and any tenant shares) pinned:
+                            # finish a frozen batch to release it
+                            # instead of giving up.
                             resume_kind = min(
                                 suspended,
                                 key=lambda k: suspended[k].order,
                             )
                             kind = resume_kind
-                        else:
+                        elif admissible < 1.0:
                             raise SchedulingError(
                                 f"memory budget below the {kind} model's "
                                 "constant terms; no admissible batch even "
                                 "after flushing all residual memory"
+                            )
+                        else:
+                            raise SchedulingError(
+                                f"no tenant quota admits a single {kind} "
+                                "unit even after flushing all residual "
+                                "memory"
                             )
 
             session = self._session(kind)
             if resume_kind is None:
                 if resplit_cap is not None:
                     admissible = min(admissible, resplit_cap)
+                stream_cap = self._streaming_unit_cap()
+                if stream_cap is not None:
+                    admissible = min(admissible, stream_cap)
 
                 # Form the largest admissible batch of this kind, in
                 # priority order. Requests are divisible into unit
@@ -558,8 +789,13 @@ class SchedulerService:
                 # request finishes when the batch holding its last
                 # unit completes. With one priority class the scan
                 # order is exactly the legacy FIFO queue order.
+                # Quota-blocked tenants are skipped, not barriers:
+                # later same-kind requests from other tenants still
+                # fill the batch.
                 batch_units = 0.0
                 parts: List[Tuple[_Pending, float]] = []
+                tenant_units: Dict[str, float] = {}
+                quotas_on = self.admission.tenant_quotas is not None
                 for pending in sorted(
                     queue,
                     key=lambda p: policy.selection_key(p.request, clock),
@@ -570,6 +806,17 @@ class SchedulerService:
                     take = float(int(take))
                     if take < 1.0:
                         break
+                    if quotas_on:
+                        tenant = pending.request.tenant
+                        allowed = self.admission.tenant_admissible_units(
+                            kind, tenant
+                        ) - tenant_units.get(tenant, 0.0)
+                        take = min(take, max(allowed, 0.0))
+                        if take < 1.0:
+                            continue
+                        tenant_units[tenant] = (
+                            tenant_units.get(tenant, 0.0) + take
+                        )
                     parts.append((pending, take))
                     batch_units += take
                     if batch_units >= admissible:
@@ -587,6 +834,7 @@ class SchedulerService:
                     start_clock=clock,
                     priority=policy.effective_class(head.request, clock),
                     order=formed,
+                    tenant_units=tenant_units,
                 )
                 formed += 1
                 callback = self._preempt_callback(
@@ -627,9 +875,17 @@ class SchedulerService:
                 inflight.suspend_count = checkpoint.suspends
                 for pending, take in inflight.parts:
                     pending.inflight = take
-                self.admission.pin(
-                    inflight.pin_tag, checkpoint.state_bytes() / machines
-                )
+                pinned = checkpoint.state_bytes() / machines
+                shares: Optional[Dict[str, float]] = None
+                if (
+                    self.admission.tenant_quotas is not None
+                    and inflight.batch_units > 0
+                ):
+                    shares = {
+                        tenant: pinned * take / inflight.batch_units
+                        for tenant, take in inflight.tenant_units.items()
+                    }
+                self.admission.pin(inflight.pin_tag, pinned, tenants=shares)
                 suspended[kind] = inflight
                 metrics.preemptions += 1
                 metrics.preempt_seconds += suspend_cost
@@ -672,7 +928,11 @@ class SchedulerService:
                         history=[dict(b) for b in metrics.batch_log],
                     )
             else:
-                self.admission.admit(kind, batch_units)
+                self.admission.admit(
+                    kind,
+                    batch_units,
+                    tenant_units=inflight.tenant_units or None,
+                )
                 clock += (
                     max(0.0, batch.seconds - inflight.charged_seconds)
                     + suspend_cost
@@ -699,15 +959,22 @@ class SchedulerService:
                             deadline_seconds=(
                                 pending.request.deadline_seconds
                             ),
+                            tenant=pending.request.tenant,
                         )
                         if latency.missed_deadline:
                             metrics.deadline_misses += 1
                         metrics.latencies.append(latency)
+                        if self.result_cache is not None:
+                            self._leaders.pop(
+                                pending.request.task_id, None
+                            )
+                            self._finish_result(pending, clock, metrics)
                 queue[:] = [p for p in queue if p.remaining > 0]
 
             entry = {
                 "index": len(metrics.batch_log),
                 "kind": kind,
+                "engine": session.engine.name,
                 "workload": batch.workload,
                 "admissible_units": inflight.admissible,
                 "projected_bytes": inflight.projected,
@@ -734,6 +1001,8 @@ class SchedulerService:
                 # entirely when the policy grants no workers so the
                 # legacy batch-log shape is byte-identical.
                 entry["intra_workers"] = share
+            if self.admission.tenant_quotas is not None:
+                entry["tenants"] = dict(inflight.tenant_units)
             if self.record_rounds:
                 entry["round_trace"] = [
                     {
@@ -749,6 +1018,11 @@ class SchedulerService:
             self.executed_batches.append((kind, batch))
 
         metrics.elapsed_seconds = clock
+        if self.result_cache is not None:
+            summary = self.result_cache.stats.to_dict()
+            summary["cached_entries"] = len(self.result_cache)
+            summary["cached_bytes"] = self.result_cache.total_bytes
+            metrics.result_cache = summary
         return metrics
 
 

@@ -558,6 +558,12 @@ class TaskLatency:
     priority: int = 1
     #: relative latency target, when the request carried one.
     deadline_seconds: Optional[float] = None
+    #: tenant the request billed against.
+    tenant: str = "default"
+    #: how the request was satisfied: "executed" (ran in batches),
+    #: "cache-hit" (served from the result cache), or "coalesced"
+    #: (joined an in-flight duplicate's execution).
+    served_by: str = "executed"
 
     @property
     def queue_seconds(self) -> float:
@@ -627,6 +633,11 @@ class ServiceMetrics:
     deadline_misses: int = 0
     #: one record per shed request (task_id, kind, reason, hint).
     drop_log: List[Dict[str, Any]] = field(default_factory=list)
+    #: result-cache counters (hits/misses/coalesced/stores/expirations/
+    #: evictions plus final cached bytes); ``None`` when the cache was
+    #: off, and then absent from :meth:`to_dict` so cache-off digests
+    #: keep the pre-cache shape.
+    result_cache: Optional[Dict[str, Any]] = None
     #: tasks still queued when the stream ended (drained before stop).
     extras: Dict[str, float] = field(default_factory=dict)
 
@@ -671,6 +682,51 @@ class ServiceMetrics:
             "execution_p99_seconds": percentile(execution, 99),
         }
 
+    def tenant_summary(self) -> Dict[str, Dict[str, Any]]:
+        """Per-tenant latency percentiles and counters (the
+        ``"tenants"`` section of ``BENCH_perf.json``), keyed by tenant
+        name in sorted order."""
+        tenants: Dict[str, Dict[str, Any]] = {}
+
+        def record(tenant: str) -> Dict[str, Any]:
+            return tenants.setdefault(
+                tenant,
+                {
+                    "completed_tasks": 0,
+                    "completed_units": 0.0,
+                    "deadline_misses": 0,
+                    "dropped_requests": 0,
+                    "cache_hits": 0,
+                    "coalesced_requests": 0,
+                    "_latencies": [],
+                },
+            )
+
+        for task in self.latencies:
+            rec = record(task.tenant)
+            rec["completed_tasks"] += 1
+            rec["completed_units"] += task.units
+            rec["_latencies"].append(task.latency_seconds)
+            if task.missed_deadline:
+                rec["deadline_misses"] += 1
+            if task.served_by == "cache-hit":
+                rec["cache_hits"] += 1
+            elif task.served_by == "coalesced":
+                rec["coalesced_requests"] += 1
+        for drop in self.drop_log:
+            record(str(drop.get("tenant", "default")))[
+                "dropped_requests"
+            ] += 1
+        summary: Dict[str, Dict[str, Any]] = {}
+        for tenant in sorted(tenants):
+            rec = tenants[tenant]
+            values = rec.pop("_latencies")
+            rec["p50_seconds"] = percentile(values, 50)
+            rec["p95_seconds"] = percentile(values, 95)
+            rec["p99_seconds"] = percentile(values, 99)
+            summary[tenant] = rec
+        return summary
+
     def resilience_summary(self) -> Dict[str, Any]:
         """Preemption/shedding/deadline counters (the ``"resilience"``
         section of ``BENCH_perf.json``)."""
@@ -712,6 +768,15 @@ class ServiceMetrics:
             "batches": [dict(b) for b in self.batch_log],
             "extras": dict(self.extras),
         }
+        if self.result_cache is not None:
+            # Only present when the result cache ran, so cache-off
+            # digests keep the pre-cache payload shape byte for byte.
+            payload["result_cache"] = dict(self.result_cache)
+        tenants = self.tenant_summary()
+        if any(t != "default" for t in tenants):
+            # Same contract for multi-tenancy: anonymous single-tenant
+            # streams keep the legacy payload shape.
+            payload["tenants"] = tenants
         if include_latencies:
             payload["tasks"] = [
                 {
@@ -719,6 +784,8 @@ class ServiceMetrics:
                     "kind": t.kind,
                     "units": t.units,
                     "priority": t.priority,
+                    "tenant": t.tenant,
+                    "served_by": t.served_by,
                     "deadline_seconds": t.deadline_seconds,
                     "arrival_seconds": t.arrival_seconds,
                     "start_seconds": t.start_seconds,

@@ -368,6 +368,130 @@ class TestSchedulerInvariance:
         assert self._streams(jobs=JOBS) == baseline
 
 
+class TestMultiTenantServeInvariance:
+    """Multi-tenant serving knobs (engine routing table, tenant quotas,
+    the content-keyed result cache) must not move a byte of the serve
+    digest when they cannot matter: the cache on a duplicate-free
+    stream, a routing table naming the base engine, and quota mappings
+    that never bind or merely permute."""
+
+    def _serve(self, policy=None, base_engine="pregel+"):
+        from repro.engines.registry import create_engine
+        from repro.sched.arrivals import TaskRequest
+        from repro.sched.service import SchedulerService
+
+        graph = load_dataset("dblp", scale=SCALE)
+        cluster = cluster_by_name("galaxy-8", scale=SCALE)
+        service = SchedulerService(
+            create_engine(base_engine, cluster),
+            graph,
+            kinds=("bppr",),
+            seed=17,
+            record_rounds=True,
+            policy=policy,
+        )
+        tenants = ("acme", "globex")
+        # Hand-rolled duplicate-free stream: every request has a unique
+        # unit count, so no two share a content key.
+        requests = [
+            TaskRequest(i, "bppr", 8.0 + i, float(3 * i),
+                        tenant=tenants[i % 2])
+            for i in range(8)
+        ]
+        metrics = service.run(requests)
+        return metrics.to_dict(include_latencies=True)
+
+    def test_cache_on_vs_off_duplicate_free_stream(self):
+        from repro.sched.policy import ServicePolicy
+
+        off = self._serve()
+        on = self._serve(ServicePolicy(result_cache=True))
+        cache = on.pop("result_cache")
+        # Every request missed and executed: the cache stored but never
+        # served, so the schedule digest must be untouched.
+        assert cache["hits"] == 0 and cache["coalesced"] == 0
+        assert cache["misses"] == 8 and cache["stores"] == 8
+        assert json.dumps(on, sort_keys=True) == json.dumps(
+            off, sort_keys=True
+        )
+
+    def test_cache_hits_replay_exact_payload_bytes(self):
+        from repro.engines.registry import create_engine
+        from repro.sched.arrivals import TaskRequest
+        from repro.sched.policy import ServicePolicy
+        from repro.sched.service import SchedulerService
+
+        graph = load_dataset("dblp", scale=SCALE)
+        cluster = cluster_by_name("galaxy-8", scale=SCALE)
+
+        def responses(requests):
+            service = SchedulerService(
+                create_engine("pregel+", cluster),
+                graph,
+                kinds=("bppr",),
+                seed=17,
+                policy=ServicePolicy(result_cache=True),
+            )
+            service.run(requests)
+            return service.responses
+
+        warm = responses(
+            [
+                TaskRequest(0, "bppr", 8.0, 0.0),
+                TaskRequest(1, "bppr", 8.0, 1.0e6),  # pure cache hit
+            ]
+        )
+        cold = responses([TaskRequest(5, "bppr", 8.0, 0.0)])
+        assert warm[1] == warm[0] == cold[5]
+
+    def test_route_to_base_engine_is_identity(self):
+        from repro.sched.policy import ServicePolicy
+
+        unrouted = self._serve()
+        routed = self._serve(ServicePolicy(routes={"bppr": "pregel+"}))
+        assert json.dumps(routed, sort_keys=True) == json.dumps(
+            unrouted, sort_keys=True
+        )
+
+    def test_routed_kind_matches_native_base_engine(self):
+        from repro.sched.policy import ServicePolicy
+
+        native = self._serve(base_engine="graphlab(async)")
+        routed = self._serve(
+            ServicePolicy(routes={"bppr": "graphlab(async)"}),
+            base_engine="pregel+",
+        )
+        # Only the service-level engine header may differ: every batch
+        # ran on graphlab(async) either way.
+        assert native.pop("engine") == "graphlab(async)"
+        assert routed.pop("engine") == "pregel+"
+        assert json.dumps(routed, sort_keys=True) == json.dumps(
+            native, sort_keys=True
+        )
+
+    def test_quota_permutation_and_generous_quotas(self):
+        from repro.sched.policy import ServicePolicy
+
+        first = self._serve(
+            ServicePolicy(tenant_quotas={"acme": 0.9, "globex": 0.8})
+        )
+        permuted = self._serve(
+            ServicePolicy(tenant_quotas={"globex": 0.8, "acme": 0.9})
+        )
+        assert json.dumps(first, sort_keys=True) == json.dumps(
+            permuted, sort_keys=True
+        )
+        # Quotas generous enough never to bind must not change the
+        # admission order — only the batch log's tenant attribution
+        # (absent with quotas off) may differ.
+        bare = self._serve()
+        for entry in first["batches"]:
+            entry.pop("tenants")
+        assert json.dumps(first, sort_keys=True) == json.dumps(
+            bare, sort_keys=True
+        )
+
+
 class TestKernelShardInvariance:
     """Intra-task sharded kernels (``--kernel-workers``): the shard
     count changes where rounds run, never what they compute — every

@@ -158,3 +158,126 @@ class TestAdmissionInvariant:
             assert projected <= controller.budget * (1 + EPS)
             controller.admit(kind, units)
         assert controller.residual_bytes() >= 0
+
+
+class TestTenantQuotas:
+    def test_quota_caps_below_the_global_budget(self):
+        machine = make_machine()
+        controller = AdmissionController(
+            {"bppr": make_model()},
+            machine,
+            overload_fraction=0.8,
+            tenant_quotas={"acme": 0.1 * 0.8 * machine.memory_bytes},
+        )
+        capped = controller.tenant_admissible_units("bppr", "acme")
+        assert capped < controller.admissible_units("bppr")
+        # Unlisted tenants are unconstrained.
+        assert controller.tenant_admissible_units(
+            "bppr", "globex"
+        ) == float("inf")
+
+    def test_pinned_shares_charge_the_tenant(self):
+        machine = make_machine()
+        quota = 0.2 * 0.8 * machine.memory_bytes
+        controller = AdmissionController(
+            {"bppr": make_model()},
+            machine,
+            overload_fraction=0.8,
+            tenant_quotas={"acme": quota},
+        )
+        before = controller.tenant_admissible_units("bppr", "acme")
+        controller.pin("suspended:bppr", 1e7, tenants={"acme": 1e7})
+        assert controller.tenant_charged_bytes("acme") == 1e7
+        assert controller.tenant_admissible_units("bppr", "acme") < before
+        controller.unpin("suspended:bppr")
+        assert controller.tenant_charged_bytes("acme") == 0.0
+
+    def test_release_all_clears_tenant_residuals_not_pins(self):
+        machine = make_machine()
+        controller = AdmissionController(
+            {"bppr": make_model()},
+            machine,
+            overload_fraction=0.8,
+            tenant_quotas={"acme": 0.5 * 0.8 * machine.memory_bytes},
+        )
+        take = min(
+            controller.admissible_units("bppr"),
+            controller.tenant_admissible_units("bppr", "acme"),
+        )
+        controller.admit("bppr", take, tenant_units={"acme": take})
+        controller.pin("suspended:bppr", 5e6, tenants={"acme": 5e6})
+        assert controller.tenant_resident_bytes("acme") > 0
+        controller.release_all()
+        assert controller.tenant_resident_bytes("acme") == 0.0
+        assert controller.tenant_pinned_bytes("acme") == 5e6
+
+
+class TestTenantQuotaInvariant:
+    """Per-tenant analogue of Equation 1: for random quota/arrival
+    streams, no tenant's resident+pinned bytes ever exceed its quota,
+    and the global budget invariant still holds on every admission."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        peaks=st.lists(model_params, min_size=1, max_size=3),
+        residuals=st.lists(model_params, min_size=3, max_size=3),
+        memory=st.floats(min_value=1e8, max_value=1e10),
+        fraction=st.floats(min_value=0.3, max_value=1.0),
+        quota_fracs=st.lists(
+            st.floats(min_value=0.05, max_value=1.0),
+            min_size=2,
+            max_size=3,
+        ),
+        actions=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=2),  # kind index
+                st.integers(min_value=0, max_value=2),  # tenant index
+                st.floats(min_value=0.05, max_value=1.0),  # batch share
+            ),
+            min_size=1,
+            max_size=30,
+        ),
+    )
+    def test_tenant_charges_never_exceed_quotas(
+        self, peaks, residuals, memory, fraction, quota_fracs, actions
+    ):
+        kinds = [f"kind{i}" for i in range(len(peaks))]
+        models = {
+            kind: MemoryCostModel(
+                peak=PowerLawModel(*peaks[i]),
+                residual=PowerLawModel(*residuals[i]),
+            )
+            for i, kind in enumerate(kinds)
+        }
+        budget = fraction * memory
+        tenants = [f"t{i}" for i in range(len(quota_fracs))]
+        quotas = {
+            tenant: frac * budget
+            for tenant, frac in zip(tenants, quota_fracs)
+        }
+        controller = AdmissionController(
+            models,
+            make_machine(memory),
+            overload_fraction=fraction,
+            tenant_quotas=quotas,
+        )
+        for kind_index, tenant_index, share in actions:
+            kind = kinds[kind_index % len(kinds)]
+            tenant = tenants[tenant_index % len(tenants)]
+            allowed = min(
+                controller.admissible_units(kind),
+                controller.tenant_admissible_units(kind, tenant),
+            )
+            if allowed < 1.0:
+                # Backpressure point: the service would flush here.
+                controller.release_all()
+                continue
+            units = max(1.0, float(int(allowed * share)))
+            projected = controller.projected_bytes(kind, units)
+            assert projected <= controller.budget * (1 + EPS)
+            controller.admit(kind, units, tenant_units={tenant: units})
+            for name in tenants:
+                assert controller.tenant_charged_bytes(name) <= quotas[
+                    name
+                ] * (1 + EPS)
+        assert controller.residual_bytes() >= 0

@@ -179,3 +179,37 @@ class TestServiceRuns:
     def test_requires_at_least_one_kind(self, engine, graph):
         with pytest.raises(SchedulingError):
             SchedulerService(engine, graph, kinds=())
+
+
+class TestStreamingCapAdmission:
+    """``--max-ram`` in the serve path: mapped-graph deployments admit
+    batches against the streaming budget, so an over-RAM request is
+    split across admissions instead of allocating dense kernel state
+    past the budget."""
+
+    @pytest.fixture(autouse=True)
+    def _restore_streaming(self):
+        from repro.graph.csr import configure_streaming
+
+        yield
+        configure_streaming(None)
+
+    def test_over_ram_batch_is_split_not_oom(self, engine, graph):
+        from repro.graph.csr import configure_streaming
+        from repro.sched.service import STREAMING_STATE_BYTES_PER_VERTEX
+
+        cap_units = 6
+        per_unit = graph.num_vertices * STREAMING_STATE_BYTES_PER_VERTEX
+        configure_streaming(int(cap_units * per_unit))
+        service = SchedulerService(engine, graph, kinds=("bppr",), seed=5)
+        metrics = service.run([TaskRequest(0, "bppr", 40.0, 0.0)])
+
+        assert metrics.completed_units == 40.0
+        assert len(metrics.batch_log) >= 40 / cap_units
+        assert all(
+            entry["workload"] <= cap_units for entry in metrics.batch_log
+        )
+
+    def test_no_budget_means_no_cap(self, engine, graph):
+        service = SchedulerService(engine, graph, kinds=("bppr",), seed=5)
+        assert service._streaming_unit_cap() is None
