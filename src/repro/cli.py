@@ -318,6 +318,7 @@ def cmd_experiment(args) -> int:
         jobs=args.jobs,
         preempt=getattr(args, "preempt", False),
         multi_tenant=getattr(args, "multi_tenant", False),
+        calibrate=getattr(args, "calibrate", False),
     )
     ids = list(EXPERIMENTS) if args.id == "all" else [args.id]
     failures = 0
@@ -333,6 +334,11 @@ def cmd_experiment(args) -> int:
         if result.extras.get("tenants"):
             _merge_bench_section("tenants", result.extras["tenants"])
             print("recorded tenants section in BENCH_perf.json\n")
+        if result.extras.get("calibration"):
+            _merge_bench_section(
+                "calibration", result.extras["calibration"]
+            )
+            print("recorded calibration section in BENCH_perf.json\n")
     return 1 if failures else 0
 
 
@@ -574,6 +580,12 @@ def cmd_serve(args) -> int:
         result_cache=args.result_cache,
         result_ttl_seconds=args.result_ttl,
         result_cache_bytes=args.result_cache_bytes,
+        calibrate=args.calibrate,
+        cost_shares=args.cost_shares,
+        cache_min_seconds=args.cache_min_seconds,
+        tenant_cache_quotas=_parse_kv_flags(
+            args.tenant_cache_quota, float, "--tenant-cache-quota"
+        ),
     )
     service = SchedulerService(
         engine,
@@ -619,6 +631,8 @@ def cmd_serve(args) -> int:
     payload["resilience"] = metrics.resilience_summary()
     if tenants is not None:
         payload["tenants"] = metrics.tenant_summary()
+    if metrics.calibration is not None:
+        payload["calibration"] = metrics.calibration
     with open(bench_path, "w", encoding="utf-8") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)
         fh.write("\n")
@@ -626,6 +640,8 @@ def cmd_serve(args) -> int:
         sections = "sched + resilience"
         if tenants is not None:
             sections += " + tenants"
+        if metrics.calibration is not None:
+            sections += " + calibration"
         print(f"wrote {bench_path} ({sections} sections)")
     return 0
 
@@ -706,6 +722,14 @@ def build_parser() -> argparse.ArgumentParser:
         "tenant serving comparison (tenant quotas, Table-4 engine "
         "routing, content-keyed result cache with request coalescing) "
         "and record its tenants section in BENCH_perf.json",
+    )
+    p_exp.add_argument(
+        "--calibrate",
+        action="store_true",
+        help="throughput experiment only: add the static-versus-"
+        "calibrated serving comparison (online ask-tell cost-model "
+        "refits on a deadline-bearing stream) and record its "
+        "calibration section in BENCH_perf.json",
     )
     p_exp.set_defaults(fn=cmd_experiment)
 
@@ -892,6 +916,42 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="BYTES",
         help="LRU bytes budget for the result cache (default: unbounded)",
+    )
+    p_srv.add_argument(
+        "--calibrate",
+        action="store_true",
+        help="online ask-tell calibration: every executed batch tells "
+        "its observed (workload, peak, residual, seconds) back to the "
+        "cost models, which refit when standardized residuals drift; "
+        "fitted coefficients persist in the artifact cache so a warm "
+        "restart skips probe training entirely",
+    )
+    p_srv.add_argument(
+        "--cost-shares",
+        action="store_true",
+        help="size kernel-worker shares from predicted batch seconds "
+        "and deadline slack instead of an even split (requires "
+        "--kernel-workers > 0); falls back to the even split when no "
+        "deadline or seconds model applies",
+    )
+    p_srv.add_argument(
+        "--cache-min-seconds",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="cost-aware cache admission: only store results whose "
+        "predicted recompute seconds meet this threshold (requires "
+        "--result-cache); cheaper payloads are recomputed on repeat",
+    )
+    p_srv.add_argument(
+        "--tenant-cache-quota",
+        action="append",
+        default=None,
+        metavar="TENANT=FRACTION",
+        help="per-tenant result-cache byte quota as a fraction (0,1] "
+        "of --result-cache-bytes; a tenant over its cap evicts its own "
+        "LRU entries first. Repeatable; unlisted tenants share the "
+        "global budget",
     )
     p_srv.add_argument(
         "--json",

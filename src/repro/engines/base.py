@@ -282,6 +282,17 @@ class EngineSession:
         self.batches_run = 0
         #: the in-flight batch frozen at a barrier, if any.
         self.suspended: Optional[BatchCheckpoint] = None
+        #: optional ask-tell calibrator (DESIGN.md §15): when set by the
+        #: scheduler, every completed batch *tells* its observed
+        #: (workload, peak, residual, seconds) back so the cost models
+        #: keep training online. ``None`` (the default) leaves every
+        #: code path untouched — the tell reads finished metrics only
+        #: and never touches the RNG stream or the session clock.
+        self.calibrator = None
+        #: workload completed since the last residual flush — the x
+        #: coordinate residual-model tells use (``Mr`` maps *total
+        #: processed workload* to leftover bytes).
+        self.told_workload = 0.0
 
     def flush_residual(self) -> float:
         """Release the accumulated residual memory (results emitted to
@@ -294,6 +305,7 @@ class EngineSession:
         """
         released = self.residual_bytes
         self.residual_bytes = 0.0
+        self.told_workload = 0.0
         return released
 
     def run_batch(self, batch_workload, *, should_suspend=None):
@@ -465,6 +477,15 @@ class EngineSession:
         self.residual_bytes += kernel.residual_bytes()
         batch.residual_memory_after_bytes = self.residual_bytes
         self.batches_run += 1
+        if self.calibrator is not None and not overloaded:
+            self.told_workload += batch.workload
+            self.calibrator.tell(
+                batch.workload,
+                batch.peak_memory_bytes,
+                self.residual_bytes,
+                batch.seconds,
+                done_workload=self.told_workload,
+            )
         return batch
 
 
@@ -693,7 +714,16 @@ class SimulatedEngine:
     # Preparation
     # ------------------------------------------------------------------
     def _prepare(self, task: TaskSpec) -> _PreparedGraph:
-        key = id(task.graph)
+        # Keyed by graph identity *and* the task's wire message size: the
+        # router inside the prep carries ``task.message_bytes``, so two
+        # kinds on one graph must not share a prep or whichever prepares
+        # first would donate its message size to the other (making the
+        # cost of a batch depend on preparation order — e.g. on whether
+        # probe training ran before the first serve batch). The heavy
+        # pieces (partition, mirror plan) are memoised task-independently
+        # in the artifact cache, so per-size preps only duplicate the
+        # cheap router wrapper.
+        key = (id(task.graph), float(task.message_bytes))
         if key in self._prepared:
             return self._prepared[key]
         graph = task.graph

@@ -27,6 +27,9 @@ class ExperimentConfig:
     ``multi_tenant`` adds the single-tenant-versus-multi-tenant A/B
     (tenant quotas, Table-4 engine routing, and the content-keyed
     result cache; ``vcrepro experiment throughput --multi-tenant``).
+    ``calibrate`` adds the static-versus-calibrated serving A/B
+    (online ask-tell cost-model refits on a deadline-bearing stream;
+    ``vcrepro experiment throughput --calibrate``).
     """
 
     scale: int = DEFAULT_SCALE
@@ -35,6 +38,7 @@ class ExperimentConfig:
     jobs: int = 1
     preempt: bool = False
     multi_tenant: bool = False
+    calibrate: bool = False
 
 
 @dataclass

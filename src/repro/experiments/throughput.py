@@ -19,7 +19,11 @@ from repro.engines.registry import create_engine
 from repro.experiments.base import ExperimentConfig, ExperimentResult
 from repro.experiments.common import dataset
 from repro.perf.parallel import parallel_map_fork
-from repro.sched.arrivals import TaskRequest, generate_arrivals
+from repro.sched.arrivals import (
+    DEFAULT_PRIORITY,
+    TaskRequest,
+    generate_arrivals,
+)
 from repro.sched.policy import ServicePolicy
 from repro.sched.service import SchedulerService
 
@@ -47,6 +51,15 @@ PREEMPT_SEED = 11
 #: duplicates and serve late repeats from memory.
 MT_SCALE = 4000
 MT_SEED = 13
+
+#: Fixed setting of the static-versus-calibrated A/B scenario
+#: (``--calibrate``): a deadline-bearing mixed stream long enough for
+#: the ask-tell loop to observe every batch and refit mid-run.
+CAL_SCALE = 4000
+CAL_SEED = 17
+CAL_RATE = 0.8
+CAL_DURATION = 30
+CAL_DEADLINE = 600.0
 
 
 def datasets_used(config: ExperimentConfig) -> Tuple[str, ...]:
@@ -208,6 +221,61 @@ def _multitenant_comparison() -> List[Dict[str, Any]]:
                 "p99_s": percentile(latencies, 99),
                 "identical_payloads": len(payloads) <= 1,
                 "tenants": metrics.tenant_summary(),
+            }
+        )
+    return rows
+
+
+def _calibration_comparison() -> List[Dict[str, Any]]:
+    """Run the pinned deadline-bearing stream under the static startup
+    fit and under online ask-tell calibration.
+
+    Same warmup discipline as :func:`_preempt_comparison`: the first
+    run primes the process-wide model/artifact caches and is discarded
+    so both arms see identical conditions.
+    """
+    from repro.graph.datasets import load_dataset
+    from repro.sim.metrics import percentile
+
+    graph = load_dataset("dblp", scale=CAL_SCALE)
+    cluster = cluster_by_name("galaxy-8", scale=CAL_SCALE)
+
+    def run_policy(policy: ServicePolicy):
+        service = SchedulerService(
+            create_engine("pregel+", cluster),
+            graph,
+            kinds=("bppr", "mssp"),
+            seed=CAL_SEED,
+            task_params={"mssp": {"sample_limit": 16}},
+            policy=policy,
+        )
+        requests = generate_arrivals(
+            CAL_RATE,
+            CAL_DURATION,
+            seed=CAL_SEED,
+            kinds=("bppr", "mssp"),
+            deadlines={DEFAULT_PRIORITY: CAL_DEADLINE},
+        )
+        return service.run(requests, arrival_rate=CAL_RATE)
+
+    static = ServicePolicy(drop_expired=True)
+    calibrated = ServicePolicy(drop_expired=True, calibrate=True)
+    run_policy(static)  # warmup; discarded
+    rows = []
+    for mode, policy in (("static", static), ("calibrated", calibrated)):
+        metrics = run_policy(policy)
+        latencies = [t.latency_seconds for t in metrics.latencies]
+        rows.append(
+            {
+                "mode": mode,
+                "tasks": metrics.completed_tasks,
+                "batches": len(metrics.batch_log),
+                "p99_s": percentile(latencies, 99),
+                "drops": metrics.drops_queue_full
+                + metrics.drops_watermark
+                + metrics.drops_expired,
+                "deadline_misses": metrics.deadline_misses,
+                "calibration": metrics.calibration,
             }
         )
     return rows
@@ -396,5 +464,60 @@ def run(config: ExperimentConfig) -> ExperimentResult:
             f"multi-tenant p99={mt['p99_s']:.2f}s over {mt['batches']} "
             f"batches (hit rate {mt['hit_rate']:.2f}, {mt['coalesced']} "
             "coalesced)."
+        )
+
+    if config.calibrate:
+        comparison = _calibration_comparison()
+        by_mode = {row["mode"]: row for row in comparison}
+        stat, cal = by_mode["static"], by_mode["calibrated"]
+        cal_stats = cal["calibration"] or {}
+        result.extras["calibration_comparison"] = [
+            {k: v for k, v in row.items() if k != "calibration"}
+            for row in comparison
+        ]
+        result.extras["calibration"] = {
+            "scenario": (
+                f"dblp@{CAL_SCALE} galaxy-8 pregel+ seed {CAL_SEED}: "
+                f"Poisson {CAL_RATE}/s x {CAL_DURATION} ticks of "
+                f"bppr+mssp, {CAL_DEADLINE:.0f}s deadlines, expired "
+                "requests dropped"
+            ),
+            "static": {
+                "tasks": stat["tasks"],
+                "batches": stat["batches"],
+                "p99_s": stat["p99_s"],
+                "drops": stat["drops"],
+                "deadline_misses": stat["deadline_misses"],
+            },
+            "calibrated": {
+                "tasks": cal["tasks"],
+                "batches": cal["batches"],
+                "p99_s": cal["p99_s"],
+                "drops": cal["drops"],
+                "deadline_misses": cal["deadline_misses"],
+                "stats": cal_stats,
+            },
+        }
+        result.claim(
+            "online calibration does not increase dropped requests on "
+            "the pinned deadline stream",
+            cal["drops"] <= stat["drops"],
+        )
+        result.claim(
+            "online calibration does not increase deadline misses on "
+            "the pinned deadline stream",
+            cal["deadline_misses"] <= stat["deadline_misses"],
+        )
+        result.claim(
+            "the ask-tell loop observed executed batches (tells > 0)",
+            cal_stats.get("tells", 0) > 0,
+        )
+        result.notes += (
+            " Calibration A/B (pinned scenario): static "
+            f"drops={stat['drops']} misses={stat['deadline_misses']} "
+            f"p99={stat['p99_s']:.2f}s vs calibrated "
+            f"drops={cal['drops']} misses={cal['deadline_misses']} "
+            f"p99={cal['p99_s']:.2f}s ({cal_stats.get('tells', 0)} "
+            f"tells, {cal_stats.get('refits', 0)} refits)."
         )
     return result

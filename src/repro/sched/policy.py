@@ -151,6 +151,26 @@ class ServicePolicy:
     #: LRU bytes budget for cached result payloads; ``None`` = no
     #: bound (entries only leave via TTL expiry).
     result_cache_bytes: Optional[float] = None
+    #: online ask-tell calibration (DESIGN.md §15): every executed
+    #: batch's observed (workload, peak, residual, seconds) is told
+    #: back to the per-kind calibrator, admission re-prices against the
+    #: refreshed model between batches, and fitted coefficients persist
+    #: in the artifact cache so a restart skips probe training. Off by
+    #: default: the static one-shot fit stays byte-identical.
+    calibrate: bool = False
+    #: size each batch's intra-task worker share from its predicted
+    #: seconds and deadline slack instead of an even pool split
+    #: (requires ``intra_workers > 0``). Off by default (even split).
+    cost_shares: bool = False
+    #: cost-aware result-cache admission: only store payloads whose
+    #: predicted recompute seconds meet this threshold. ``None`` (the
+    #: default) admits every payload, the legacy behaviour.
+    cache_min_seconds: Optional[float] = None
+    #: per-tenant result-cache byte quotas as *fractions of
+    #: result_cache_bytes* (tenant → fraction in (0, 1]), mirroring
+    #: ``tenant_quotas`` on the admission budget. ``None`` disables
+    #: per-tenant cache accounting.
+    tenant_cache_quotas: Optional[Mapping[str, float]] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -165,6 +185,11 @@ class ServicePolicy:
             self,
             "tenant_priorities",
             _freeze_mapping(self.tenant_priorities, "tenant_priorities"),
+        )
+        object.__setattr__(
+            self,
+            "tenant_cache_quotas",
+            _freeze_mapping(self.tenant_cache_quotas, "tenant_cache_quotas"),
         )
         if self.priority_classes < 1:
             raise ConfigurationError("priority_classes must be >= 1")
@@ -231,6 +256,38 @@ class ServicePolicy:
             and self.result_cache_bytes <= 0
         ):
             raise ConfigurationError("result_cache_bytes must be positive")
+        if self.cost_shares and self.intra_workers <= 0:
+            raise ConfigurationError(
+                "cost_shares requires intra_workers > 0 (there is no "
+                "worker pool to size shares from)"
+            )
+        if (
+            self.cache_min_seconds is not None
+            and self.cache_min_seconds < 0
+        ):
+            raise ConfigurationError(
+                "cache_min_seconds must be non-negative"
+            )
+        if self.cache_min_seconds is not None and not self.result_cache:
+            raise ConfigurationError(
+                "cache_min_seconds requires result_cache"
+            )
+        if self.tenant_cache_quotas is not None:
+            if not self.result_cache:
+                raise ConfigurationError(
+                    "tenant_cache_quotas requires result_cache"
+                )
+            if self.result_cache_bytes is None:
+                raise ConfigurationError(
+                    "tenant_cache_quotas requires result_cache_bytes "
+                    "(quotas are fractions of the cache bytes budget)"
+                )
+            for tenant, fraction in self.tenant_cache_quotas:
+                if not 0 < float(fraction) <= 1:
+                    raise ConfigurationError(
+                        f"tenant cache quota for {tenant!r} must be a "
+                        f"fraction in (0, 1], got {fraction!r}"
+                    )
 
     @property
     def lowest_class(self) -> int:
@@ -250,6 +307,15 @@ class ServicePolicy:
         if self.tenant_quotas is None:
             return None
         for quota_tenant, fraction in self.tenant_quotas:
+            if quota_tenant == tenant:
+                return float(fraction)
+        return None
+
+    def cache_quota_fraction(self, tenant: str) -> Optional[float]:
+        """The tenant's result-cache byte-fraction quota, or ``None``."""
+        if self.tenant_cache_quotas is None:
+            return None
+        for quota_tenant, fraction in self.tenant_cache_quotas:
             if quota_tenant == tenant:
                 return float(fraction)
         return None

@@ -64,6 +64,7 @@ from repro.sim.metrics import (
     pack_job,
 )
 from repro.tasks.base import make_task
+from repro.tuning.calibrate import Calibrator
 from repro.tuning.memory_model import MemoryCostModel
 from repro.tuning.planner import DEFAULT_OVERLOAD_FRACTION, plan_batches
 from repro.tuning.trainer import TaskFactory, train_memory_models
@@ -211,15 +212,57 @@ class SchedulerService:
 
                     opened[route] = create_engine(route, engine.cluster)
                 self.engines[kind] = opened[route]
-        models: Dict[str, MemoryCostModel] = {
-            kind: train_memory_models(
-                self.engines[kind],
-                self._task_factory(kind),
-                self.reference_workload,
-                seed=seed,
-            )
-            for kind in self.kinds
-        }
+        #: per-kind ask-tell calibrators (DESIGN.md §15); empty unless a
+        #: cost-model consumer is enabled, so the default service still
+        #: runs the legacy one-shot trainer code path untouched.
+        self.calibrators: Dict[str, Calibrator] = {}
+        #: last calibrator version pushed into admission, per kind.
+        self._model_versions: Dict[str, int] = {}
+        #: payloads the cost-aware cache admission declined to store.
+        self._cache_skips = 0
+        use_calibrators = (
+            self.policy.calibrate
+            or self.policy.cost_shares
+            or self.policy.cache_min_seconds is not None
+        )
+        if use_calibrators:
+            models: Dict[str, MemoryCostModel] = {}
+            for kind in self.kinds:
+                if self.policy.calibrate:
+                    # Warm restarts load the persisted coefficients and
+                    # probe samples from the artifact cache — zero probe
+                    # training runs, identical refit trajectory.
+                    from repro.perf.cache import get_cache
+
+                    calibrator = Calibrator.load_or_train(
+                        self.engines[kind],
+                        self._task_factory(kind),
+                        self.reference_workload,
+                        kind=kind,
+                        graph_fingerprint=graph.fingerprint,
+                        seed=seed,
+                        cache=get_cache(),
+                    )
+                else:
+                    calibrator = Calibrator.train(
+                        self.engines[kind],
+                        self._task_factory(kind),
+                        self.reference_workload,
+                        seed=seed,
+                    )
+                self.calibrators[kind] = calibrator
+                self._model_versions[kind] = calibrator.version
+                models[kind] = calibrator.model
+        else:
+            models = {
+                kind: train_memory_models(
+                    self.engines[kind],
+                    self._task_factory(kind),
+                    self.reference_workload,
+                    seed=seed,
+                )
+                for kind in self.kinds
+            }
         machine = engine.cluster.scaled_machine
         tenant_quotas: Optional[Dict[str, float]] = None
         if self.policy.tenant_quotas is not None:
@@ -237,10 +280,19 @@ class SchedulerService:
         #: content-keyed result cache with single-flight coalescing;
         #: ``None`` (cache off) leaves every code path byte-identical
         #: to the pre-cache service.
+        tenant_cache_bytes: Optional[Dict[str, float]] = None
+        if self.policy.tenant_cache_quotas is not None:
+            # Fractions of the cache bytes budget, mirroring the
+            # admission quotas' fractions of the memory budget.
+            tenant_cache_bytes = {
+                tenant: float(fraction) * self.policy.result_cache_bytes
+                for tenant, fraction in self.policy.tenant_cache_quotas
+            }
         self.result_cache: Optional[ResultCache] = (
             ResultCache(
                 ttl_seconds=self.policy.result_ttl_seconds,
                 max_bytes=self.policy.result_cache_bytes,
+                tenant_bytes=tenant_cache_bytes,
             )
             if self.policy.result_cache
             else None
@@ -282,16 +334,65 @@ class SchedulerService:
         """
         if kind not in self.sessions:
             task = self._task_factory(kind)(self.reference_workload)
-            self.sessions[kind] = self.engines[kind].open_session(
+            session = self.engines[kind].open_session(
                 task,
                 self.seed,
                 fault_plan=self.fault_plan,
                 checkpoint_every=self.checkpoint_every,
                 cutoff_seconds=None,
             )
+            if self.policy.calibrate:
+                # Tell-back hook: every completed batch reports its
+                # observed (workload, peak, residual, seconds) to the
+                # kind's calibrator straight from the engine.
+                session.calibrator = self.calibrators.get(kind)
+            self.sessions[kind] = session
         return self.sessions[kind]
 
-    def _apply_worker_share(self, concurrent_sessions: int) -> int:
+    def _cost_worker_share(
+        self,
+        inflight: "_InFlight",
+        concurrent_sessions: int,
+        clock: float,
+    ) -> int:
+        """Cost-driven share (``policy.cost_shares``): interpolate from
+        the even split toward the full pool as deadline pressure grows.
+
+        Pressure is the batch's predicted seconds over the tightest
+        member deadline's slack — a batch predicted to take as long as
+        (or longer than) its slack gets the whole pool; a batch with
+        generous slack (or no deadline, or no fitted seconds model)
+        keeps the even split.
+        """
+        even = self.policy.worker_share(concurrent_sessions)
+        calibrator = self.calibrators.get(inflight.kind)
+        if calibrator is None:
+            return even
+        predicted = calibrator.predict_seconds(inflight.batch_units)
+        if predicted is None:
+            return even
+        deadlines = [
+            pending.request.deadline_at
+            for pending, _ in inflight.parts
+            if pending.request.deadline_at is not None
+        ]
+        if not deadlines:
+            return even
+        slack = min(deadlines) - clock
+        if slack <= 0:
+            pressure = 1.0
+        else:
+            pressure = min(1.0, predicted / slack)
+        total = self.policy.intra_workers
+        share = even + (total - even) * pressure
+        return max(1, min(total, int(round(share))))
+
+    def _apply_worker_share(
+        self,
+        concurrent_sessions: int,
+        inflight: Optional["_InFlight"] = None,
+        clock: float = 0.0,
+    ) -> int:
         """Split the intra-task kernel pool across in-flight sessions.
 
         Called at every dispatch point (batch start and resume) with the
@@ -299,10 +400,17 @@ class SchedulerService:
         plus any still suspended at a barrier. When the policy grants no
         workers (``intra_workers == 0``, the default) the kernel-pool
         configuration is never touched, so schedules stay byte-identical
-        to the pre-parallel service. Returns the share applied (0 when
-        the policy grants none).
+        to the pre-parallel service. With ``policy.cost_shares``, the
+        dispatched batch's share is sized from its predicted seconds and
+        deadline slack instead of the even split. Returns the share
+        applied (0 when the policy grants none).
         """
-        share = self.policy.worker_share(concurrent_sessions)
+        if self.policy.cost_shares and inflight is not None:
+            share = self._cost_worker_share(
+                inflight, concurrent_sessions, clock
+            )
+        else:
+            share = self.policy.worker_share(concurrent_sessions)
         if self.policy.intra_workers > 0:
             kernel_pool.configure_kernel_workers(share)
         return share
@@ -395,7 +503,27 @@ class SchedulerService:
         request = pending.request
         key = self._result_key(request)
         payload = self._result_payload(request)
-        joiners = cache.complete(key, payload, clock)
+        store = True
+        if self.policy.cache_min_seconds is not None:
+            # Cost-aware admission: only retain payloads whose
+            # predicted recompute time meets the threshold — cheap
+            # results are recomputed on demand instead of occupying
+            # cache bytes. Joiners are fanned out either way.
+            calibrator = self.calibrators.get(request.kind)
+            predicted = (
+                calibrator.predict_seconds(float(request.units))
+                if calibrator is not None
+                else None
+            )
+            if (
+                predicted is not None
+                and predicted < self.policy.cache_min_seconds
+            ):
+                store = False
+                self._cache_skips += 1
+        joiners = cache.complete(
+            key, payload, clock, tenant=request.tenant, store=store
+        )
         self.responses[request.task_id] = payload
         start = pending.started_seconds
         if start is None:
@@ -528,7 +656,7 @@ class SchedulerService:
         cache = self.result_cache
         if cache is not None:
             key = self._result_key(request)
-            hit = cache.lookup(key, now)
+            hit = cache.lookup(key, now, tenant=request.tenant)
             if hit is not None:
                 # Served from memory: the exact payload bytes a cold
                 # execution produced, at zero simulated cost.
@@ -840,7 +968,9 @@ class SchedulerService:
                 callback = self._preempt_callback(
                     inflight, clock, arrivals, queue, metrics
                 )
-                share = self._apply_worker_share(1 + len(suspended))
+                share = self._apply_worker_share(
+                    1 + len(suspended), inflight=inflight, clock=clock
+                )
                 result = session.run_batch(
                     inflight.batch_units, should_suspend=callback
                 )
@@ -851,7 +981,9 @@ class SchedulerService:
                 callback = self._preempt_callback(
                     inflight, clock, arrivals, queue, metrics
                 )
-                share = self._apply_worker_share(1 + len(suspended))
+                share = self._apply_worker_share(
+                    1 + len(suspended), inflight=inflight, clock=clock
+                )
                 result = session.resume(should_suspend=callback)
 
             if isinstance(result, BatchCheckpoint):
@@ -933,6 +1065,22 @@ class SchedulerService:
                     batch_units,
                     tenant_units=inflight.tenant_units or None,
                 )
+                if self.policy.calibrate:
+                    # The session just told this batch's observation
+                    # back; if the calibrator bumped or refitted, swap
+                    # the refreshed model into the kind's planner so
+                    # the *next* admission re-prices against it
+                    # (``_check_kind`` recomputes budgets per call).
+                    calibrator = self.calibrators.get(kind)
+                    if (
+                        calibrator is not None
+                        and calibrator.version
+                        != self._model_versions.get(kind)
+                    ):
+                        self.admission.planners[kind].model = (
+                            calibrator.model
+                        )
+                        self._model_versions[kind] = calibrator.version
                 clock += (
                     max(0.0, batch.seconds - inflight.charged_seconds)
                     + suspend_cost
@@ -1023,7 +1171,46 @@ class SchedulerService:
             summary["cached_entries"] = len(self.result_cache)
             summary["cached_bytes"] = self.result_cache.total_bytes
             metrics.result_cache = summary
+            if self.policy.tenant_cache_quotas is not None:
+                metrics.tenant_cache = self.result_cache.tenant_summary()
+        if self.policy.calibrate:
+            metrics.calibration = self.calibration_summary()
         return metrics
+
+    def calibration_summary(self) -> Dict[str, object]:
+        """The ``"calibration"`` section: the ask-tell trajectory across
+        every kind's calibrator (counter sums, mean fit RMSE before the
+        first tell and after the last refit, per-kind breakdown)."""
+        counters = (
+            "training_runs",
+            "tells",
+            "refits",
+            "drift_events",
+            "envelope_bumps",
+        )
+        summary: Dict[str, object] = {name: 0 for name in counters}
+        summary["probe_seconds_saved"] = 0.0
+        kinds: Dict[str, Dict[str, object]] = {}
+        before: List[float] = []
+        after: List[float] = []
+        warm = bool(self.calibrators)
+        for kind in sorted(self.calibrators):
+            stats = self.calibrators[kind].stats
+            kinds[kind] = stats.to_dict()
+            for name in counters:
+                summary[name] += getattr(stats, name)
+            summary["probe_seconds_saved"] += stats.probe_seconds_saved
+            before.append(stats.rmse_before)
+            after.append(stats.rmse_after)
+            warm = warm and stats.warm_start
+        summary["warm_start"] = warm
+        summary["rmse_before"] = (
+            sum(before) / len(before) if before else 0.0
+        )
+        summary["rmse_after"] = sum(after) / len(after) if after else 0.0
+        summary["cache_skips"] = self._cache_skips
+        summary["kinds"] = kinds
+        return summary
 
 
 def run_degenerate(

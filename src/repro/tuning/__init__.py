@@ -18,10 +18,15 @@ machine under ``p`` percent of its physical memory:
 """
 
 from repro.tuning.autotuner import AutoTuner, TuningReport
+from repro.tuning.calibrate import CalibrationStats, Calibrator
 from repro.tuning.lma import FitResult, fit_power_law, levenberg_marquardt
 from repro.tuning.memory_model import MemoryCostModel, PowerLawModel
 from repro.tuning.planner import plan_batches
-from repro.tuning.trainer import TrainingSample, train_memory_models
+from repro.tuning.trainer import (
+    TrainingSample,
+    fit_memory_models,
+    train_memory_models,
+)
 
 __all__ = [
     "levenberg_marquardt",
@@ -30,8 +35,11 @@ __all__ = [
     "PowerLawModel",
     "MemoryCostModel",
     "TrainingSample",
+    "fit_memory_models",
     "train_memory_models",
     "plan_batches",
     "AutoTuner",
     "TuningReport",
+    "Calibrator",
+    "CalibrationStats",
 ]

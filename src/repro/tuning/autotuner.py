@@ -16,9 +16,10 @@ from repro.engines.registry import create_engine
 from repro.faults.recovery import OverloadRecovery
 from repro.rng import SeedLike
 from repro.sim.metrics import JobMetrics
+from repro.tuning.calibrate import Calibrator
 from repro.tuning.memory_model import MemoryCostModel
 from repro.tuning.planner import DEFAULT_OVERLOAD_FRACTION, plan_batches
-from repro.tuning.trainer import TaskFactory, train_memory_models
+from repro.tuning.trainer import TaskFactory
 
 
 @dataclass
@@ -73,6 +74,7 @@ class AutoTuner:
     seed: SeedLike = None
     recovery: Optional[OverloadRecovery] = None
     _model: Optional[MemoryCostModel] = field(default=None, repr=False)
+    _calibrator: Optional[Calibrator] = field(default=None, repr=False)
     _training_seconds: float = field(default=0.0, repr=False)
 
     @classmethod
@@ -94,19 +96,32 @@ class AutoTuner:
         )
 
     def train(self, reference_workload: float) -> MemoryCostModel:
-        """Run the probe ladder and fit the memory models (idempotent)."""
+        """Run the probe ladder and fit the memory models (idempotent).
+
+        The probe runs are the calibrator's first tells
+        (:class:`~repro.tuning.calibrate.Calibrator`), so a caller that
+        keeps executing batches can keep telling observations back; the
+        initial fit is bit-identical to the legacy one-shot trainer.
+        """
         if self._model is None:
-            self._model = train_memory_models(
+            self._calibrator = Calibrator.train(
                 self.engine,
                 self.task_factory,
                 reference_workload,
                 seed=self.seed,
             )
+            self._model = self._calibrator.model
         return self._model
 
     @property
     def model(self) -> Optional[MemoryCostModel]:
         return self._model
+
+    @property
+    def calibrator(self) -> Optional[Calibrator]:
+        """The ask-tell calibrator behind :meth:`train` (None until the
+        first training call)."""
+        return self._calibrator
 
     def plan(self, workload: float) -> List[float]:
         """Compute the Optimized schedule for ``workload``."""

@@ -87,15 +87,12 @@ def collect_training_samples(
     return samples
 
 
-def train_memory_models(
-    engine: SimulatedEngine,
-    task_factory: TaskFactory,
-    total_workload: float,
-    seed: SeedLike = None,
+def fit_memory_models(
+    samples: Sequence[TrainingSample], seed: SeedLike = None
 ) -> MemoryCostModel:
-    """End-to-end training: probe ladder → samples → fitted models."""
-    ladder = probe_workloads(total_workload)
-    samples = collect_training_samples(engine, task_factory, ladder, seed=seed)
+    """Fit (M*, Mr) from collected samples — the shared fit step behind
+    both the one-shot trainer and the ask-tell calibrator's first tells
+    (:mod:`repro.tuning.calibrate`)."""
     usable = [s for s in samples if not s.overloaded]
     if len(usable) < 3:
         raise TuningError(
@@ -110,6 +107,18 @@ def train_memory_models(
         workloads, [s.residual_memory_bytes for s in usable], seed=seed
     )
     return MemoryCostModel(peak=peak, residual=residual)
+
+
+def train_memory_models(
+    engine: SimulatedEngine,
+    task_factory: TaskFactory,
+    total_workload: float,
+    seed: SeedLike = None,
+) -> MemoryCostModel:
+    """End-to-end training: probe ladder → samples → fitted models."""
+    ladder = probe_workloads(total_workload)
+    samples = collect_training_samples(engine, task_factory, ladder, seed=seed)
+    return fit_memory_models(samples, seed=seed)
 
 
 def _envelope(

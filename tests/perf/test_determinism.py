@@ -492,6 +492,82 @@ class TestMultiTenantServeInvariance:
         )
 
 
+class TestCalibrationInvariance:
+    """Online ask-tell calibration (``--calibrate`` and friends): the
+    degenerate policy — calibration off, even worker shares, admit-all
+    cache — must keep the serve digest byte-identical to the default,
+    and a warm restart from persisted coefficients must reproduce the
+    cold run's digest with zero probe runs."""
+
+    def _serve(self, policy=None, kinds=("bppr",)):
+        from repro.engines.registry import create_engine
+        from repro.sched.arrivals import generate_arrivals
+        from repro.sched.service import SchedulerService
+
+        graph = load_dataset("dblp", scale=SCALE)
+        cluster = cluster_by_name("galaxy-8", scale=SCALE)
+        service = SchedulerService(
+            create_engine("pregel+", cluster),
+            graph,
+            kinds=kinds,
+            seed=13,
+            record_rounds=True,
+            policy=policy,
+            task_params={"mssp": {"sample_limit": 16}},
+        )
+        requests = generate_arrivals(
+            0.4, 12, seed=13, kinds=kinds, units_range=(8, 48)
+        )
+        metrics = service.run(requests, arrival_rate=0.4)
+        return metrics.to_dict(include_latencies=True)
+
+    def test_degenerate_policy_matches_default_byte_for_byte(self):
+        from repro.sched.policy import ServicePolicy
+
+        default = self._serve()
+        clear_cache()
+        degenerate = self._serve(
+            ServicePolicy(
+                calibrate=False,
+                cost_shares=False,
+                cache_min_seconds=None,
+                tenant_cache_quotas=None,
+            )
+        )
+        assert json.dumps(degenerate, sort_keys=True) == json.dumps(
+            default, sort_keys=True
+        )
+
+    def test_warm_restart_reproduces_cold_digest(self, tmp_path):
+        # Multi-kind on purpose: probe training prepares the kinds in
+        # policy order while a warm restart prepares them in arrival
+        # order, so any preparation-order dependence (e.g. two kinds
+        # sharing one router prep) breaks this digest and only this
+        # digest.
+        from repro.sched.policy import ServicePolicy
+
+        configure_cache(directory=str(tmp_path))
+        kinds = ("bppr", "mssp")
+        policy = ServicePolicy(calibrate=True)
+        cold = self._serve(policy, kinds=kinds)
+        cold_cal = cold.pop("calibration")
+        assert cold_cal["training_runs"] > 0
+        assert not cold_cal["warm_start"]
+        clear_cache()  # drop memory so the disk store must serve
+        warm = self._serve(policy, kinds=kinds)
+        warm_cal = warm.pop("calibration")
+        # Zero probe executions on restart: the coefficients and probe
+        # samples came back from the artifact cache.
+        assert warm_cal["training_runs"] == 0
+        assert warm_cal["warm_start"]
+        assert warm_cal["probe_seconds_saved"] > 0
+        # Only the training provenance may differ — the scheduling
+        # trajectory itself is reproduced byte-for-byte.
+        assert json.dumps(warm, sort_keys=True) == json.dumps(
+            cold, sort_keys=True
+        )
+
+
 class TestKernelShardInvariance:
     """Intra-task sharded kernels (``--kernel-workers``): the shard
     count changes where rounds run, never what they compute — every

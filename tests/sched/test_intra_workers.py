@@ -96,8 +96,8 @@ class TestServeDispatch:
         applied = []
         original = SchedulerService._apply_worker_share
 
-        def spy(self, concurrent_sessions):
-            share = original(self, concurrent_sessions)
+        def spy(self, concurrent_sessions, **kwargs):
+            share = original(self, concurrent_sessions, **kwargs)
             applied.append((concurrent_sessions, share))
             return share
 
@@ -149,6 +149,107 @@ class TestServeDispatch:
             "intra_workers" not in entry for entry in metrics.batch_log
         )
 
+    def _stream(self, engine, graph, policy):
+        clear_cache()
+        service = SchedulerService(
+            engine,
+            graph,
+            kinds=("bppr",),
+            seed=21,
+            policy=policy,
+            record_rounds=True,
+        )
+        requests = generate_arrivals(
+            0.6, 10, seed=21, kinds=("bppr",), units_range=(8, 32)
+        )
+        return service.run(requests, arrival_rate=0.6)
+
+    def test_cost_shares_without_deadlines_match_even_split(
+        self, engine, graph
+    ):
+        """``cost_shares`` on a deadline-free stream degenerates to the
+        even split: every batch gets the same share, so the whole serve
+        digest is byte-identical to the plain ``intra_workers`` run."""
+        even = metrics_json(
+            self._stream(engine, graph, ServicePolicy(intra_workers=3))
+        )
+        cost = metrics_json(
+            self._stream(
+                engine,
+                graph,
+                ServicePolicy(intra_workers=3, cost_shares=True),
+            )
+        )
+        assert cost == even
+
+
+class TestCostShareArithmetic:
+    """The deadline-pressure interpolation, pinned deterministically
+    with a stubbed seconds model."""
+
+    class _FakeCalibrator:
+        def __init__(self, seconds):
+            self.seconds = seconds
+
+        def predict_seconds(self, workload):
+            return self.seconds
+
+    def _inflight(self, deadline_at):
+        from types import SimpleNamespace
+
+        pending = SimpleNamespace(
+            request=SimpleNamespace(deadline_at=deadline_at)
+        )
+        return SimpleNamespace(
+            kind="bppr", batch_units=8.0, parts=[(pending, 8.0)]
+        )
+
+    @pytest.fixture(scope="class")
+    def service(self, engine, graph):
+        clear_cache()
+        return SchedulerService(
+            engine,
+            graph,
+            kinds=("bppr",),
+            seed=21,
+            policy=ServicePolicy(intra_workers=4, cost_shares=True),
+        )
+
+    def _share(self, service, seconds, deadline_at, sessions=2, clock=0.0):
+        service.calibrators["bppr"] = self._FakeCalibrator(seconds)
+        return service._cost_worker_share(
+            self._inflight(deadline_at), sessions, clock
+        )
+
+    def test_pressure_one_grants_the_full_pool(self, service):
+        # Predicted to take 30 s against 10 s of slack: whole pool.
+        assert self._share(service, 30.0, deadline_at=10.0) == 4
+
+    def test_blown_deadline_grants_the_full_pool(self, service):
+        assert self._share(service, 1.0, deadline_at=-5.0) == 4
+
+    def test_generous_slack_keeps_the_even_split(self, service):
+        assert self._share(service, 1.0, deadline_at=1.0e6) == 2
+
+    def test_intermediate_pressure_interpolates(self, service):
+        # pressure = 10/20 = 0.5 -> 2 + (4-2)*0.5 = 3.
+        assert self._share(service, 10.0, deadline_at=20.0) == 3
+
+    def test_no_deadline_keeps_the_even_split(self, service):
+        assert self._share(service, 30.0, deadline_at=None) == 2
+
+    def test_no_seconds_model_keeps_the_even_split(self, service):
+        assert self._share(service, None, deadline_at=10.0) == 2
+
+    def test_missing_calibrator_keeps_the_even_split(self, service):
+        service.calibrators.pop("bppr", None)
+        share = service._cost_worker_share(
+            self._inflight(10.0), 2, 0.0
+        )
+        assert share == 2
+
+
+class TestShardedServiceInvariance:
     def _stream(self, engine, graph, policy):
         clear_cache()
         service = SchedulerService(
